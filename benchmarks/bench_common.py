@@ -1,0 +1,42 @@
+"""Shared setup for the benchmark modules."""
+
+from __future__ import annotations
+
+from repro import MaterializedXQueryView, Profiler, StorageManager
+from repro.bench.harness import ms, print_table, ratio, scales, time_call
+from repro.engine import Engine
+from repro.translate import translate_query
+from repro.workloads import xmark
+
+__all__ = ["Engine", "MaterializedXQueryView", "Profiler", "StorageManager",
+           "fresh_site", "materialized_view", "ms", "persons", "auctions",
+           "print_table", "ratio", "scales", "time_call", "translate_query",
+           "xmark"]
+
+
+def fresh_site(num_persons: int, seed: int = 42) -> StorageManager:
+    storage = StorageManager()
+    xmark.register_site(storage, num_persons, seed=seed)
+    return storage
+
+
+def materialized_view(query: str, num_persons: int,
+                      seed: int = 42) -> tuple[StorageManager,
+                                               MaterializedXQueryView]:
+    storage = fresh_site(num_persons, seed=seed)
+    view = MaterializedXQueryView(storage, query)
+    view.materialize()
+    return storage, view
+
+
+def persons(storage: StorageManager):
+    return storage.find_by_path(
+        "site.xml",
+        [("child", "site"), ("child", "people"), ("child", "person")])
+
+
+def auctions(storage: StorageManager):
+    return storage.find_by_path(
+        "site.xml",
+        [("child", "site"), ("child", "closed_auctions"),
+         ("child", "closed_auction")])

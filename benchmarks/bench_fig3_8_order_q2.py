@@ -1,0 +1,30 @@
+"""Fig 3.8: cost of handling order — order-by clause (Query 2) (Section 3.5)."""
+
+from bench_common import fresh_site, translate_query, xmark
+from order_cost import (assert_order_overhead_small, measure_order_cost,
+                        print_figure)
+
+QUERY = xmark.ORDER_QUERY_2
+
+
+def test_order_overhead_is_small():
+    assert_order_overhead_small(QUERY)
+
+
+def test_benchmark_query_execution(benchmark):
+    from bench_common import Engine
+
+    storage = fresh_site(100)
+    plan = translate_query(QUERY)
+    engine = Engine(storage)
+    benchmark(lambda: engine.query(plan))
+
+
+def figure_rows():
+    from order_cost import figure_rows as rows
+
+    return rows(QUERY)
+
+
+if __name__ == "__main__":
+    print_figure("3.8", "order-by clause (Query 2)", QUERY)

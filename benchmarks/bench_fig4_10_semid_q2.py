@@ -1,0 +1,21 @@
+"""Fig 4.10: cost of generating semantic identifiers — construction-heavy view (Query 2 of Fig 4.8)
+(Section 4.8)."""
+
+from bench_common import Engine, fresh_site, translate_query
+from semid_cost import (SEMID_QUERY_2 as QUERY, assert_semid_overhead_small,
+                        print_figure)
+
+
+def test_semid_overhead_is_small():
+    assert_semid_overhead_small(QUERY)
+
+
+def test_benchmark_query_execution(benchmark):
+    storage = fresh_site(100)
+    plan = translate_query(QUERY)
+    engine = Engine(storage)
+    benchmark(lambda: engine.query(plan))
+
+
+if __name__ == "__main__":
+    print_figure("4.10", "construction-heavy view (Query 2 of Fig 4.8)", QUERY)

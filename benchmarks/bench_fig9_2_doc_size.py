@@ -1,0 +1,85 @@
+"""Fig 9.2: varying source document size (Section 9.2).
+
+For the selection view (Query 1) and the join view (Query 2): incremental
+maintenance of a fixed-size insert batch vs full recomputation, as the
+source document grows; plus the V-P-A breakdown of the maintenance cost.
+"""
+
+from bench_common import (materialized_view, ms, persons, print_table,
+                          ratio, scales, time_call, xmark)
+from repro import UpdateRequest
+
+BATCH_SIZE = 4
+QUERIES = [("Query 1 (selection)", xmark.SELECTION_QUERY),
+           ("Query 2 (join)", xmark.JOIN_QUERY)]
+
+
+def measure(query: str, num_persons: int):
+    storage, view = materialized_view(query, num_persons)
+    anchors = persons(storage)
+    updates = [UpdateRequest.insert(
+        "site.xml", anchors[-1], xmark.new_person_xml(i), "after")
+        for i in range(BATCH_SIZE)]
+    report = view.apply_updates(updates)
+    recompute = time_call(lambda: view.recompute_xml(), repeat=2)
+    return report, recompute
+
+
+def figure_rows(query: str):
+    rows = []
+    for n in scales():
+        report, recompute = measure(query, n)
+        rows.append([n, ms(report.total_seconds), ms(recompute),
+                     f"{recompute / max(report.total_seconds, 1e-9):6.1f}x"])
+    return rows
+
+
+def breakdown_rows(query: str, num_persons: int):
+    report, _ = measure(query, num_persons)
+    total = report.total_seconds
+    return [[phase, ms(value), ratio(value, total)]
+            for phase, value in [("validate", report.validate_seconds),
+                                 ("propagate", report.propagate_seconds),
+                                 ("apply", report.apply_seconds)]]
+
+
+def test_maintenance_beats_recompute_selection():
+    report, recompute = measure(xmark.SELECTION_QUERY, 200)
+    assert report.total_seconds < recompute, (report.total_seconds, recompute)
+
+
+def test_maintenance_beats_recompute_join():
+    report, recompute = measure(xmark.JOIN_QUERY, 200)
+    assert report.total_seconds < recompute, (report.total_seconds, recompute)
+
+
+def test_result_stays_correct():
+    storage, view = materialized_view(xmark.JOIN_QUERY, 100)
+    anchors = persons(storage)
+    view.apply_updates([UpdateRequest.insert(
+        "site.xml", anchors[-1], xmark.new_person_xml(1), "after")])
+    assert view.to_xml() == view.recompute_xml()
+
+
+def test_benchmark_incremental_insert(benchmark):
+    def run():
+        storage, view = materialized_view(xmark.JOIN_QUERY, 100)
+        anchors = persons(storage)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", anchors[-1], xmark.new_person_xml(1), "after")])
+
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    for name, query in QUERIES:
+        print_table(
+            f"Fig 9.2 (top): varying document size — {name}, "
+            f"{BATCH_SIZE}-insert batch",
+            ["persons", "maintain (ms)", "recompute (ms)", "speedup"],
+            figure_rows(query))
+        largest = scales()[-1]
+        print_table(
+            f"Fig 9.2 (bottom): V-P-A breakdown — {name} at {largest}",
+            ["phase", "cost (ms)", "of total"],
+            breakdown_rows(query, largest))

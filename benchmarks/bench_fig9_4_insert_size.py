@@ -1,0 +1,79 @@
+"""Fig 9.4: varying insert-update size (Section 9.4).
+
+One batch update tree with 1..N inserted fragments, propagated in a single
+delta pass; compared against recomputation, with the V-P-A breakdown.
+"""
+
+from bench_common import (materialized_view, ms, persons, print_table,
+                          ratio, scales, time_call, xmark)
+from repro import UpdateRequest
+
+BATCH_SIZES = [1, 2, 4, 8, 16]
+QUERY = xmark.JOIN_QUERY
+
+
+def measure(batch: int, num_persons: int):
+    storage, view = materialized_view(QUERY, num_persons)
+    anchors = persons(storage)
+    updates = [UpdateRequest.insert(
+        "site.xml", anchors[-1], xmark.new_person_xml(i), "after")
+        for i in range(batch)]
+    report = view.apply_updates(updates)
+    recompute = time_call(lambda: view.recompute_xml(), repeat=2)
+    return report, recompute
+
+
+def figure_rows(num_persons: int):
+    rows = []
+    for batch in BATCH_SIZES:
+        report, recompute = measure(batch, num_persons)
+        rows.append([batch, ms(report.total_seconds), ms(recompute),
+                     report.batches])
+    return rows
+
+
+def breakdown_rows(num_persons: int):
+    report, _ = measure(BATCH_SIZES[-1], num_persons)
+    total = report.total_seconds
+    return [[phase, ms(value), ratio(value, total)]
+            for phase, value in [("validate", report.validate_seconds),
+                                 ("propagate", report.propagate_seconds),
+                                 ("apply", report.apply_seconds)]]
+
+
+def test_batch_propagates_in_one_pass():
+    report, _ = measure(8, 100)
+    assert report.batches == 1
+
+
+def test_maintenance_beats_recompute_for_moderate_batches():
+    # The paper's shape: maintenance wins while the update is small
+    # relative to the document; very large batches approach the
+    # recomputation crossover (the sweep in figure_rows reports it).
+    report, recompute = measure(4, 150)
+    assert report.total_seconds < recompute
+
+
+def test_maintenance_cost_grows_sublinearly_in_batch():
+    small, _ = measure(2, 150)
+    large, _ = measure(16, 150)
+    assert large.total_seconds < 8 * max(small.total_seconds, 1e-4)
+
+
+def test_benchmark_batch_insert(benchmark):
+    def run():
+        measure(4, 100)
+
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    largest = scales()[-1]
+    print_table(
+        f"Fig 9.4 (top): varying insert size at {largest} persons",
+        ["batch", "maintain (ms)", "recompute (ms)", "delta passes"],
+        figure_rows(largest))
+    print_table(
+        f"Fig 9.4 (bottom): V-P-A breakdown, batch={BATCH_SIZES[-1]}",
+        ["phase", "cost (ms)", "of total"],
+        breakdown_rows(largest))

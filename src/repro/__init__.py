@@ -1,0 +1,59 @@
+"""repro — Incremental Maintenance of Materialized XQuery Views.
+
+A from-scratch Python reproduction of El-Sayed's ICDE 2006 system (full
+version: WPI PhD dissertation, 2005): an XQuery engine over the XAT algebra
+with FlexKey order encoding and semantic identifiers, plus the V-P-A
+(Validate / Propagate / Apply) incremental view maintenance framework.
+
+Quickstart::
+
+    from repro import (MaterializedXQueryView, StorageManager, UpdateRequest,
+                       XmlDocument)
+
+    storage = StorageManager()
+    storage.register(XmlDocument.from_string("bib.xml", "<bib>...</bib>"))
+    view = MaterializedXQueryView(storage, '<r>{for $b in '
+                                  'doc("bib.xml")/bib/book return $b}</r>')
+    print(view.materialize())
+    book = storage.find_by_path("bib.xml", [("child", "bib"),
+                                            ("child", "book")])[0]
+    view.apply_updates([UpdateRequest.delete("bib.xml", book)])
+    assert view.to_xml() == view.recompute_xml()
+"""
+
+from .engine import Engine
+from .flexkeys import FlexKey
+from .storage import StorageManager
+from .translate import TranslationError, Translator, translate_query
+from .updates import Sapt, UpdateRequest, UpdateTree
+from .view import MaintenanceReport, MaterializedXQueryView
+from .xat import Profiler
+from .xmlmodel import XmlDocument, XmlNode, parse_document, parse_fragment, \
+    serialize
+from .xquery import parse_query
+from .xquery.updates import apply_xquery_update, parse_update
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "FlexKey",
+    "MaintenanceReport",
+    "MaterializedXQueryView",
+    "Profiler",
+    "Sapt",
+    "StorageManager",
+    "TranslationError",
+    "Translator",
+    "UpdateRequest",
+    "UpdateTree",
+    "XmlDocument",
+    "XmlNode",
+    "apply_xquery_update",
+    "parse_document",
+    "parse_fragment",
+    "parse_query",
+    "parse_update",
+    "serialize",
+    "translate_query",
+]

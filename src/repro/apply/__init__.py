@@ -1,0 +1,8 @@
+"""Apply phase: extent trees and the count-aware Deep Union (Ch 6, 8)."""
+
+from .deep_union import FusionReport, deep_union, fuse_forest
+from .extent import FOREST_TAG, TEXT_ID, ExtentNode, forest_root, \
+    node_from_item
+
+__all__ = ["FOREST_TAG", "TEXT_ID", "ExtentNode", "FusionReport",
+           "deep_union", "forest_root", "fuse_forest", "node_from_item"]

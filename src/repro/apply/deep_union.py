@@ -1,0 +1,176 @@
+"""The count-aware Deep Union refresh operator (Chapters 6 and 8).
+
+``deep_union`` fuses a delta update tree into the materialized extent,
+top-down, matching children by semantic identity:
+
+* positive counts add derivations — matching nodes' counts increase and
+  their children fuse recursively; unmatched nodes are inserted whole, in
+  the position given by their order token;
+* negative counts remove derivations — a node whose count reaches zero is
+  disconnected *at its root* (no per-descendant deletion, Section 8.3.2);
+* ``refresh`` nodes are count-neutral content re-derivations: attributes
+  and text children are replaced, element children fuse recursively, and
+  missing ones are inserted;
+* aggregate-valued text nodes merge their :class:`AggState`; a min/max
+  state whose extremum may have been deleted is reported for group
+  recomputation (the counting-algorithm fallback of Section 7.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .extent import TEXT_ID, ExtentNode, forest_root
+
+
+@dataclass
+class FusionReport:
+    """What the Apply phase did — used by tests and benchmarks."""
+
+    inserted: int = 0
+    removed_roots: int = 0
+    removed_nodes: int = 0
+    merged: int = 0
+    replaced_text: int = 0
+    aggregate_refreshes: list[tuple] = field(default_factory=list)
+
+
+def fuse_forest(extent: Optional[ExtentNode], roots: list[ExtentNode],
+                report: Optional[FusionReport] = None
+                ) -> tuple[ExtentNode, FusionReport]:
+    """Fuse result roots under the synthetic forest wrapper.
+
+    Used both for initial materialization and for applying delta forests —
+    views whose result is a single constructed document element simply have
+    a one-child forest.
+    """
+    if report is None:
+        report = FusionReport()
+    if extent is None:
+        extent = forest_root()
+    for root in roots:
+        delta = forest_root()
+        delta.insert_child(root)
+        extent, report = deep_union(extent, delta, report)
+    return extent, report
+
+
+def deep_union(extent: Optional[ExtentNode], delta: ExtentNode,
+               report: Optional[FusionReport] = None
+               ) -> tuple[Optional[ExtentNode], FusionReport]:
+    """Fuse ``delta`` into ``extent`` (which may be None) and return both.
+
+    The returned extent is the same object, mutated — except when the
+    extent was empty, in which case the delta becomes the extent.
+    """
+    if report is None:
+        report = FusionReport()
+    if extent is None:
+        if delta.count <= 0 and not delta.refresh:
+            return None, report
+        report.inserted += 1
+        _normalize_inserted(delta)
+        return delta, report
+    if extent.match_key() != delta.match_key():
+        raise ValueError(
+            f"root mismatch: {extent.match_key()} vs {delta.match_key()}")
+    alive = _fuse(extent, delta, report)
+    if not alive:
+        report.removed_roots += 1
+        report.removed_nodes += extent.subtree_size()
+        return None, report
+    return extent, report
+
+
+def _normalize_inserted(node: ExtentNode) -> None:
+    """Fresh inserts enter the extent with sane counts (refresh => 1)."""
+    if node.count <= 0:
+        node.count = 1
+    node.refresh = False
+    for child in node.children:
+        _normalize_inserted(child)
+
+
+def _fuse(existing: ExtentNode, incoming: ExtentNode,
+          report: FusionReport) -> bool:
+    """Fuse one matched pair; returns False when ``existing`` must die."""
+    report.merged += 1
+    if incoming.agg is not None and existing.agg is not None:
+        _merge_aggregate(existing, incoming, report)
+        return True
+    if incoming.refresh:
+        existing.attributes = dict(incoming.attributes)
+        if incoming.base:
+            # An exposed base fragment re-derivation is complete: replace
+            # the children wholesale (handles deletes inside the fragment).
+            preserved = existing.count
+            existing.clear_children()
+            for child in list(incoming.children):
+                incoming.remove_child(child)
+                _normalize_inserted(child)
+                existing.insert_child(child)
+            existing.count = preserved
+            report.replaced_text += 1
+            return True
+        _replace_text_children(existing, incoming, report)
+        _fuse_children(existing, incoming, report, refresh=True)
+        return True
+    existing.count += incoming.count
+    if existing.count <= 0:
+        return False
+    _fuse_children(existing, incoming, report, refresh=False)
+    return True
+
+
+def _fuse_children(existing: ExtentNode, incoming: ExtentNode,
+                   report: FusionReport, refresh: bool) -> None:
+    for child in list(incoming.children):
+        if child.is_text and refresh:
+            continue  # text already replaced wholesale
+        match = existing.find_child(child.match_key())
+        if match is None:
+            if child.count <= 0 and not child.refresh:
+                continue  # deleting something already absent
+            incoming.remove_child(child)
+            _normalize_inserted(child)
+            existing.insert_child(child)
+            report.inserted += 1
+            continue
+        alive = _fuse(match, child, report)
+        if not alive:
+            report.removed_roots += 1
+            report.removed_nodes += match.subtree_size()
+            existing.remove_child(match)
+
+
+def _replace_text_children(existing: ExtentNode, incoming: ExtentNode,
+                           report: FusionReport) -> None:
+    incoming_texts = [c for c in incoming.children if c.is_text]
+    existing_texts = [c for c in existing.children if c.is_text]
+    if not incoming_texts and not existing_texts:
+        return
+    same = ([c.text for c in incoming_texts]
+            == [c.text for c in existing_texts])
+    if same:
+        return
+    for child in existing_texts:
+        existing.remove_child(child)
+    for child in incoming_texts:
+        incoming.remove_child(child)
+        _normalize_inserted(child)
+        existing.insert_child(child)
+    report.replaced_text += 1
+
+
+def _merge_aggregate(existing: ExtentNode, incoming: ExtentNode,
+                     report: FusionReport) -> None:
+    """Merge per-member aggregate contributions (Section 7.6).
+
+    Thanks to the per-member counting state, min/max deletes re-evaluate
+    over the surviving members locally — no global recomputation is needed
+    (``aggregate_refreshes`` stays empty; the field remains for exotic
+    states that cannot be merged, none of which arise from our operators).
+    """
+    existing.agg = existing.agg.merge(incoming.agg)
+    existing.text = existing.agg.value()

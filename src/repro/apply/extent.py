@@ -1,0 +1,204 @@
+"""The materialized view extent and its construction from execution results.
+
+An :class:`ExtentNode` is one node of the materialized XML view: semantic id,
+order token, tag/attributes or text, *count annotation* (number of
+derivations, Chapter 6) and children kept sorted by order token.  The same
+structure represents delta update trees (Chapter 7's propagation output),
+whose counts may be negative (deletes) or whose nodes may be flagged
+``refresh`` (content-only re-derivations).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from ..flexkeys import FlexKey, order_of
+from ..storage import ContentItem, Skeleton
+from ..xmlmodel import XmlNode
+from ..xat.grouping import AggState
+from ..xat.table import AtomicItem, Item, NodeItem
+
+TEXT_ID = "#text"
+#: Synthetic root wrapping multi-root results so fusion is uniform.
+FOREST_TAG = "#forest"
+
+
+def forest_root() -> "ExtentNode":
+    return ExtentNode(FOREST_TAG, "", tag=FOREST_TAG)
+
+
+class ExtentNode:
+    """One node of a materialized view extent / delta update tree."""
+
+    __slots__ = ("node_id", "order", "tag", "text", "attributes", "children",
+                 "count", "refresh", "agg", "base", "_child_index")
+
+    def __init__(self, node_id: str, order: str, tag: Optional[str] = None,
+                 text: Optional[str] = None,
+                 attributes: Optional[dict[str, str]] = None,
+                 count: int = 1, refresh: bool = False,
+                 agg: Optional[AggState] = None, base: bool = False):
+        self.node_id = node_id
+        self.order = order
+        self.tag = tag
+        self.text = text
+        self.attributes = attributes if attributes is not None else {}
+        self.children: list[ExtentNode] = []
+        self.count = count
+        self.refresh = refresh
+        self.agg = agg
+        #: True for exposed copies of base (source) nodes: a refresh of a
+        #: base copy is a full re-derivation and replaces children wholesale.
+        self.base = base
+        self._child_index: dict[tuple, ExtentNode] = {}
+
+    # -- identity ------------------------------------------------------------------
+
+    @property
+    def is_text(self) -> bool:
+        return self.tag is None
+
+    def match_key(self) -> tuple:
+        """Fusion identity: elements match by (tag, id); plain text nodes by
+        content; aggregate-valued text nodes by id (their text changes)."""
+        if self.agg is not None:
+            return ("#agg", self.node_id)
+        if self.is_text:
+            return (TEXT_ID, self.text)
+        return (self.tag, self.node_id)
+
+    # -- children (kept sorted by order token) -----------------------------------------
+
+    def find_child(self, key: tuple) -> Optional["ExtentNode"]:
+        return self._child_index.get(key)
+
+    def insert_child(self, child: "ExtentNode") -> None:
+        orders = [c.order for c in self.children]
+        index = bisect.bisect_right(orders, child.order)
+        self.children.insert(index, child)
+        self._child_index[child.match_key()] = child
+
+    def remove_child(self, child: "ExtentNode") -> None:
+        self.children.remove(child)
+        self._child_index.pop(child.match_key(), None)
+
+    def clear_children(self) -> None:
+        self.children.clear()
+        self._child_index.clear()
+
+    def subtree_size(self) -> int:
+        return 1 + sum(c.subtree_size() for c in self.children)
+
+    # -- export ---------------------------------------------------------------------
+
+    def to_xml(self) -> XmlNode:
+        if self.is_text:
+            return XmlNode.text(self.text or "")
+        node = XmlNode.element(self.tag, dict(self.attributes))
+        for child in self.children:
+            node.append(child.to_xml())
+        return node
+
+    def deep_copy(self) -> "ExtentNode":
+        clone = ExtentNode(self.node_id, self.order, self.tag, self.text,
+                           dict(self.attributes), self.count, self.refresh,
+                           self.agg, self.base)
+        for child in self.children:
+            clone.insert_child(child.deep_copy())
+        return clone
+
+    def __repr__(self) -> str:
+        label = f"text={self.text!r}" if self.is_text else f"<{self.tag}>"
+        return (f"ExtentNode({self.node_id!r}, {label}, count={self.count}, "
+                f"{len(self.children)} children)")
+
+
+# -- building extent/delta trees from execution results ---------------------------------
+
+
+def node_from_item(item: Item, storage, delta=None) -> Optional[ExtentNode]:
+    """Turn one result item into an extent (or delta) subtree.
+
+    ``delta`` is the :class:`~repro.xat.DeltaSpec` of the maintenance run
+    (None for plain materialization).  During a *delete* batch the source
+    deletion is deferred until after propagation, so exposed-fragment
+    copies must prune the subtrees being deleted — except when the copied
+    root itself is the deleted fragment (only its id/count matter then).
+    """
+    if isinstance(item, AtomicItem):
+        node = ExtentNode(TEXT_ID, item.order_token(), text=item.value,
+                          count=item.count, refresh=item.refresh,
+                          agg=item.agg)
+        return node
+    assert isinstance(item, NodeItem)
+    if item.is_constructed:
+        return _from_skeleton(item.skeleton, order_of(item.key),
+                              item.count, item.refresh, storage, delta)
+    return _copy_base(item.key, storage, item.count, item.refresh, delta)
+
+
+def _from_skeleton(skeleton: Skeleton, order: str, count: int,
+                   refresh: bool, storage, delta) -> ExtentNode:
+    node = ExtentNode(skeleton.node_id.value, order, tag=skeleton.tag,
+                      attributes=dict(skeleton.attributes),
+                      count=count, refresh=refresh)
+    for entry in skeleton.content:
+        child = _from_content(entry, storage, refresh, delta)
+        if child is not None:
+            node.insert_child(child)
+    return node
+
+
+def _from_content(entry: ContentItem, storage, parent_refresh: bool,
+                  delta) -> Optional[ExtentNode]:
+    refresh = entry.refresh or parent_refresh
+    if entry.kind == "value":
+        node = ExtentNode(TEXT_ID,
+                          order_of(entry.key) if entry.key is not None
+                          else (entry.text or ""),
+                          text=entry.text, count=entry.count,
+                          refresh=refresh)
+        node.agg = entry.agg
+        return node
+    if entry.skeleton is not None:
+        return _from_skeleton(entry.skeleton, order_of(entry.key),
+                              entry.count, refresh, storage, delta)
+    return _copy_base(entry.key, storage, entry.count, refresh, delta)
+
+
+def _prunes_deletes(delta) -> bool:
+    return delta is not None and delta.phase == "delete"
+
+
+def _copy_base(key: FlexKey, storage, count: int, refresh: bool,
+               delta) -> Optional[ExtentNode]:
+    """Copy an exposed base-node subtree; ids/orders come from FlexKeys."""
+    if not storage.has_node(key):
+        return None
+    prune = _prunes_deletes(delta)
+    if prune and delta.classify(key) == "at":
+        # The copied root is itself being deleted: keep the whole copy
+        # (only its id and negative count matter to Deep Union).
+        prune = False
+    source = storage.node(key)
+    return _copy_base_node(source, order_of(key), count, refresh,
+                           delta if prune else None)
+
+
+def _copy_base_node(source: XmlNode, order: str, count: int,
+                    refresh: bool, prune_delta) -> ExtentNode:
+    if source.is_text:
+        return ExtentNode(TEXT_ID, order, text=source.value,
+                          count=count, refresh=refresh)
+    node = ExtentNode(source.key.value, order, tag=source.tag,
+                      attributes=dict(source.attributes),
+                      count=count, refresh=refresh, base=True)
+    for child in source.children:
+        if prune_delta is not None and child.is_element \
+                and prune_delta.classify(child.key) == "at":
+            continue  # this subtree is being deleted
+        node.insert_child(
+            _copy_base_node(child, child.key.value, 1, refresh,
+                            prune_delta))
+    return node

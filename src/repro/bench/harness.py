@@ -1,0 +1,58 @@
+"""Benchmark harness utilities: timing, sweeps, paper-style tables.
+
+Every figure of the paper's evaluation has one module under
+``benchmarks/``; each module exposes
+
+* ``figure_rows()`` — the full parameter sweep, returning printable rows
+  (the series the paper plots), and
+* pytest(-benchmark) tests asserting the figure's *shape* (who wins, by
+  roughly what factor) at a small scale.
+
+Scales are chosen for laptop/CI budgets; set ``REPRO_BENCH_SCALE`` to a
+comma-separated list of person counts to sweep larger documents.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable, Sequence
+
+
+def scales(default: Sequence[int] = (50, 100, 200, 400)) -> list[int]:
+    """Document scales (number of persons) for sweeps."""
+    env = os.environ.get("REPRO_BENCH_SCALE")
+    if env:
+        return [int(part) for part in env.split(",") if part.strip()]
+    return list(default)
+
+
+def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:9.2f}"
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print one paper-style series table."""
+    print()
+    print(f"== {title} ==")
+    widths = [max(12, len(h) + 2) for h in headers]
+    print("".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("".join(str(cell).rjust(w) for cell, w in zip(row, widths)))
+
+
+def ratio(part: float, total: float) -> str:
+    if total <= 0:
+        return "n/a"
+    return f"{100.0 * part / total:6.1f}%"

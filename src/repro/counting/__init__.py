@@ -1,0 +1,7 @@
+"""Counting solution for delete updates (Chapter 6)."""
+
+from .rules import (MAINTENANCE_TIME, MAINTENANCE_TIME_RULES, QUERY_TIME,
+                    QUERY_TIME_RULES, CountRule, rules)
+
+__all__ = ["CountRule", "MAINTENANCE_TIME", "MAINTENANCE_TIME_RULES",
+           "QUERY_TIME", "QUERY_TIME_RULES", "rules"]

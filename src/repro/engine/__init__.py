@@ -1,0 +1,5 @@
+"""Query engine over XAT plans."""
+
+from .executor import Engine
+
+__all__ = ["Engine"]

@@ -1,0 +1,5 @@
+"""Propagate phase: Incremental Maintenance Plans (Chapter 7)."""
+
+from .imp import IncrementalMaintenancePlan, derive_imp
+
+__all__ = ["IncrementalMaintenancePlan", "derive_imp"]

@@ -1,0 +1,14 @@
+"""FlexKey-addressed storage manager and constructed-node skeletons."""
+
+from .manager import StorageError, StorageManager
+from .skeleton import REF, VALUE, ContentItem, Skeleton, SkeletonStore
+
+__all__ = [
+    "REF",
+    "VALUE",
+    "ContentItem",
+    "Skeleton",
+    "SkeletonStore",
+    "StorageError",
+    "StorageManager",
+]

@@ -1,0 +1,218 @@
+"""Storage manager: FlexKey-addressed XML store (the paper's MASS substitute).
+
+Provides the interface contract the paper's engine relies on (Section 3.3):
+
+* every node of a registered document carries a FlexKey encoding its unique
+  root-to-node path and its document order;
+* descendants of any node are retrievable in document order;
+* updates (insert / delete / replace) never relabel existing keys — inserted
+  fragments receive fresh keys strictly between their neighbours'.
+
+The real MASS system is a disk-based index; this in-memory implementation
+preserves the same observable behaviour, which is all the view-maintenance
+algorithms depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..flexkeys import FlexKey, atom_for_insert, sibling_atom
+from ..xmlmodel import XmlDocument, XmlNode
+
+
+class StorageError(KeyError):
+    """Raised for unknown documents/keys or malformed update requests."""
+
+
+class StorageManager:
+    """Holds all registered source documents and resolves FlexKeys to nodes."""
+
+    def __init__(self):
+        self._documents: dict[str, XmlDocument] = {}
+        self._roots: dict[str, FlexKey] = {}
+        self._nodes: dict[FlexKey, XmlNode] = {}
+        self._doc_of_root_atom: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------------
+
+    def register(self, document: XmlDocument) -> FlexKey:
+        """Register a document, assigning FlexKeys to its whole tree."""
+        if document.name in self._documents:
+            raise StorageError(f"document {document.name!r} already registered")
+        root_key = FlexKey(sibling_atom(len(self._documents)))
+        self._documents[document.name] = document
+        self._roots[document.name] = root_key
+        self._doc_of_root_atom[root_key.value] = document.name
+        self._assign_keys(document.root, root_key)
+        return root_key
+
+    def _assign_keys(self, node: XmlNode, key: FlexKey) -> None:
+        node.key = key
+        self._nodes[key] = node
+        for index, child in enumerate(node.children):
+            self._assign_keys(child, key.child(sibling_atom(index)))
+
+    # -- lookup ----------------------------------------------------------------------
+
+    @property
+    def document_names(self) -> list[str]:
+        return list(self._documents)
+
+    def document(self, name: str) -> XmlDocument:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise StorageError(f"unknown document {name!r}") from None
+
+    def has_document(self, name: str) -> bool:
+        return name in self._documents
+
+    def root_key(self, name: str) -> FlexKey:
+        try:
+            return self._roots[name]
+        except KeyError:
+            raise StorageError(f"unknown document {name!r}") from None
+
+    def document_of_key(self, key: FlexKey) -> str:
+        atom = key.atoms[0]
+        try:
+            return self._doc_of_root_atom[atom]
+        except KeyError:
+            raise StorageError(f"key {key} belongs to no document") from None
+
+    def node(self, key: FlexKey) -> XmlNode:
+        try:
+            return self._nodes[key.without_override()]
+        except KeyError:
+            raise StorageError(f"no node stored under key {key}") from None
+
+    def has_node(self, key: FlexKey) -> bool:
+        return key.without_override() in self._nodes
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # -- navigation (always in document order) ------------------------------------------
+
+    def children(self, key: FlexKey, tag: Optional[str] = None) -> list[FlexKey]:
+        node = self.node(key)
+        return [c.key for c in node.children
+                if c.is_element and (tag is None or c.tag == tag)]
+
+    def descendants(self, key: FlexKey, tag: Optional[str] = None) -> list[FlexKey]:
+        node = self.node(key)
+        return [d.key for d in node.descendants(tag)]
+
+    def attribute(self, key: FlexKey, name: str) -> Optional[str]:
+        return self.node(key).attributes.get(name)
+
+    def text(self, key: FlexKey) -> str:
+        return self.node(key).text_value()
+
+    def parent_key(self, key: FlexKey) -> Optional[FlexKey]:
+        node = self.node(key)
+        return node.parent.key if node.parent is not None else None
+
+    def iter_subtree_keys(self, key: FlexKey) -> Iterator[FlexKey]:
+        for node in self.node(key).iter_subtree():
+            yield node.key
+
+    # -- updates (no relabeling) -----------------------------------------------------------
+
+    def insert_fragment(self, parent_key: FlexKey, fragment: XmlNode,
+                        after: Optional[FlexKey] = None,
+                        before: Optional[FlexKey] = None) -> FlexKey:
+        """Insert ``fragment`` under ``parent_key``.
+
+        Position: after sibling ``after``, before sibling ``before``, or as
+        the last child when neither bound is given.  Assigns fresh FlexKeys
+        to the whole inserted subtree; neighbours keep their keys.
+        """
+        parent = self.node(parent_key)
+        if after is not None and before is not None:
+            raise StorageError("give at most one of after/before")
+        siblings = parent.children
+        if after is not None:
+            anchor = self.node(after)
+            if anchor.parent is not parent:
+                raise StorageError(f"{after} is not a child of {parent_key}")
+            index = siblings.index(anchor) + 1
+        elif before is not None:
+            anchor = self.node(before)
+            if anchor.parent is not parent:
+                raise StorageError(f"{before} is not a child of {parent_key}")
+            index = siblings.index(anchor)
+        else:
+            index = len(siblings)
+        low = siblings[index - 1].key.local() if index > 0 else None
+        high = siblings[index].key.local() if index < len(siblings) else None
+        atom = atom_for_insert(low, high)
+        parent.insert(index, fragment)
+        new_key = parent_key.child(atom)
+        self._assign_keys(fragment, new_key)
+        return new_key
+
+    def delete_subtree(self, key: FlexKey) -> XmlNode:
+        """Disconnect the subtree rooted at ``key`` and drop its keys."""
+        node = self.node(key)
+        if node.parent is None:
+            raise StorageError("cannot delete a document root")
+        for sub_key in list(self.iter_subtree_keys(key)):
+            del self._nodes[sub_key]
+        node.detach()
+        return node
+
+    def replace_text(self, key: FlexKey, new_value: str) -> None:
+        """Replace the text content of the node at ``key``.
+
+        Mirrors the XQuery-update ``replace $t/text() with "v"`` primitive:
+        existing text children are dropped (their keys released) and a single
+        new text node is inserted.
+        """
+        node = self.node(key)
+        if node.is_text:
+            node.value = new_value
+            return
+        for child in list(node.children):
+            if child.is_text:
+                del self._nodes[child.key]
+                node.remove(child)
+        text_node = XmlNode.text(new_value)
+        self.insert_fragment(key, text_node)
+
+    def replace_attribute(self, key: FlexKey, name: str, value: str) -> None:
+        self.node(key).attributes[name] = value
+
+    # -- path evaluation helpers -------------------------------------------------------------
+
+    def find_by_path(self, name: str, steps: Iterable[tuple[str, str]]
+                     ) -> list[FlexKey]:
+        """Evaluate a simple location path (axis, nametest) from a doc root.
+
+        Axes: ``child`` and ``descendant``.  Used by the SAPT validator and
+        by the update-language evaluator; the query engine runs navigation
+        through XAT operators instead.
+        """
+        current = [self.root_key(name)]
+        first = True
+        for axis, nametest in steps:
+            matched: list[FlexKey] = []
+            for key in current:
+                if axis == "child":
+                    if first:
+                        # From the (implicit) document node, the first child
+                        # step names the document element itself.
+                        if self.node(key).tag == nametest:
+                            matched.append(key)
+                    else:
+                        matched.extend(self.children(key, nametest))
+                elif axis == "descendant":
+                    if first and self.node(key).tag == nametest:
+                        matched.append(key)
+                    matched.extend(self.descendants(key, nametest))
+                else:
+                    raise StorageError(f"unsupported axis {axis!r}")
+            current = matched
+            first = False
+        return current

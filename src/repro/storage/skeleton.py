@@ -1,0 +1,93 @@
+"""Skeletons for constructed XML nodes (Section 3.3.1, "Constructed Nodes").
+
+A constructed node is never instantiated as a full tree during execution.
+Instead a *skeleton* records its tag, attributes and an ordered list of
+content items, each of which is either a reference (a FlexKey of a base node
+or the id of another constructed node) or an inline atomic value.  The final
+result (and the materialized view extent) is produced by de-referencing
+skeletons recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..flexkeys import FlexKey
+
+#: Content item of a skeleton: a reference to base/constructed node, or text.
+REF = "ref"
+VALUE = "value"
+
+
+@dataclass
+class ContentItem:
+    """One ordered content entry of a constructed node.
+
+    ``count``/``refresh`` carry the maintenance annotations of the item that
+    produced this entry; ``skeleton`` links to the nested constructed node
+    when the reference is not a base node.  ``agg`` carries incremental
+    aggregate state for aggregate-valued entries.
+    """
+
+    kind: str                       # REF or VALUE
+    key: Optional[FlexKey] = None   # for REF: possibly carrying override order
+    text: Optional[str] = None      # for VALUE
+    count: int = 1
+    refresh: bool = False
+    skeleton: Optional["Skeleton"] = None
+    agg: object = None
+
+    @classmethod
+    def ref(cls, key: FlexKey, count: int = 1, refresh: bool = False,
+            skeleton: Optional["Skeleton"] = None) -> "ContentItem":
+        return cls(REF, key=key, count=count, refresh=refresh,
+                   skeleton=skeleton)
+
+    @classmethod
+    def value(cls, text: str, count: int = 1,
+              refresh: bool = False) -> "ContentItem":
+        return cls(VALUE, text=text, count=count, refresh=refresh)
+
+
+@dataclass
+class Skeleton:
+    """Structure of one constructed node: ``<tag attrs>content</tag>``."""
+
+    node_id: FlexKey
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    content: list[ContentItem] = field(default_factory=list)
+    count: int = 1
+
+    def __repr__(self) -> str:
+        return (f"Skeleton({self.node_id}, <{self.tag}>, "
+                f"{len(self.content)} items)")
+
+
+class SkeletonStore:
+    """Holds skeletons of constructed nodes keyed by their identifier value.
+
+    The store is per-execution (query results) — maintenance runs get their
+    own store whose skeletons are then fused into the materialized extent.
+    """
+
+    def __init__(self):
+        self._skeletons: dict[str, Skeleton] = {}
+
+    def put(self, skeleton: Skeleton) -> None:
+        self._skeletons[skeleton.node_id.value] = skeleton
+
+    def get(self, node_id: Union[FlexKey, str]) -> Skeleton:
+        value = node_id.value if isinstance(node_id, FlexKey) else node_id
+        return self._skeletons[value]
+
+    def has(self, node_id: Union[FlexKey, str]) -> bool:
+        value = node_id.value if isinstance(node_id, FlexKey) else node_id
+        return value in self._skeletons
+
+    def __len__(self) -> int:
+        return len(self._skeletons)
+
+    def __iter__(self):
+        return iter(self._skeletons.values())

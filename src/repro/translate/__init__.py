@@ -1,0 +1,5 @@
+"""XQuery -> XAT translation (Sections 2.3-2.4)."""
+
+from .flwor import Block, TranslationError, Translator, translate_query
+
+__all__ = ["Block", "TranslationError", "Translator", "translate_query"]

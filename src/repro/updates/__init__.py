@@ -1,0 +1,8 @@
+"""Validate phase: update primitives, SAPT, batching (Chapter 5)."""
+
+from .batch import batch_update_trees
+from .primitives import UpdateRequest, UpdateTree
+from .sapt import AccessPath, Sapt
+
+__all__ = ["AccessPath", "Sapt", "UpdateRequest", "UpdateTree",
+           "batch_update_trees"]

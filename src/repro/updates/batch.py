@@ -1,0 +1,43 @@
+"""Batching of validated update trees (Section 5.3).
+
+Heterogeneous sequences of updates are grouped into *batch update trees*:
+maximal runs over the same document with the same update kind become one
+:class:`repro.xat.DeltaSpec` and are propagated in a single pass.  Runs are
+not reordered across kind/document boundaries — the paper's batches encode
+updates "of possibly different types" that may share prefix paths, and
+sequential semantics must be preserved.
+"""
+
+from __future__ import annotations
+
+from ..xat.base import DeltaRoot, DeltaSpec
+from .primitives import UpdateTree
+
+
+def batch_update_trees(trees: list[UpdateTree]) -> list[DeltaSpec]:
+    """Group consecutive same-document same-kind trees into DeltaSpecs."""
+    batches: list[DeltaSpec] = []
+    run: list[UpdateTree] = []
+
+    def flush():
+        if not run:
+            return
+        batches.append(DeltaSpec(
+            run[0].document,
+            tuple(DeltaRoot(t.root, t.kind) for t in run),
+            run[0].kind))
+        run.clear()
+
+    for tree in trees:
+        if run and (tree.document != run[0].document
+                    or tree.kind != run[0].kind):
+            flush()
+        # Nested roots in one batch would double-propagate: keep only the
+        # outermost root when one contains another.
+        if any(t.root == tree.root or t.root.is_ancestor_of(tree.root)
+               for t in run):
+            continue
+        run[:] = [t for t in run if not tree.root.is_ancestor_of(t.root)]
+        run.append(tree)
+    flush()
+    return batches

@@ -1,0 +1,85 @@
+"""Source update primitives and update trees (Chapter 5).
+
+An :class:`UpdateRequest` is the user-facing description of one source
+update — insert a fragment at a position, delete a fragment, or replace a
+leaf text value (the three primitives of Fig 1.3 / Fig 5.1).  The Validate
+phase turns accepted requests into :class:`UpdateTree`\\ s — the (key, kind)
+roots the Propagate phase navigates — applying the storage change at the
+right point of the pipeline (inserts/modifies before propagation, deletes
+after, so counts line up with Chapter 6's rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..flexkeys import FlexKey
+from ..xat.base import DELETE, INSERT, MODIFY
+from ..xmlmodel import XmlNode, parse_fragment
+
+POSITIONS = ("after", "before", "into")
+
+
+@dataclass
+class UpdateRequest:
+    """One source update primitive.
+
+    * ``insert``: ``fragment`` is placed relative to ``target``
+      (``position``: "after"/"before" sibling, or "into" = last child);
+    * ``delete``: the subtree rooted at ``target`` is removed;
+    * ``modify``: the text content of the element at ``target`` is replaced
+      with ``new_value``.
+    """
+
+    kind: str
+    document: str
+    target: FlexKey
+    fragment: Optional[XmlNode] = None
+    position: str = "after"
+    new_value: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in (INSERT, DELETE, MODIFY):
+            raise ValueError(f"unknown update kind {self.kind!r}")
+        if self.kind == INSERT:
+            if self.fragment is None:
+                raise ValueError("insert requires a fragment")
+            if self.position not in POSITIONS:
+                raise ValueError(f"unknown position {self.position!r}")
+        if self.kind == MODIFY and self.new_value is None:
+            raise ValueError("modify requires new_value")
+
+    @classmethod
+    def insert(cls, document: str, target: FlexKey,
+               fragment: XmlNode | str,
+               position: str = "after") -> "UpdateRequest":
+        if isinstance(fragment, str):
+            nodes = parse_fragment(fragment)
+            if len(nodes) != 1:
+                raise ValueError("insert fragment must be a single element")
+            fragment = nodes[0]
+        return cls(INSERT, document, target, fragment=fragment,
+                   position=position)
+
+    @classmethod
+    def delete(cls, document: str, target: FlexKey) -> "UpdateRequest":
+        return cls(DELETE, document, target)
+
+    @classmethod
+    def modify(cls, document: str, target: FlexKey,
+               new_value: str) -> "UpdateRequest":
+        return cls(MODIFY, document, target, new_value=new_value)
+
+
+@dataclass
+class UpdateTree:
+    """A validated update root: the unit the Propagate phase consumes."""
+
+    document: str
+    root: FlexKey
+    kind: str
+
+    @property
+    def sign(self) -> int:
+        return {INSERT: 1, DELETE: -1, MODIFY: 0}[self.kind]

@@ -1,0 +1,5 @@
+"""Workload generators: the running example and XMark-like site.xml."""
+
+from . import bib, xmark
+
+__all__ = ["bib", "xmark"]

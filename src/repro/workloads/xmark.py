@@ -1,0 +1,164 @@
+"""XMark-like ``site.xml`` generator (the Fig 3.5 schema fragment).
+
+The paper's order/semantic-id experiments (Sections 3.5, 4.8) run XMark
+queries on ``site.xml`` files of 5–25 MB.  This deterministic generator
+produces the same structural fragment — people/person (name, address/city,
+profile with interests and education), closed_auctions (seller/buyer/date),
+open_auctions (initial, reserve) — with a ``scale`` knob.  Sizes are scaled
+down to laptop budgets; the figures report *trends across scales*, which
+the generator preserves.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..storage import StorageManager
+from ..xmlmodel import XmlDocument
+
+CITIES = ["Worcester", "Boston", "Cairo", "Alexandria", "Munich", "Tokyo",
+          "Paris", "Sydney", "Lima", "Oslo"]
+EDUCATIONS = ["High School", "College", "Graduate School", "Other"]
+
+
+def generate_site(num_persons: int, num_closed: int | None = None,
+                  num_open: int | None = None, seed: int = 42) -> str:
+    """Generate site.xml with ``num_persons`` people (auctions scale along)."""
+    rng = random.Random(seed)
+    if num_closed is None:
+        num_closed = num_persons
+    if num_open is None:
+        num_open = num_persons // 2
+    parts = ["<site>", "<people>"]
+    for i in range(num_persons):
+        city = CITIES[rng.randrange(len(CITIES))]
+        education = EDUCATIONS[rng.randrange(len(EDUCATIONS))]
+        income = 30000 + rng.randrange(120000)
+        interests = "".join(
+            f'<interest category="category{rng.randrange(40)}"/>'
+            for _ in range(rng.randrange(4)))
+        parts.append(
+            f'<person id="person{i}">'
+            f'<name>Person Name {i}</name>'
+            f'<address><street>{i} Main St</street><city>{city}</city>'
+            f'<country>United States</country></address>'
+            f'<profile income="{income}">'
+            f'{interests}'
+            f'<education>{education}</education>'
+            f'<gender>{"male" if i % 2 else "female"}</gender>'
+            f'<business>{"Yes" if i % 3 else "No"}</business>'
+            f'<age>{18 + rng.randrange(60)}</age>'
+            f'</profile>'
+            f'</person>')
+    parts.append("</people>")
+    parts.append("<closed_auctions>")
+    for i in range(num_closed):
+        seller = rng.randrange(num_persons) if num_persons else 0
+        buyer = rng.randrange(num_persons) if num_persons else 0
+        parts.append(
+            f'<closed_auction id="closed{i}">'
+            f'<seller person="person{seller}"/>'
+            f'<buyer person="person{buyer}"/>'
+            f'<date>{1 + i % 28:02d}/{1 + i % 12:02d}/200{i % 6}</date>'
+            f'</closed_auction>')
+    parts.append("</closed_auctions>")
+    parts.append("<open_auctions>")
+    for i in range(num_open):
+        initial = 5 + (i * 13) % 200
+        parts.append(
+            f'<open_auction id="open{i}">'
+            f'<initial>{initial}.00</initial>'
+            f'<reserve>{initial * 2}.00</reserve>'
+            f'</open_auction>')
+    parts.append("</open_auctions>")
+    parts.append("</site>")
+    return "".join(parts)
+
+
+def register_site(storage: StorageManager, num_persons: int,
+                  seed: int = 42, name: str = "site.xml") -> None:
+    storage.register(XmlDocument.from_string(
+        name, generate_site(num_persons, seed=seed)))
+
+
+# -- the four order-experiment queries of Fig 3.6 ---------------------------------------
+
+#: Query 1 — document order only: expose whole profile fragments.
+ORDER_QUERY_1 = """<result>{
+for $p in doc("site.xml")/site/people/person/profile
+return $p
+}</result>"""
+
+#: Query 2 — order imposed by an order-by clause over distinct cities.
+ORDER_QUERY_2 = """<result>{
+for $c in distinct-values(doc("site.xml")/site/people/person/address/city)
+order by $c
+return <city>{$c}</city>
+}</result>"""
+
+#: Query 3 — order imposed by the nesting of for clauses (a join).
+ORDER_QUERY_3 = """<result>{
+for $p in doc("site.xml")/site/people/person,
+    $c in doc("site.xml")/site/closed_auctions/closed_auction
+where $p/@id = $c/seller/@person
+return <sale>{$c/date}</sale>
+}</result>"""
+
+#: Query 4 — order imposed by new result construction (two sub-queries).
+ORDER_QUERY_4 = """<result>
+{<customers>{
+ for $p in doc("site.xml")/site/people/person
+ return <customer><location>{$p/address/city}</location>{$p/name}</customer>
+}</customers>}
+{<open_bids>{
+ for $oa in doc("site.xml")/site/open_auctions/open_auction
+ return <bid>{$oa/reserve}{$oa/initial}</bid>
+}</open_bids>}
+</result>"""
+
+#: Chapter 9's grouped query: persons grouped by city (the "persons-list"
+#: fragment of Fig 9.6 is one city group).
+PERSONS_BY_CITY_QUERY = """<result>{
+for $c in distinct-values(doc("site.xml")/site/people/person/address/city)
+order by $c
+return <city-group name="{$c}">
+ <persons-list>{
+  for $p in doc("site.xml")/site/people/person
+  where $c = $p/address/city
+  return <entry>{$p/name}</entry>
+ }</persons-list>
+</city-group>
+}</result>"""
+
+#: Chapter 9 Query 1 style: selection view over one document.
+SELECTION_QUERY = """<result>{
+for $p in doc("site.xml")/site/people/person
+where $p/profile/age > "40"
+return <senior>{$p/name} {$p/address/city}</senior>
+}</result>"""
+
+#: Chapter 9 Query 2 style: join view over persons and closed auctions.
+JOIN_QUERY = """<result>{
+for $p in doc("site.xml")/site/people/person,
+    $c in doc("site.xml")/site/closed_auctions/closed_auction
+where $p/@id = $c/seller/@person
+return <sale><by>{$p/name}</by>{$c/date}</sale>
+}</result>"""
+
+
+def new_person_xml(index: int, city: str = "Worcester",
+                   age: int = 50) -> str:
+    return (f'<person id="newperson{index}">'
+            f'<name>New Person {index}</name>'
+            f'<address><street>{index} New St</street><city>{city}</city>'
+            f'<country>United States</country></address>'
+            f'<profile income="55000">'
+            f'<education>College</education>'
+            f'<gender>female</gender><business>No</business>'
+            f'<age>{age}</age></profile></person>')
+
+
+def new_closed_auction_xml(index: int, seller: str) -> str:
+    return (f'<closed_auction id="newclosed{index}">'
+            f'<seller person="{seller}"/><buyer person="{seller}"/>'
+            f'<date>01/01/2006</date></closed_auction>')

@@ -1,0 +1,294 @@
+"""Operator base class and execution context for the XAT algebra.
+
+Execution modes (used by the Propagate phase, Chapter 7):
+
+* ``full``  — evaluate over the current storage state (normal execution);
+* ``delta`` — evaluate the *change*: navigation only follows paths that
+  intersect an update root of the batch being propagated;
+* ``anti``  — evaluate over the current state *minus* the update roots
+  (the "old"/"other" state needed by the bilinear join expansion).
+
+A binary join-like operator whose both subtrees reference the updated
+document expands ``Δ(A ⋈ B) = ΔA ⋈ B_new  ∪  A_old ⋈ ΔB`` (the combined
+3-term form of Fig 7.2); which of ``full``/``anti`` realizes *new* and
+*old* depends on the update phase, because inserts are applied to storage
+before propagation while deletes are applied after (Chapter 6):
+
+===========  =========  =========
+phase        B_new      A_old
+===========  =========  =========
+insert       full       anti
+delete       anti       full
+modify       full       full
+===========  =========  =========
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..flexkeys import FlexKey
+from ..storage import SkeletonStore, StorageManager
+from .table import TableSchema, XatTable, XatTuple
+
+FULL = "full"
+DELTA = "delta"
+ANTI = "anti"
+
+INSERT = "insert"
+DELETE = "delete"
+MODIFY = "modify"
+
+_SIGNS = {INSERT: 1, DELETE: -1, MODIFY: 0}
+
+
+class PlanError(RuntimeError):
+    """Raised for malformed plans or unsupported maintenance situations."""
+
+
+@dataclass(frozen=True)
+class DeltaRoot:
+    """One update root inside the batch update tree: a key plus its type."""
+
+    key: FlexKey
+    kind: str  # INSERT / DELETE / MODIFY
+
+    @property
+    def sign(self) -> int:
+        return _SIGNS[self.kind]
+
+
+@dataclass
+class DeltaSpec:
+    """The batch being propagated: one document, homogeneous update kind."""
+
+    document: str
+    roots: tuple[DeltaRoot, ...]
+    phase: str  # INSERT / DELETE / MODIFY
+
+    def classify(self, key: FlexKey) -> Optional[str]:
+        """How ``key`` relates to the update roots.
+
+        Returns ``"at"`` (at or below a root), ``"ancestor"`` (proper
+        ancestor of a root) or ``None`` (unrelated).
+        """
+        bare = key.without_override()
+        for root in self.roots:
+            if root.key == bare or root.key.is_ancestor_of(bare):
+                return "at"
+        for root in self.roots:
+            if bare.is_ancestor_of(root.key):
+                return "ancestor"
+        return None
+
+    def sign_at(self, key: FlexKey) -> int:
+        bare = key.without_override()
+        for root in self.roots:
+            if root.key == bare or root.key.is_ancestor_of(bare):
+                return root.sign
+        raise PlanError(f"{key} is not at/below an update root")
+
+
+class Profiler:
+    """Accumulates per-concern wall-clock costs for the paper's breakdowns."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.totals: dict[str, float] = {}
+
+    def add(self, label: str, seconds: float) -> None:
+        self.totals[label] = self.totals.get(label, 0.0) + seconds
+
+    def timed(self, label: str):
+        return _Timer(self, label)
+
+
+class _Timer:
+    __slots__ = ("_profiler", "_label", "_start")
+
+    def __init__(self, profiler: Profiler, label: str):
+        self._profiler = profiler
+        self._label = label
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        if self._profiler.enabled:
+            self._profiler.add(self._label,
+                               time.perf_counter() - self._start)
+        return False
+
+
+class ExecutionContext:
+    """Everything an operator needs at run time."""
+
+    def __init__(self, storage: StorageManager,
+                 skeletons: Optional[SkeletonStore] = None,
+                 mode: str = FULL,
+                 delta: Optional[DeltaSpec] = None,
+                 profiler: Optional[Profiler] = None,
+                 track_semantic_ids: bool = True):
+        self.storage = storage
+        self.skeletons = skeletons if skeletons is not None else SkeletonStore()
+        self.mode = mode
+        self.delta = delta
+        self.profiler = profiler if profiler is not None else Profiler()
+        self.track_semantic_ids = track_semantic_ids
+        self.bindings: list[XatTuple] = []      # Map-operator correlation stack
+        self._cache: dict[tuple[int, str, int], XatTable] = {}
+
+    # -- mode management ------------------------------------------------------------
+
+    def with_mode(self, mode: str) -> "ExecutionContext":
+        clone = ExecutionContext(self.storage, self.skeletons, mode,
+                                 self.delta, self.profiler,
+                                 self.track_semantic_ids)
+        clone.bindings = self.bindings
+        clone._cache = self._cache
+        return clone
+
+    @property
+    def mode_for_new(self) -> str:
+        """Mode that realizes the *updated* state of a side (see module doc)."""
+        if self.delta is not None and self.delta.phase == DELETE:
+            return ANTI
+        return FULL
+
+    @property
+    def mode_for_old(self) -> str:
+        """Mode that realizes the *pre-update* state of a side."""
+        if self.delta is not None and self.delta.phase == INSERT:
+            return ANTI
+        return FULL
+
+    # -- navigation admission (delta / anti filters) --------------------------------------
+
+    def admits(self, key: FlexKey) -> bool:
+        """Whether a navigated-to node is admitted under the current mode."""
+        if self.delta is None or self.mode == FULL:
+            return True
+        if self.storage.document_of_key(key) != self.delta.document:
+            return True
+        relation = self.delta.classify(key)
+        if self.mode == DELTA:
+            return relation is not None
+        # ANTI: exclude nodes at or below update roots.
+        return relation != "at"
+
+    def delta_annotation(self, key: FlexKey) -> tuple[int, bool]:
+        """(count multiplier, refresh flag) for a delta-mode navigation hit."""
+        if (self.mode != DELTA or self.delta is None
+                or self.storage.document_of_key(key) != self.delta.document):
+            return 1, False
+        relation = self.delta.classify(key)
+        if relation == "at":
+            sign = self.delta.sign_at(key)
+            if sign == 0:
+                return 1, True      # modify: count-neutral refresh
+            return sign, False
+        if relation == "ancestor":
+            return 1, True          # exposed fragment content changed
+        return 1, False
+
+    # -- evaluation with memoization ----------------------------------------------------
+
+    def evaluate(self, op: "XatOperator", mode: Optional[str] = None
+                 ) -> XatTable:
+        ctx = self if mode is None or mode == self.mode else self.with_mode(mode)
+        cache_key = (id(op), ctx.mode, len(ctx.bindings))
+        if ctx.bindings:
+            # Correlated (Map) evaluation cannot be cached safely.
+            return op.execute(ctx)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        if (ctx.mode == DELTA and ctx.delta is not None
+                and ctx.delta.document not in op.source_documents()):
+            result = XatTable(op.schema)  # Δ of an unaffected subtree is empty
+        else:
+            result = op.execute(ctx)
+        self._cache[cache_key] = result
+        return result
+
+
+_op_ids = itertools.count(1)
+
+
+class XatOperator:
+    """Base class of every XAT operator.
+
+    Subclasses implement ``_build_schema`` (Order Schema + Context Schema
+    rules, Tables 3.1 / 4.1) and ``execute``.
+    """
+
+    symbol = "op"
+
+    def __init__(self, inputs: Sequence["XatOperator"] = ()):
+        self.inputs: list[XatOperator] = list(inputs)
+        self.schema: TableSchema = None  # type: ignore[assignment]
+        self.op_id = next(_op_ids)
+        self._source_docs: Optional[frozenset[str]] = None
+
+    # -- plan construction ------------------------------------------------------------
+
+    def prepare(self) -> "XatOperator":
+        """Compute schemas bottom-up for the whole subtree; returns self."""
+        seen: set[int] = set()
+
+        def visit(op: XatOperator) -> None:
+            if id(op) in seen:
+                return
+            seen.add(id(op))
+            for child in op.inputs:
+                visit(child)
+            op.schema = op._build_schema()
+        visit(self)
+        return self
+
+    def _build_schema(self) -> TableSchema:
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        raise NotImplementedError
+
+    def source_documents(self) -> frozenset[str]:
+        """Names of source documents referenced anywhere in this subtree."""
+        if self._source_docs is None:
+            docs: set[str] = set(self._own_documents())
+            for child in self.inputs:
+                docs |= child.source_documents()
+            self._source_docs = frozenset(docs)
+        return self._source_docs
+
+    def _own_documents(self) -> Sequence[str]:
+        return ()
+
+    # -- utilities --------------------------------------------------------------------
+
+    def iter_operators(self):
+        """All operators of this subtree, post-order, deduplicated (DAGs)."""
+        seen: set[int] = set()
+
+        def visit(op: XatOperator):
+            if id(op) in seen:
+                return
+            seen.add(id(op))
+            for child in op.inputs:
+                yield from visit(child)
+            yield op
+        yield from visit(self)
+
+    def pretty(self, depth: int = 0) -> str:
+        line = "  " * depth + self.describe()
+        return "\n".join([line] + [c.pretty(depth + 1) for c in self.inputs])
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}"
+
+    def __repr__(self) -> str:
+        return self.describe()

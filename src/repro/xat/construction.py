@@ -1,0 +1,370 @@
+"""Result construction operators: Tagger, XML Union/Unique, Merge, Map.
+
+The Tagger builds constructed-node skeletons (never full trees) and assigns
+semantic identifiers (``composeNodeIds`` of Fig 4.4).  XML Union assigns the
+column-id order prefixes of ``assignColIdPrfx`` (Fig 4.5).  Merge is linear
+for maintenance (each side's delta passes through independently).  Map gives
+nested FLWOR blocks an executable nested-loop semantics; it is removed by
+decorrelation before maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..flexkeys import COMPOSE_SEP, FlexKey
+from ..storage import ContentItem, Skeleton
+from .base import DELTA, ExecutionContext, PlanError, XatOperator
+from .conditions import ColumnRef, Literal, item_value
+from .semantic_ids import constructed_id, lineage_tokens, order_tokens, \
+    override_from_tokens
+from .table import (AtomicItem, ContextSpec, Item, NodeItem, TableSchema,
+                    XatTable, XatTuple, items_of, single_item)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A Tagger pattern: ``<tag attr=...>content</tag>``.
+
+    ``attributes`` maps names to operands (columns or literals); ``content``
+    entries are column names or ``("literal", text)`` pairs.
+    """
+
+    tag: str
+    attributes: tuple[tuple[str, Union[ColumnRef, Literal]], ...] = ()
+    content: tuple[Union[str, tuple[str, str]], ...] = ()
+
+    def content_columns(self) -> list[str]:
+        return [entry for entry in self.content if isinstance(entry, str)]
+
+    def __str__(self) -> str:
+        attrs = "".join(f" {name}={{{operand}}}"
+                        for name, operand in self.attributes)
+        inner = " ".join(entry if isinstance(entry, str) else repr(entry[1])
+                         for entry in self.content)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+class Tagger(XatOperator):
+    """``T^col_p(T)``: construct one new node per input tuple."""
+
+    symbol = "T"
+    XmlUnionColumnIds = "abcdefghijklmnopqrstuvwxyz"
+
+    def __init__(self, child: XatOperator, pattern: Pattern, out: str):
+        super().__init__([child])
+        self.pattern = pattern
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        columns = base.columns + (self.out,)
+        context = dict(base.context)
+        # Category V of Table 4.1: self lineage; order follows p.col's order.
+        content_cols = self.pattern.content_columns()
+        if content_cols:
+            in_spec = base.spec(content_cols[0])
+            order = in_spec.order
+        else:
+            order = ()
+        context[self.out] = ContextSpec(order=order, lineage=())
+        # Category I of Table 3.1: Order Schema passes through.
+        return TableSchema(columns, base.order_schema, context)
+
+    def _id_source_columns(self) -> list[str]:
+        cols = self.pattern.content_columns()
+        if cols:
+            return cols
+        return [operand.column
+                for _name, operand in self.pattern.attributes
+                if isinstance(operand, ColumnRef)]
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        schema = source.schema
+        table = XatTable(self.schema)
+        id_cols = self._id_source_columns()
+        for tup in source:
+            with ctx.profiler.timed("semantic_id"):
+                body: list[str] = []
+                for col in id_cols:
+                    body.extend(lineage_tokens(schema, tup, col))
+                if id_cols and not body:
+                    # Null-padded (outer-join) tuple: the nested RETURN has
+                    # no binding here, so no node is constructed.
+                    table.append(tup.extended(self.out, None))
+                    continue
+                node_id = constructed_id(body)
+                content_cols = self.pattern.content_columns()
+                tokens = (order_tokens(schema, tup, content_cols[0])
+                          if content_cols else [])
+                override = override_from_tokens(tokens)
+            attributes = {}
+            for name, operand in self.pattern.attributes:
+                if isinstance(operand, Literal):
+                    attributes[name] = operand.value
+                else:
+                    item = single_item(tup[operand.column])
+                    attributes[name] = (item_value(item, ctx)
+                                        if item is not None else "")
+            content: list[ContentItem] = []
+            multi = len(self.pattern.content) > 1
+            for index, entry in enumerate(self.pattern.content):
+                # With several content entries, a per-entry order prefix
+                # fixes construction order (same scheme as XML Union).
+                cid = self.XmlUnionColumnIds[index] if multi else None
+                if isinstance(entry, str):
+                    for item in items_of(tup[entry]):
+                        if cid is not None:
+                            item = _prefixed(item, cid, ctx)
+                        content.append(_to_content(item))
+                else:
+                    literal = ContentItem.value(entry[1])
+                    if cid is not None:
+                        literal.key = FlexKey("z").with_override(FlexKey(cid))
+                    content.append(literal)
+            skeleton = Skeleton(node_id, self.pattern.tag, attributes,
+                                content, count=1)
+            # The item's count is *relative* to its tuple (1): the absolute
+            # derivation count (tuple count x relative) is applied where the
+            # item is consumed — by Combine / Group By (assignOverRidOrd) or
+            # by an enclosing Tagger.  This keeps join/distinct
+            # multiplicities from being applied twice.
+            item = NodeItem(node_id if override is None
+                            else node_id.with_override(override),
+                            count=1, refresh=tup.refresh,
+                            skeleton=skeleton)
+            table.append(tup.extended(self.out, item))
+        return table
+
+    def describe(self) -> str:
+        return f"Tagger {self.pattern} -> {self.out}"
+
+
+def _to_content(item: Item) -> ContentItem:
+    if isinstance(item, NodeItem):
+        return ContentItem.ref(item.key, item.count, item.refresh,
+                               item.skeleton)
+    assert isinstance(item, AtomicItem)
+    entry = ContentItem.value(item.value, item.count, item.refresh)
+    entry.agg = item.agg
+    if item.source_key is not None and item.source_key.override is not None:
+        entry.key = item.source_key
+    return entry
+
+
+class XmlUnion(XatOperator):
+    """``x-union_{col1,col2} -> col``: per-tuple sequence concatenation."""
+
+    symbol = "U"
+    _COLUMN_IDS = "abcdefghijklmnopqrstuvwxyz"
+
+    def __init__(self, child: XatOperator, col1: str, col2: str, out: str):
+        super().__init__([child])
+        self.col1 = col1
+        self.col2 = col2
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        columns = base.columns + (self.out,)
+        context = dict(base.context)
+        spec1, spec2 = base.spec(self.col1), base.spec(self.col2)
+        # Category VII of Table 4.1.
+        lineage = ((self.col1, "a"), (self.col2, "b"))
+        if spec1.order == () and spec2.order == ():
+            order: Optional[tuple[str, ...]] = ()
+        else:
+            merged: list[str] = []
+            for spec in (spec1, spec2):
+                for c in (spec.order or ()):
+                    if c not in merged:
+                        merged.append(c)
+            order = tuple(merged)
+        context[self.out] = ContextSpec(order=order, lineage=lineage)
+        return TableSchema(columns, base.order_schema, context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        for tup in source:
+            items: list[Item] = []
+            for cid, col in (("a", self.col1), ("b", self.col2)):
+                for item in items_of(tup[col]):
+                    items.append(_prefixed(item, cid, ctx))
+            table.append(tup.extended(self.out, items))
+        return table
+
+    def describe(self) -> str:
+        return f"XmlUnion {self.col1}, {self.col2} -> {self.out}"
+
+
+def _prefixed(item: Item, cid: str, ctx: ExecutionContext) -> Item:
+    """``assignColIdPrfx`` (Fig 4.5): order prefix reflecting union side."""
+    with ctx.profiler.timed("overriding_order"):
+        token = item.order_token()
+        override = FlexKey(cid + "." + token if token else cid)
+        if isinstance(item, NodeItem):
+            return NodeItem(item.key.with_override(override), item.count,
+                            item.refresh, item.skeleton)
+        assert isinstance(item, AtomicItem)
+        source = (item.source_key or FlexKey("z")).with_override(override)
+        return AtomicItem(item.value, source, item.count, item.refresh,
+                          item.order_value, item.agg)
+
+
+class XmlUnique(XatOperator):
+    """``upsilon_col -> col'``: drop duplicate members by node identity."""
+
+    symbol = "u"
+
+    def __init__(self, child: XatOperator, col: str, out: str):
+        super().__init__([child])
+        self.col = col
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        columns = base.columns + (self.out,)
+        context = dict(base.context)
+        spec = base.spec(self.col)
+        context[self.out] = ContextSpec(order=spec.order,
+                                        lineage=((self.col, None),))
+        return TableSchema(columns, base.order_schema, context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        for tup in source:
+            seen: set = set()
+            unique: list[Item] = []
+            for item in items_of(tup[self.col]):
+                marker = (item.key.value if isinstance(item, NodeItem)
+                          else ("v", item.value))
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                # XML collection operators strip overriding orders: their
+                # output is in document order (Section 3.3.2).
+                if isinstance(item, NodeItem):
+                    unique.append(NodeItem(item.key.without_override(),
+                                           item.count, item.refresh,
+                                           item.skeleton))
+                else:
+                    unique.append(item)
+            table.append(tup.extended(self.out, unique))
+        return table
+
+
+class Merge(XatOperator):
+    """``M(T1, T2)``: vertical concatenation of two single-tuple tables.
+
+    Linear for maintenance: a delta on either side merges with *empty*
+    cells for the other side (the other side's content is unchanged).
+    """
+
+    symbol = "M"
+
+    def _build_schema(self) -> TableSchema:
+        left, right = self.inputs[0].schema, self.inputs[1].schema
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise PlanError(f"merge inputs share columns {sorted(overlap)}")
+        context = dict(left.context)
+        context.update(right.context)
+        return TableSchema(left.columns + right.columns, (), context)
+
+    def __init__(self, left: XatOperator, right: XatOperator):
+        super().__init__([left, right])
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        left = ctx.evaluate(self.inputs[0])
+        right = ctx.evaluate(self.inputs[1])
+        table = XatTable(self.schema)
+        lt = left.tuples[0] if left.tuples else XatTuple()
+        rt = right.tuples[0] if right.tuples else XatTuple()
+        if not left.tuples and not right.tuples:
+            return table
+        table.append(lt.merged(rt))
+        return table
+
+
+class VariableBinding(XatOperator):
+    """Leaf reading the current Map correlation binding (one tuple)."""
+
+    def __init__(self, columns: Sequence[str]):
+        super().__init__()
+        self.columns = tuple(columns)
+
+    def _build_schema(self) -> TableSchema:
+        return TableSchema(self.columns, (),
+                           {c: ContextSpec(order=(), lineage=())
+                            for c in self.columns})
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        if not ctx.bindings:
+            raise PlanError("VariableBinding evaluated outside a Map")
+        bound = ctx.bindings[-1]
+        table = XatTable(self.schema)
+        table.append(bound.projected(self.columns))
+        return table
+
+    def describe(self) -> str:
+        return f"VariableBinding({', '.join(self.columns)})"
+
+
+class Map(XatOperator):
+    """``Map`` (Section 2.2.2): nested-loop evaluation of a correlated RHS.
+
+    Executable so that every parsed query runs even before decorrelation;
+    maintenance requires decorrelated plans (PlanError otherwise).
+    """
+
+    symbol = "Map"
+
+    def __init__(self, left: XatOperator, right: XatOperator):
+        super().__init__([left, right])
+
+    def _build_schema(self) -> TableSchema:
+        left, right = self.inputs[0].schema, self.inputs[1].schema
+        columns = left.columns + tuple(c for c in right.columns
+                                       if c not in left.columns)
+        context = dict(right.context)
+        context.update(left.context)
+        return TableSchema(columns, left.order_schema, context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        if ctx.mode == DELTA:
+            raise PlanError(
+                "Map cannot be maintained incrementally; decorrelate first")
+        left = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        for tup in left:
+            ctx.bindings.append(tup)
+            try:
+                inner = self.inputs[1].execute(ctx)
+            finally:
+                ctx.bindings.pop()
+            for rt in inner:
+                table.append(tup.merged(rt))
+        return table
+
+
+class Expose(XatOperator):
+    """``epsilon_col``: marks the result column (root of every plan)."""
+
+    symbol = "eps"
+
+    def __init__(self, child: XatOperator, col: str):
+        super().__init__([child])
+        self.col = col
+
+    def _build_schema(self) -> TableSchema:
+        return self.inputs[0].schema
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        return ctx.evaluate(self.inputs[0])
+
+    def describe(self) -> str:
+        return f"Expose {self.col}"

@@ -1,0 +1,376 @@
+"""Combine, Group By and aggregate functions (Sections 2.2.2, 3.3.2, 7.6).
+
+Combine implements the ``combine`` function of Fig 3.3 (overriding orders
+composed from the input Order Schema) and the ``assignOverRidOrd`` id
+operation of Table 4.2.  Group By supports the paper's two ``func`` forms:
+a nested Combine (grouping without aggregation) and an aggregate function.
+Counts sum across group members, keeping both operators linear for
+maintenance (Chapter 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..flexkeys import COMPOSE_SEP, FlexKey
+from .base import ExecutionContext, XatOperator
+from .conditions import item_value
+from .relational import group_key
+from .table import (AtomicItem, ContextSpec, Item, NodeItem, TableSchema,
+                    XatTable, XatTuple, items_of, single_item)
+
+AGG_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass
+class AggContrib:
+    """One group member's contribution: value, derivation count, refresh."""
+
+    value: float
+    count: int
+    refresh: bool = False
+
+
+@dataclass
+class AggState:
+    """Incremental aggregate state: per-member contributions (Section 7.6).
+
+    Keying contributions by member identity makes aggregate maintenance
+    *idempotent* under re-derivations (the delta-join terms re-derive
+    existing members) and handles min/max deletes without recomputation: a
+    member is alive while its derivation count is positive; the aggregate
+    value is computed over alive members, each counted once.
+    """
+
+    kind: str
+    contribs: dict[str, AggContrib] = field(default_factory=dict)
+
+    def add(self, member_id: str, value: float, count: int,
+            refresh: bool = False) -> None:
+        existing = self.contribs.get(member_id)
+        if existing is None:
+            self.contribs[member_id] = AggContrib(value, count, refresh)
+            return
+        existing.count += count
+        if refresh:
+            existing.value = value
+            if existing.count <= 0:
+                existing.count = 1
+
+    def merge(self, other: "AggState") -> "AggState":
+        merged = AggState(self.kind,
+                          {k: AggContrib(c.value, c.count)
+                           for k, c in self.contribs.items()})
+        for member_id, contrib in other.contribs.items():
+            if contrib.refresh:
+                existing = merged.contribs.get(member_id)
+                if existing is None:
+                    merged.contribs[member_id] = AggContrib(contrib.value, 1)
+                else:
+                    existing.value = contrib.value
+                continue
+            merged.add(member_id, contrib.value, contrib.count)
+        merged.contribs = {k: c for k, c in merged.contribs.items()
+                           if c.count > 0}
+        return merged
+
+    def alive_values(self) -> list[float]:
+        return [c.value for c in self.contribs.values() if c.count > 0]
+
+    def value(self) -> str:
+        values = self.alive_values()
+        if self.kind == "count":
+            return _format_number(len(values))
+        if self.kind == "sum":
+            return _format_number(sum(values))
+        if not values:
+            return ""
+        if self.kind == "avg":
+            return _format_number(sum(values) / len(values))
+        return _format_number(min(values) if self.kind == "min"
+                              else max(values))
+
+
+def _format_number(value) -> str:
+    number = float(value)
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+def _member_id(item) -> str:
+    if isinstance(item, NodeItem):
+        return item.key.value
+    assert isinstance(item, AtomicItem)
+    if item.source_key is not None:
+        return item.source_key.value
+    return "v:" + item.value
+
+
+def compute_aggregate(kind: str, tuples: Sequence[XatTuple], col: str,
+                      ctx: ExecutionContext) -> AggState:
+    """Per-member aggregate state over the ``col`` cells of ``tuples``.
+
+    A member's derivation sign comes from its tuple's count — the delta
+    join terms may re-derive a member several times with inflated Z-counts,
+    but per-member counting keeps each value contribution single.
+    """
+    if kind not in AGG_FUNCTIONS:
+        raise ValueError(f"unknown aggregate {kind!r}")
+    state = AggState(kind)
+    for tup in tuples:
+        for item in items_of(tup[col]):
+            weight = tup.count * item.count
+            refresh = tup.refresh or item.refresh
+            if weight == 0 and not refresh:
+                continue
+            # count() aggregates nodes, whose text need not be numeric.
+            number = 0.0 if kind == "count" else float(item_value(item, ctx))
+            state.add(_member_id(item), number, weight, refresh=refresh)
+    return state
+
+
+def assign_overriding_orders(tuples: Sequence[XatTuple], col: str,
+                             order_schema: Sequence[str],
+                             ctx: ExecutionContext) -> list[Item]:
+    """The ``combine`` function of Fig 3.3: annotate items of ``col``.
+
+    Each produced item carries an overriding order composed of the tuple's
+    Order Schema tokens (plus the item's own order when ``col`` is not part
+    of the Order Schema), and the tuple's count/refresh annotations.
+    """
+    with ctx.profiler.timed("overriding_order"):
+        combined: list[Item] = []
+        order_cols = [c for c in order_schema if c != col]
+        col_in_schema = col in order_schema
+        for tup in tuples:
+            prefix_tokens = []
+            for oc in order_cols:
+                item = single_item(tup[oc])
+                prefix_tokens.append(item.order_token()
+                                     if item is not None else "")
+            for item in items_of(tup[col]):
+                if not order_schema:
+                    new_item = _annotated(item, None, tup)
+                elif col_in_schema:
+                    tokens = prefix_tokens + [item.order_token()]
+                    new_item = _annotated(
+                        item, FlexKey(COMPOSE_SEP.join(tokens)), tup)
+                else:
+                    tokens = prefix_tokens + [item.order_token()]
+                    new_item = _annotated(
+                        item, FlexKey(COMPOSE_SEP.join(tokens)), tup)
+                combined.append(new_item)
+        return combined
+
+
+def _annotated(item: Item, override: Optional[FlexKey],
+               tup: XatTuple) -> Item:
+    count = item.count * tup.count
+    refresh = item.refresh or tup.refresh
+    if isinstance(item, NodeItem):
+        key = item.key if override is None else item.key.with_override(override)
+        return NodeItem(key, count, refresh, item.skeleton)
+    assert isinstance(item, AtomicItem)
+    source = item.source_key
+    if override is not None:
+        source = (source or FlexKey(item.order_token() or "zz")) \
+            .with_override(override)
+    return AtomicItem(item.value, source, count, refresh,
+                      item.order_value, item.agg)
+
+
+class Combine(XatOperator):
+    """``C_col(T)``: all cells of ``col`` merged into one sequence."""
+
+    symbol = "C"
+
+    def __init__(self, child: XatOperator, col: str):
+        super().__init__([child])
+        self.col = col
+
+    def _build_schema(self) -> TableSchema:
+        # Category IV of Table 4.1: the "all" lineage; no tuple order.
+        return TableSchema(
+            (self.col,), (),
+            {self.col: ContextSpec(order=None,
+                                   lineage=(("*", None),))})
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        items = assign_overriding_orders(
+            source.tuples, self.col, source.schema.order_schema, ctx)
+        table = XatTable(self.schema)
+        table.append(XatTuple({self.col: items}))
+        return table
+
+    def describe(self) -> str:
+        return f"Combine {self.col}"
+
+
+class GroupBy(XatOperator):
+    """``gamma_cols(T, func)`` where func is Combine or an aggregate.
+
+    Value-based grouping; group counts are sums of member counts.
+    """
+
+    symbol = "gamma"
+
+    def __init__(self, child: XatOperator, group_cols: Sequence[str],
+                 combine_col: Optional[str] = None,
+                 agg: Optional[tuple[str, str, str]] = None):
+        """``combine_col`` nests that column per group; ``agg`` is
+        ``(function, input_col, output_col)``.  Exactly one must be given."""
+        super().__init__([child])
+        if (combine_col is None) == (agg is None):
+            raise ValueError("GroupBy needs exactly one of combine_col/agg")
+        self.group_cols = tuple(group_cols)
+        self.combine_col = combine_col
+        self.agg = agg
+
+    def _result_col(self) -> str:
+        return self.combine_col if self.combine_col else self.agg[2]
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        carried = tuple(c for c in base.columns
+                        if c not in self.group_cols
+                        and c != self._result_col())
+        columns = self.group_cols + carried + (self._result_col(),)
+        context: dict[str, ContextSpec] = {}
+        lineage = tuple((g, None) for g in self.group_cols)
+        for col in self.group_cols:
+            context[col] = ContextSpec(order=None, lineage=())
+        for col in carried:
+            # Carried columns are functionally dependent on the grouping
+            # columns (they come from the outer block being grouped).
+            context[col] = ContextSpec(order=None,
+                                       lineage=base.spec(col).lineage)
+        context[self._result_col()] = ContextSpec(order=None, lineage=lineage)
+        # Value-based grouping destroys tuple order (Category II, Table 3.1).
+        return TableSchema(columns, (), context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        groups: dict[tuple, list[XatTuple]] = {}
+        order: list[tuple] = []
+        for tup in source:
+            key = group_key(tup, self.group_cols, ctx)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(tup)
+        table = XatTable(self.schema)
+        for key in order:
+            members = groups[key]
+            count = sum(t.count for t in members)
+            refresh = any(t.refresh for t in members)
+            cells: dict = {}
+            for col in self.schema.columns:
+                if col == self._result_col():
+                    continue
+                value = members[0][col]
+                if value is None:
+                    for member in members[1:]:
+                        if member[col] is not None:
+                            value = member[col]
+                            break
+                cells[col] = value
+            if self.combine_col is not None:
+                cells[self.combine_col] = assign_overriding_orders(
+                    members, self.combine_col,
+                    source.schema.order_schema, ctx)
+            else:
+                kind, in_col, out_col = self.agg
+                state = compute_aggregate(kind, members, in_col, ctx)
+                cells[out_col] = AtomicItem(state.value(), agg=state)
+            if count == 0 and not refresh and self.combine_col is not None \
+                    and not cells[self.combine_col]:
+                continue
+            table.append(XatTuple(cells, count, refresh))
+        return table
+
+    def describe(self) -> str:
+        func = (f"Combine {self.combine_col}" if self.combine_col
+                else f"{self.agg[0]}({self.agg[1]})")
+        return f"GroupBy {', '.join(self.group_cols)} ({func})"
+
+
+class Aggregate(XatOperator):
+    """Whole-table aggregate (no grouping): one output tuple."""
+
+    symbol = "agg"
+
+    def __init__(self, child: XatOperator, kind: str, col: str, out: str):
+        super().__init__([child])
+        if kind not in AGG_FUNCTIONS:
+            raise ValueError(f"unknown aggregate {kind!r}")
+        self.kind = kind
+        self.col = col
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        return TableSchema((self.out,),
+                           (), {self.out: ContextSpec(order=None,
+                                                      lineage=(("*", None),))})
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        state = compute_aggregate(self.kind, source.tuples, self.col, ctx)
+        table = XatTable(self.schema)
+        table.append(XatTuple({self.out: AtomicItem(state.value(),
+                                                    agg=state)}))
+        return table
+
+    def describe(self) -> str:
+        return f"Aggregate {self.kind}({self.col}) -> {self.out}"
+
+
+class TupleFunction(XatOperator):
+    """Per-tuple scalar aggregate over a collection cell (e.g. ``count($p/i)``)."""
+
+    symbol = "f"
+
+    def __init__(self, child: XatOperator, kind: str, col: str, out: str):
+        super().__init__([child])
+        if kind not in AGG_FUNCTIONS:
+            raise ValueError(f"unknown aggregate {kind!r}")
+        self.kind = kind
+        self.col = col
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        context = dict(base.context)
+        context[self.out] = ContextSpec(order=base.spec(self.col).order,
+                                        lineage=((self.col, None),))
+        return TableSchema(base.columns + (self.out,), base.order_schema,
+                           context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        from .conditions import item_value
+
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        for tup in source:
+            items = items_of(tup[self.col])
+            if self.kind == "count":
+                value = _format_number(sum(i.count for i in items))
+            else:
+                numbers = [float(item_value(i, ctx)) for i in items]
+                if not numbers:
+                    value = ""
+                elif self.kind == "sum":
+                    value = _format_number(sum(numbers))
+                elif self.kind == "avg":
+                    value = _format_number(sum(numbers) / len(numbers))
+                elif self.kind == "min":
+                    value = _format_number(min(numbers))
+                else:
+                    value = _format_number(max(numbers))
+            table.append(tup.extended(self.out, AtomicItem(value)))
+        return table
+
+    def describe(self) -> str:
+        return f"TupleFunction {self.kind}({self.col}) -> {self.out}"

@@ -1,0 +1,321 @@
+"""Source and navigation operators (Section 2.2.2).
+
+Besides normal evaluation, navigation implements the delta/anti admission
+rules that make running the *same plan* in ``delta`` mode compute the
+Z-semantics change of each intermediate table (Chapter 7):
+
+* **anti** mode excludes every node at/below an update root — the
+  "pre-insert" (resp. "post-delete") state of the document;
+* **delta** mode *seeks* the update roots: an unnest step keeps only
+  targets on a path to/at a root whenever any such target exists (pure
+  context steps keep everything); the update sign is multiplied into the
+  tuple count exactly once, when navigation first crosses *into* an update
+  root's subtree; crossing into a *modify* root, stopping at a proper
+  ancestor of a root, or changing only a collection's content marks the
+  tuple ``refresh`` (content re-derivation, count-neutral).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flexkeys import FlexKey
+from ..xmlmodel import XmlNode
+from .base import DELTA, ExecutionContext, XatOperator
+from .paths import CHILD, Path, Step
+from .table import (AtomicItem, ContextSpec, Item, NodeItem, TableSchema,
+                    XatTable, XatTuple, items_of)
+
+#: classification labels used during delta navigation
+_AT = "at"
+_ANCESTOR = "ancestor"
+
+
+class Source(XatOperator):
+    """``S_xmlDoc -> col``: one tuple referencing the document root."""
+
+    symbol = "S"
+
+    def __init__(self, document: str, out: str):
+        super().__init__()
+        self.document = document
+        self.out = out
+
+    def _own_documents(self):
+        return (self.document,)
+
+    def _build_schema(self) -> TableSchema:
+        # Category I of Table 4.1: Context Schema ()[]; Order Schema empty.
+        return TableSchema((self.out,), (),
+                           {self.out: ContextSpec(order=(), lineage=())})
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        table = XatTable(self.schema)
+        root = ctx.storage.root_key(self.document)
+        table.append(XatTuple({self.out: NodeItem(root)}))
+        return table
+
+    def describe(self) -> str:
+        return f'Source("{self.document}") -> {self.out}'
+
+
+def _classify(ctx: ExecutionContext, key: FlexKey) -> Optional[str]:
+    if ctx.delta is None:
+        return None
+    if ctx.storage.document_of_key(key) != ctx.delta.document:
+        return None
+    return ctx.delta.classify(key)
+
+
+def _element_targets(ctx: ExecutionContext, entry_key: FlexKey,
+                     step: Step, is_first: bool) -> list[FlexKey]:
+    """Element-step navigation in storage with document-node semantics."""
+    storage = ctx.storage
+    node = storage.node(entry_key)
+    targets: list[FlexKey] = []
+    if step.axis == CHILD:
+        if is_first and node.parent is None:
+            # From the implicit document node the first child step names the
+            # document element itself.
+            if node.tag == step.test:
+                targets.append(entry_key)
+        else:
+            targets.extend(storage.children(entry_key, step.test))
+    else:  # descendant
+        if is_first and node.parent is None and node.tag == step.test:
+            targets.append(entry_key)
+        targets.extend(storage.descendants(entry_key, step.test))
+    return targets
+
+
+def _filter_targets(ctx: ExecutionContext, entry_status: Optional[str],
+                    targets: list[FlexKey], seek: bool, is_last: bool
+                    ) -> list[tuple[FlexKey, int, bool]]:
+    """Apply mode admission; returns (key, count multiplier, refresh).
+
+    The update sign multiplies in exactly once, when the step crosses into
+    an update root's subtree.  The ancestor→refresh annotation only applies
+    at the *final* element step: stopping at a proper ancestor of a root
+    means the reached fragment's content changed; merely passing through an
+    ancestor on the way down means nothing yet.
+    """
+    if ctx.mode == "anti":
+        kept = []
+        for key in targets:
+            if _classify(ctx, key) != _AT:
+                kept.append((key, 1, False))
+        return kept
+    if ctx.mode != DELTA or ctx.delta is None:
+        return [(key, 1, False) for key in targets]
+    if entry_status == _AT:
+        # Already inside an update root's subtree: everything below belongs
+        # to the delta; the sign was applied at the crossing.
+        return [(key, 1, False) for key in targets]
+    classified = [(key, _classify(ctx, key)) for key in targets]
+    related = [(key, cls) for key, cls in classified if cls is not None]
+    if seek and related:
+        classified = related
+    annotated = []
+    for key, cls in classified:
+        if cls == _AT:
+            sign = ctx.delta.sign_at(key)
+            if sign == 0:
+                annotated.append((key, 1, True))
+            else:
+                annotated.append((key, sign, False))
+        elif cls == _ANCESTOR and is_last:
+            annotated.append((key, 1, True))
+        else:
+            annotated.append((key, 1, False))
+    return annotated
+
+
+def _value_items(ctx: ExecutionContext, element_key: FlexKey,
+                 value_steps: tuple[Step, ...]) -> list[AtomicItem]:
+    """Evaluate trailing ``@attr`` / ``text()`` steps against one element."""
+    storage = ctx.storage
+    if not value_steps:
+        return []
+    first = value_steps[0]
+    if first.is_attribute:
+        value = storage.attribute(element_key, first.attribute_name)
+        if value is None:
+            return []
+        return [AtomicItem(value, source_key=element_key)]
+    # text(): one item per direct text child, in document order.
+    node = storage.node(element_key)
+    return [AtomicItem(child.value or "", source_key=child.key)
+            for child in node.children if child.is_text]
+
+
+class NavigateUnnest(XatOperator):
+    """``phi_{col,path} -> col'``: navigate then unnest (one output tuple
+    per reached node/value)."""
+
+    symbol = "phi"
+
+    def __init__(self, child: XatOperator, col: str, path: Path, out: str,
+                 keep_empty: bool = False):
+        """``keep_empty`` gives the unnest outer-join semantics: a tuple
+        whose navigation reaches nothing survives with a null cell (used for
+        correlated inner FLWOR blocks whose group shell must survive)."""
+        super().__init__([child])
+        self.col = col
+        self.path = path
+        self.out = out
+        self.keep_empty = keep_empty
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        columns = base.columns + (self.out,)
+        context = dict(base.context)
+        in_spec = base.spec(self.col)
+        if self.path.ends_in_value:
+            # Navigating to a text/attribute value: order and lineage follow
+            # the entry column (special case of Category III, Table 4.1).
+            order_schema = base.order_schema
+            context[self.out] = ContextSpec(order=in_spec.order,
+                                            lineage=((self.col, None),))
+        else:
+            # Category IV of Table 3.1: OS' = OS + col' (entry column, when
+            # last, is subsumed); Category III of Table 4.1: self lineage.
+            order = list(base.order_schema)
+            if order and order[-1] == self.col:
+                order.pop()
+            order.append(self.out)
+            order_schema = tuple(order)
+            context[self.out] = ContextSpec(order=(), lineage=())
+        return TableSchema(columns, order_schema, context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        element_steps = self.path.element_steps()
+        value_steps = self.path.value_steps()
+        for tup in source:
+            for entry in items_of(tup[self.col]):
+                if not isinstance(entry, NodeItem):
+                    continue
+                entry_key = entry.key.without_override()
+                entry_status = _classify(ctx, entry_key) \
+                    if ctx.mode == DELTA else None
+                frontier: list[tuple[FlexKey, int, bool, Optional[str]]] = [
+                    (entry_key, 1, False, entry_status)]
+                is_first = ctx.storage.node(entry_key).parent is None
+                for index, step in enumerate(element_steps):
+                    is_last = index == len(element_steps) - 1
+                    next_frontier = []
+                    for key, mult, refresh, status in frontier:
+                        targets = _element_targets(ctx, key, step, is_first)
+                        for tgt, m2, r2 in _filter_targets(
+                                ctx, status, targets, seek=True,
+                                is_last=is_last):
+                            tgt_status = (_classify(ctx, tgt)
+                                          if ctx.mode == DELTA else None)
+                            next_frontier.append(
+                                (tgt, mult * m2, refresh or r2, tgt_status))
+                    frontier = next_frontier
+                    is_first = False
+                produced = 0
+                for key, mult, refresh, status in frontier:
+                    # A tuple is pinned to the delta when this navigation's
+                    # final node relates to an update root, or when the
+                    # tuple already was.  In delta mode, unpinned tuples are
+                    # dropped: an unrelated branch (self-join) must
+                    # contribute an empty delta, not its full table.
+                    touched = (tup.touched or refresh or mult != 1
+                               or status is not None
+                               or entry_status == _AT)
+                    if ctx.mode == DELTA and not touched:
+                        continue
+                    if value_steps:
+                        for item in _value_items(ctx, key, value_steps):
+                            out = tup.extended(
+                                self.out, item,
+                                count=tup.count * mult,
+                                refresh=tup.refresh or refresh,
+                                touched=touched)
+                            table.append(out)
+                            produced += 1
+                    else:
+                        out = tup.extended(
+                            self.out, NodeItem(key),
+                            count=tup.count * mult,
+                            refresh=tup.refresh or refresh,
+                            touched=touched)
+                        table.append(out)
+                        produced += 1
+                if produced == 0 and self.keep_empty and ctx.mode != DELTA:
+                    table.append(tup.extended(self.out, None))
+        return table
+
+    def describe(self) -> str:
+        return f"NavigateUnnest {self.col}, {self.path} -> {self.out}"
+
+
+class NavigateCollection(XatOperator):
+    """``Phi_{col,path} -> col'``: navigation without unnesting — one output
+    tuple per input tuple, the cell holding the reached collection."""
+
+    symbol = "Phi"
+
+    def __init__(self, child: XatOperator, col: str, path: Path, out: str):
+        super().__init__([child])
+        self.col = col
+        self.path = path
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        columns = base.columns + (self.out,)
+        context = dict(base.context)
+        in_spec = base.spec(self.col)
+        # Category II of Table 4.1: lineage follows the entry column.
+        lineage = ((self.col, None),)
+        context[self.out] = ContextSpec(order=in_spec.order, lineage=lineage)
+        return TableSchema(columns, base.order_schema, context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        element_steps = self.path.element_steps()
+        value_steps = self.path.value_steps()
+        for tup in source:
+            collected: list[Item] = []
+            mult = 1
+            refresh = False
+            for entry in items_of(tup[self.col]):
+                if not isinstance(entry, NodeItem):
+                    continue
+                entry_key = entry.key.without_override()
+                entry_status = _classify(ctx, entry_key) \
+                    if ctx.mode == DELTA else None
+                frontier = [entry_key]
+                is_first = ctx.storage.node(entry_key).parent is None
+                for index, step in enumerate(element_steps):
+                    is_last = index == len(element_steps) - 1
+                    next_frontier = []
+                    for key in frontier:
+                        targets = _element_targets(ctx, key, step, is_first)
+                        for tgt, m2, r2 in _filter_targets(
+                                ctx, entry_status, targets, seek=False,
+                                is_last=is_last):
+                            # Collections never change tuple multiplicity:
+                            # a crossed root marks the tuple refresh instead.
+                            if m2 != 1 or r2:
+                                refresh = True
+                            next_frontier.append(tgt)
+                    frontier = next_frontier
+                    is_first = False
+                for key in frontier:
+                    if value_steps:
+                        collected.extend(_value_items(ctx, key, value_steps))
+                    else:
+                        collected.append(NodeItem(key))
+            table.append(tup.extended(self.out, collected,
+                                      count=tup.count * mult,
+                                      refresh=tup.refresh or refresh))
+        return table
+
+    def describe(self) -> str:
+        return f"NavigateCollection {self.col}, {self.path} -> {self.out}"

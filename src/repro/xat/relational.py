@@ -1,0 +1,426 @@
+"""Relational-like XAT operators (Section 2.2.2) with maintenance support.
+
+The binary join family implements the bilinear delta expansion described in
+:mod:`repro.xat.base`; Distinct and Group By sum count annotations (the
+counting rules of Tables 6.1/6.2), which makes them linear in Z-semantics
+and therefore directly evaluable over delta inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..flexkeys import FlexKey, compose_values
+from .base import DELTA, ExecutionContext, PlanError, XatOperator
+from .conditions import Comparison, Condition, conjuncts, item_value
+from .table import (AtomicItem, ContextSpec, NodeItem, TableSchema, XatTable,
+                    XatTuple, items_of, single_item)
+
+
+class Select(XatOperator):
+    """``sigma_c(T)``: filter tuples by a predicate (Category I / X)."""
+
+    symbol = "sigma"
+
+    def __init__(self, child: XatOperator, condition: Condition):
+        super().__init__([child])
+        self.condition = condition
+
+    def _build_schema(self) -> TableSchema:
+        return self.inputs[0].schema
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        for tup in source:
+            if self.condition.evaluate(tup, ctx):
+                table.append(tup)
+        return table
+
+    def describe(self) -> str:
+        return f"Select {self.condition}"
+
+
+class Rename(XatOperator):
+    """``rho_{col,col'}(T)``: column renaming (Category II of Table 4.1)."""
+
+    symbol = "rho"
+
+    def __init__(self, child: XatOperator, col: str, out: str):
+        super().__init__([child])
+        self.col = col
+        self.out = out
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        columns = tuple(self.out if c == self.col else c
+                        for c in base.columns)
+        context = {}
+        for c in base.columns:
+            spec = base.spec(c)
+            renamed_order = (None if spec.order is None else
+                             tuple(self.out if oc == self.col else oc
+                                   for oc in spec.order))
+            renamed_lineage = tuple(
+                (self.out if lc == self.col else lc, cid)
+                for lc, cid in spec.lineage)
+            context[self.out if c == self.col else c] = ContextSpec(
+                renamed_order, renamed_lineage)
+        order_schema = tuple(self.out if c == self.col else c
+                             for c in base.order_schema)
+        return TableSchema(columns, order_schema, context)
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        for tup in source:
+            cells = {(self.out if c == self.col else c): v
+                     for c, v in tup.cells.items()}
+            table.append(XatTuple(cells, tup.count, tup.refresh))
+        return table
+
+
+class _BinaryJoinBase(XatOperator):
+    """Shared machinery of Cartesian Product / Theta Join / Left Outer Join."""
+
+    def __init__(self, left: XatOperator, right: XatOperator,
+                 condition: Optional[Condition] = None):
+        super().__init__([left, right])
+        self.condition = condition
+
+    def _build_schema(self) -> TableSchema:
+        left, right = self.inputs[0].schema, self.inputs[1].schema
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise PlanError(f"join inputs share columns {sorted(overlap)}")
+        columns = left.columns + right.columns
+        # Category III of Table 3.1: OS = OS(T1) + OS(T2).
+        order_schema = left.order_schema + right.order_schema
+        context = dict(left.context)
+        context.update(right.context)
+        # Category IX of Table 4.1: left columns get right's Table Order
+        # Schema appended to their order context, and vice versa.
+        for col in left.columns:
+            spec = left.spec(col)
+            if spec.order is not None and right.order_schema:
+                base_order = spec.order if spec.order else (col,)
+                context[col] = ContextSpec(base_order + right.order_schema,
+                                           spec.lineage)
+        for col in right.columns:
+            spec = right.spec(col)
+            if spec.order is not None and left.order_schema:
+                base_order = spec.order if spec.order else (col,)
+                context[col] = ContextSpec(left.order_schema + base_order,
+                                           spec.lineage)
+        return TableSchema(columns, order_schema, context)
+
+    # -- join machinery -----------------------------------------------------------
+
+    def _equi_key_columns(self) -> Optional[tuple[list[str], list[str]]]:
+        """Columns for a hash join when every conjunct is a column equality."""
+        if self.condition is None:
+            return None
+        left_cols = set(self.inputs[0].schema.columns)
+        lefts, rights = [], []
+        for comp in conjuncts(self.condition):
+            if not isinstance(comp, Comparison) or comp.op != "=":
+                return None
+            cols = comp.columns()
+            if len(cols) != 2:
+                return None
+            a, b = cols
+            if a in left_cols and b not in left_cols:
+                lefts.append(a)
+                rights.append(b)
+            elif b in left_cols and a not in left_cols:
+                lefts.append(b)
+                rights.append(a)
+            else:
+                return None
+        return lefts, rights
+
+    def _match_pairs(self, ctx: ExecutionContext, left: XatTable,
+                     right: XatTable):
+        """Yield (left_tuple, [matching right tuples])."""
+        equi = self._equi_key_columns()
+        if equi is not None:
+            lcols, rcols = equi
+            index: dict[tuple, list[XatTuple]] = {}
+            for rt in right:
+                key = _hash_key(rt, rcols, ctx)
+                if key is not None:
+                    index.setdefault(key, []).append(rt)
+            for lt in left:
+                key = _hash_key(lt, lcols, ctx)
+                yield lt, index.get(key, []) if key is not None else []
+        else:
+            for lt in left:
+                matches = []
+                for rt in right:
+                    merged = lt.merged(rt)
+                    if (self.condition is None
+                            or self.condition.evaluate(merged, ctx)):
+                        matches.append(rt)
+                yield lt, matches
+
+    # -- maintenance expansion ------------------------------------------------------
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        if ctx.mode == DELTA and ctx.delta is not None:
+            doc = ctx.delta.document
+            left_has = doc in self.inputs[0].source_documents()
+            right_has = doc in self.inputs[1].source_documents()
+            table = XatTable(self.schema)
+            if left_has:
+                self._combine_into(
+                    table, ctx,
+                    ctx.evaluate(self.inputs[0], DELTA),
+                    ctx.evaluate(self.inputs[1], ctx.mode_for_new),
+                    delta_side="left")
+            if right_has:
+                self._combine_into(
+                    table, ctx,
+                    ctx.evaluate(self.inputs[0], ctx.mode_for_old),
+                    ctx.evaluate(self.inputs[1], DELTA),
+                    delta_side="right")
+            return table
+        table = XatTable(self.schema)
+        self._combine_into(table, ctx,
+                           ctx.evaluate(self.inputs[0]),
+                           ctx.evaluate(self.inputs[1]),
+                           delta_side=None)
+        return table
+
+    def _combine_into(self, table: XatTable, ctx: ExecutionContext,
+                      left: XatTable, right: XatTable,
+                      delta_side: Optional[str]) -> None:
+        raise NotImplementedError
+
+
+def _hash_key(tup: XatTuple, cols: Sequence[str], ctx) -> Optional[tuple]:
+    values = []
+    for col in cols:
+        items = items_of(tup[col])
+        if len(items) != 1:
+            return None  # fall back to existential semantics: no hash entry
+        values.append(item_value(items[0], ctx))
+    return tuple(values)
+
+
+class CartesianProduct(_BinaryJoinBase):
+    """``x(T1, T2)``."""
+
+    symbol = "x"
+
+    def __init__(self, left: XatOperator, right: XatOperator):
+        super().__init__(left, right, condition=None)
+
+    def _combine_into(self, table, ctx, left, right, delta_side):
+        for lt in left:
+            for rt in right:
+                table.append(lt.merged(rt))
+
+
+class Join(_BinaryJoinBase):
+    """Theta join ``|><|_c (T1, T2)``; hash-based for equality conditions."""
+
+    symbol = "join"
+
+    def _combine_into(self, table, ctx, left, right, delta_side):
+        for lt, matches in self._match_pairs(ctx, left, right):
+            for rt in matches:
+                table.append(lt.merged(rt))
+
+    def describe(self) -> str:
+        return f"Join {self.condition}"
+
+
+class LeftOuterJoin(_BinaryJoinBase):
+    """``=|><|_c (T1, T2)`` with the dangling-tuple maintenance treatment
+    of Chapter 7.4."""
+
+    symbol = "loj"
+
+    def _null_padded(self, lt: XatTuple, count: int) -> XatTuple:
+        cells = dict(lt.cells)
+        for col in self.inputs[1].schema.columns:
+            cells[col] = None
+        return XatTuple(cells, count, lt.refresh, lt.touched)
+
+    def _combine_into(self, table, ctx, left, right, delta_side):
+        if delta_side == "right":
+            # Inner join of old-left with the delta, plus corrections that
+            # retract (inserts) or restore (deletes) null-padded results for
+            # left tuples whose dangling status flips (Fig 7.3).
+            right_old = None
+            right_new = None
+            for lt, matches in self._match_pairs(ctx, left, right):
+                for rt in matches:
+                    table.append(lt.merged(rt))
+                if not matches or ctx.delta.phase == "modify":
+                    continue
+                if ctx.delta.phase == "insert":
+                    if right_old is None:
+                        right_old = ctx.evaluate(self.inputs[1],
+                                                 ctx.mode_for_old)
+                    if not self._has_match(ctx, lt, right_old):
+                        table.append(self._null_padded(lt, -lt.count))
+                else:  # delete
+                    if right_new is None:
+                        right_new = ctx.evaluate(self.inputs[1],
+                                                 ctx.mode_for_new)
+                    if not self._has_match(ctx, lt, right_new):
+                        table.append(self._null_padded(lt, lt.count))
+            return
+        # Normal evaluation, or delta on the left side: plain LOJ semantics.
+        for lt, matches in self._match_pairs(ctx, left, right):
+            if matches:
+                for rt in matches:
+                    table.append(lt.merged(rt))
+            else:
+                table.append(self._null_padded(lt, lt.count))
+
+    def _has_match(self, ctx, lt: XatTuple, right: XatTable) -> bool:
+        for _lt, matches in self._match_pairs(ctx, _single_table(lt), right):
+            return bool(matches)
+        return False
+
+    def describe(self) -> str:
+        return f"LeftOuterJoin {self.condition}"
+
+
+def _single_table(tup: XatTuple) -> XatTable:
+    table = XatTable(TableSchema(tuple(tup.cells)))
+    table.append(tup)
+    return table
+
+
+def group_key(tup: XatTuple, cols: Sequence[str], ctx) -> tuple:
+    """Value-based grouping key (node items group by identity)."""
+    parts = []
+    for col in cols:
+        item = single_item(tup[col])
+        if item is None:
+            parts.append(None)
+        elif isinstance(item, AtomicItem):
+            parts.append(item.value)
+        else:
+            parts.append(item.key.value)
+    return tuple(parts)
+
+
+class Distinct(XatOperator):
+    """``delta_col(T)``: distinct values with derivation counting.
+
+    Output counts are the *sums* of the input duplicate counts — the
+    counting rule that makes Distinct linear in Z-semantics (Chapter 6).
+    The output table keeps only the distinct column (Category VIII).
+    """
+
+    symbol = "delta"
+
+    def __init__(self, child: XatOperator, col: str):
+        super().__init__([child])
+        self.col = col
+
+    def _build_schema(self) -> TableSchema:
+        return TableSchema((self.col,), (),
+                           {self.col: ContextSpec(order=None, lineage=())})
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+        groups: dict[tuple, XatTuple] = {}
+        order: list[tuple] = []
+        for tup in source:
+            key = group_key(tup, (self.col,), ctx)
+            existing = groups.get(key)
+            if existing is None:
+                fresh = XatTuple({self.col: tup[self.col]},
+                                 tup.count, tup.refresh)
+                groups[key] = fresh
+                order.append(key)
+            else:
+                existing.count += tup.count
+                existing.refresh = existing.refresh or tup.refresh
+        for key in order:
+            tup = groups[key]
+            if tup.count != 0 or tup.refresh:
+                table.append(tup)
+        return table
+
+    def describe(self) -> str:
+        return f"Distinct({self.col})"
+
+
+class OrderBy(XatOperator):
+    """``tau_cols(T)``: sort and expose query order (Category V).
+
+    Sort keys become the Order Schema; sorted cells get an explicit
+    ``order_value`` (numeric values zero-padded) so that downstream
+    overriding orders are *reproducible* across maintenance runs.
+    """
+
+    symbol = "tau"
+
+    def __init__(self, child: XatOperator, cols: Sequence[str]):
+        super().__init__([child])
+        self.cols = tuple(cols)
+
+    def _build_schema(self) -> TableSchema:
+        base = self.inputs[0].schema
+        context = {}
+        for col in base.columns:
+            spec = base.spec(col)
+            context[col] = ContextSpec(self.cols, spec.lineage)
+        for col in self.cols:
+            context[col] = ContextSpec((), base.spec(col).lineage)
+        return TableSchema(base.columns, self.cols, context)
+
+    @staticmethod
+    def sortable(value: str) -> str:
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            return value
+        # Zero-pad so lexicographic order equals numeric order (>= 0 only;
+        # negatives sort before via the sign prefix).
+        if number < 0:
+            return "-" + f"{1e18 + number:020.4f}"
+        return f"{number:020.4f}"
+
+    def execute(self, ctx: ExecutionContext) -> XatTable:
+        source = ctx.evaluate(self.inputs[0])
+        table = XatTable(self.schema)
+
+        def key_fn(tup: XatTuple):
+            parts = []
+            for col in self.cols:
+                item = single_item(tup[col])
+                parts.append(self.sortable(item_value(item, ctx))
+                             if item is not None else "")
+            return tuple(parts)
+
+        for tup in sorted(source.tuples, key=key_fn):
+            cells = dict(tup.cells)
+            for col in self.cols:
+                item = single_item(tup[col])
+                if isinstance(item, AtomicItem):
+                    cells[col] = AtomicItem(
+                        item.value, item.source_key, item.count,
+                        item.refresh,
+                        order_value=self.sortable(item.value))
+                elif isinstance(item, NodeItem):
+                    # Node-valued sort keys: override the key's order with
+                    # the sortable form of the node's text value so that
+                    # downstream overriding orders follow query order.
+                    from ..flexkeys import FlexKey
+
+                    token = self.sortable(item_value(item, ctx))
+                    cells[col] = item.with_override(FlexKey(token))
+            table.append(XatTuple(cells, tup.count, tup.refresh,
+                                  tup.touched))
+        return table
+
+    def describe(self) -> str:
+        return f"OrderBy {', '.join(self.cols)}"

@@ -1,0 +1,82 @@
+"""Semantic identifier generation (Chapter 4, Definition 4.3.1, Table 4.2).
+
+A semantic id of a constructed node is ``<lineage body>c`` where the body is
+the ``..``-joined lineage tokens resolved from the Context Schema of the
+constructor's input column(s); exposed base nodes keep their FlexKey.  The
+optional order prefix (overriding order) is resolved from the Order part of
+the Context Schema.  Both resolutions touch only values already present in
+the tuple — no node-level de-referencing (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flexkeys import COMPOSE_SEP, FlexKey
+from .table import AtomicItem, NodeItem, TableSchema, XatTuple, items_of, \
+    single_item
+
+#: Suffix marking constructed-node identifiers.
+CONSTRUCTED_SUFFIX = "c"
+#: The Combine "all" lineage token.
+ALL_TOKEN = "*"
+
+
+def lineage_token_of_item(item) -> str:
+    """Lineage token of one item (constructed nodes contribute their body)."""
+    if isinstance(item, NodeItem):
+        value = item.key.value
+        if item.is_constructed and value.endswith(CONSTRUCTED_SUFFIX):
+            return value[:-len(CONSTRUCTED_SUFFIX)]
+        return value
+    if isinstance(item, AtomicItem):
+        return item.value
+    raise TypeError(f"unexpected item {item!r}")
+
+
+def lineage_tokens(schema: TableSchema, tup: XatTuple, col: str
+                   ) -> list[str]:
+    """Resolve the Lineage Context of ``col`` for one tuple (Def 4.2.1)."""
+    spec = schema.spec(col)
+    if spec.is_all_lineage:
+        return [ALL_TOKEN]
+    if spec.is_self_lineage:
+        return [lineage_token_of_item(item)
+                for item in items_of(tup[col])]
+    tokens: list[str] = []
+    for ref_col, _cid in spec.lineage:
+        tokens.extend(lineage_tokens(schema, tup, ref_col))
+    return tokens
+
+
+def order_tokens(schema: TableSchema, tup: XatTuple, col: str
+                 ) -> Optional[list[str]]:
+    """Resolve the Order Context of ``col`` for one tuple.
+
+    Returns None when no order is defined (the paper's ``~`` prefix), an
+    empty list when order equals lineage (no explicit prefix needed), and
+    the token list otherwise.
+    """
+    spec = schema.spec(col)
+    if spec.order is None:
+        return None
+    if spec.order == ():
+        return []
+    tokens = []
+    for order_col in spec.order:
+        item = single_item(tup[order_col])
+        tokens.append(item.order_token() if item is not None else "")
+    return tokens
+
+
+def constructed_id(body_tokens: list[str]) -> FlexKey:
+    """Semantic id FlexKey for a constructed node from lineage tokens."""
+    body = COMPOSE_SEP.join(body_tokens) if body_tokens else ALL_TOKEN
+    return FlexKey(body + CONSTRUCTED_SUFFIX)
+
+
+def override_from_tokens(tokens: Optional[list[str]]) -> Optional[FlexKey]:
+    """Overriding-order FlexKey composed from order tokens (None = none)."""
+    if not tokens:
+        return None
+    return FlexKey(COMPOSE_SEP.join(tokens))

@@ -1,0 +1,30 @@
+"""A named XML document: a root element plus its document name."""
+
+from __future__ import annotations
+
+from .node import XmlNode
+from .parser import parse_document
+from .serializer import serialize
+
+
+class XmlDocument:
+    """A source XML document identified by name (e.g. ``"bib.xml"``)."""
+
+    def __init__(self, name: str, root: XmlNode):
+        if not root.is_element:
+            raise ValueError("document root must be an element")
+        self.name = name
+        self.root = root
+
+    @classmethod
+    def from_string(cls, name: str, text: str) -> "XmlDocument":
+        return cls(name, parse_document(text))
+
+    def to_string(self, indent: int | None = None) -> str:
+        return serialize(self.root, indent=indent)
+
+    def node_count(self) -> int:
+        return self.root.subtree_size()
+
+    def __repr__(self) -> str:
+        return f"XmlDocument({self.name!r}, {self.node_count()} nodes)"

@@ -1,0 +1,225 @@
+"""A small, dependency-free XML parser producing :class:`XmlNode` trees.
+
+Covers the subset the paper's documents use: elements, attributes, text,
+comments, processing instructions (skipped), CDATA, and the five predefined
+entities.  Pure-whitespace text between elements is dropped (data-centric
+whitespace handling, matching the Rainbow engine's loader).
+"""
+
+from __future__ import annotations
+
+from .node import XmlNode
+
+
+class XmlParseError(ValueError):
+    """Raised on malformed XML input."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def parse_document(text: str) -> XmlNode:
+    """Parse an XML document string, returning the root element."""
+    parser = _Parser(text)
+    return parser.parse()
+
+
+def parse_fragment(text: str) -> list[XmlNode]:
+    """Parse a sequence of top-level elements/text (an XML fragment)."""
+    parser = _Parser(text)
+    return parser.parse_content_until_end()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._len = len(text)
+
+    # -- public entry points -----------------------------------------------------
+
+    def parse(self) -> XmlNode:
+        self._skip_misc()
+        root = self._parse_element()
+        self._skip_misc()
+        if self._pos != self._len:
+            raise XmlParseError("trailing content after document element",
+                                self._pos)
+        return root
+
+    def parse_content_until_end(self) -> list[XmlNode]:
+        nodes = self._parse_content(stop_tag=None)
+        if self._pos != self._len:
+            raise XmlParseError("unparsed trailing content", self._pos)
+        return nodes
+
+    # -- lexical helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._text[idx] if idx < self._len else ""
+
+    def _starts_with(self, token: str) -> bool:
+        return self._text.startswith(token, self._pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._starts_with(token):
+            raise XmlParseError(f"expected {token!r}", self._pos)
+        self._pos += len(token)
+
+    def _skip_ws(self) -> None:
+        while self._pos < self._len and self._text[self._pos] in " \t\r\n":
+            self._pos += 1
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, XML declarations, PIs, comments, DOCTYPE."""
+        while True:
+            self._skip_ws()
+            if self._starts_with("<?"):
+                end = self._text.find("?>", self._pos)
+                if end < 0:
+                    raise XmlParseError("unterminated processing instruction",
+                                        self._pos)
+                self._pos = end + 2
+            elif self._starts_with("<!--"):
+                end = self._text.find("-->", self._pos)
+                if end < 0:
+                    raise XmlParseError("unterminated comment", self._pos)
+                self._pos = end + 3
+            elif self._starts_with("<!DOCTYPE"):
+                end = self._text.find(">", self._pos)
+                if end < 0:
+                    raise XmlParseError("unterminated DOCTYPE", self._pos)
+                self._pos = end + 1
+            else:
+                return
+
+    def _parse_name(self) -> str:
+        start = self._pos
+        while self._pos < self._len:
+            ch = self._text[self._pos]
+            if ch.isalnum() or ch in "_-.:":
+                self._pos += 1
+            else:
+                break
+        if self._pos == start:
+            raise XmlParseError("expected a name", self._pos)
+        return self._text[start:self._pos]
+
+    def _decode_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i)
+            if end < 0:
+                raise XmlParseError("unterminated entity reference", self._pos)
+            name = raw[i + 1:end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                out.append(_ENTITIES[name])
+            else:
+                raise XmlParseError(f"unknown entity &{name};", self._pos)
+            i = end + 1
+        return "".join(out)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def _parse_element(self) -> XmlNode:
+        self._expect("<")
+        tag = self._parse_name()
+        node = XmlNode.element(tag)
+        while True:
+            self._skip_ws()
+            ch = self._peek()
+            if ch == ">":
+                self._pos += 1
+                break
+            if self._starts_with("/>"):
+                self._pos += 2
+                return node
+            attr = self._parse_name()
+            self._skip_ws()
+            self._expect("=")
+            self._skip_ws()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise XmlParseError("expected quoted attribute value", self._pos)
+            self._pos += 1
+            end = self._text.find(quote, self._pos)
+            if end < 0:
+                raise XmlParseError("unterminated attribute value", self._pos)
+            node.attributes[attr] = self._decode_entities(
+                self._text[self._pos:end])
+            self._pos = end + 1
+        for child in self._parse_content(stop_tag=tag):
+            node.append(child)
+        return node
+
+    def _parse_content(self, stop_tag: str | None) -> list[XmlNode]:
+        nodes: list[XmlNode] = []
+        while self._pos < self._len:
+            if self._starts_with("</"):
+                if stop_tag is None:
+                    raise XmlParseError("unexpected close tag", self._pos)
+                self._pos += 2
+                name = self._parse_name()
+                if name != stop_tag:
+                    raise XmlParseError(
+                        f"mismatched close tag </{name}> for <{stop_tag}>",
+                        self._pos)
+                self._skip_ws()
+                self._expect(">")
+                return nodes
+            if self._starts_with("<!--"):
+                end = self._text.find("-->", self._pos)
+                if end < 0:
+                    raise XmlParseError("unterminated comment", self._pos)
+                self._pos = end + 3
+                continue
+            if self._starts_with("<![CDATA["):
+                end = self._text.find("]]>", self._pos)
+                if end < 0:
+                    raise XmlParseError("unterminated CDATA", self._pos)
+                nodes.append(XmlNode.text(self._text[self._pos + 9:end]))
+                self._pos = end + 3
+                continue
+            if self._starts_with("<?"):
+                end = self._text.find("?>", self._pos)
+                if end < 0:
+                    raise XmlParseError("unterminated PI", self._pos)
+                self._pos = end + 2
+                continue
+            if self._peek() == "<":
+                nodes.append(self._parse_element())
+                continue
+            end = self._text.find("<", self._pos)
+            if end < 0:
+                end = self._len
+            raw = self._text[self._pos:end]
+            self._pos = end
+            decoded = self._decode_entities(raw)
+            if decoded.strip():
+                nodes.append(XmlNode.text(decoded.strip()))
+        if stop_tag is not None:
+            raise XmlParseError(f"unterminated element <{stop_tag}>", self._pos)
+        return nodes

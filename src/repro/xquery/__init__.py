@@ -1,0 +1,8 @@
+"""XQuery subset: AST, parser, normalization (Sections 2.1, 2.3)."""
+
+from . import ast
+from .normalize import normalize
+from .parser import XQueryParseError, XQueryParser, parse_query
+
+__all__ = ["XQueryParseError", "XQueryParser", "ast", "normalize",
+           "parse_query"]

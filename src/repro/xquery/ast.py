@@ -1,0 +1,110 @@
+"""Abstract syntax tree for the paper's XQuery subset (Fig 2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass
+class StringLiteral:
+    value: str
+
+
+@dataclass
+class NumberLiteral:
+    value: str  # kept textual; comparisons coerce
+
+
+@dataclass
+class VarRef:
+    name: str  # without the leading $
+
+
+@dataclass
+class PredicateExpr:
+    """A step predicate ``[relative/path op literal]`` (lifted to WHERE
+    during normalization, Rule 3)."""
+
+    path: str
+    op: str
+    literal: str
+
+
+@dataclass
+class PathExpr:
+    """``doc("name")/steps`` or ``$var/steps`` with optional predicates.
+
+    ``predicates`` maps a step index to the predicates attached there.
+    """
+
+    source: Union[str, VarRef]           # document name or variable
+    path: str                            # textual path, e.g. "bib/book/@year"
+    predicates: dict[int, list[PredicateExpr]] = field(default_factory=dict)
+
+    @property
+    def from_document(self) -> bool:
+        return isinstance(self.source, str)
+
+
+@dataclass
+class FunctionCall:
+    """distinct-values, count, sum, avg, min, max."""
+
+    name: str
+    argument: "Expression"
+
+
+@dataclass
+class Comparison:
+    left: "Expression"
+    op: str
+    right: "Expression"
+
+
+@dataclass
+class BoolAnd:
+    conjuncts: list["Expression"]
+
+
+@dataclass
+class ForClause:
+    var: str
+    binding: "Expression"
+
+
+@dataclass
+class LetClause:
+    var: str
+    binding: "Expression"
+
+
+@dataclass
+class FLWOR:
+    fors: list[ForClause]
+    lets: list[LetClause]
+    where: Optional["Expression"]
+    order_by: list["Expression"]
+    ret: "Expression"
+
+
+@dataclass
+class TextContent:
+    text: str
+
+
+@dataclass
+class ElementConstructor:
+    tag: str
+    attributes: list[tuple[str, "Expression"]]
+    content: list["Expression"]
+
+
+@dataclass
+class Sequence:
+    items: list["Expression"]
+
+
+Expression = Union[StringLiteral, NumberLiteral, VarRef, PathExpr,
+                   FunctionCall, Comparison, BoolAnd, FLWOR, TextContent,
+                   ElementConstructor, Sequence]

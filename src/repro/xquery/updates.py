@@ -1,0 +1,272 @@
+"""Parser/evaluator for the XQuery update language subset of [TIHW01].
+
+Covers the three primitives of Fig 1.3:
+
+.. code-block:: none
+
+    for $v in document("d.xml")/path[pred]
+    (where $v/path = "literal")?
+    update $v (
+        insert <fragment/> (before | after | into) $v2
+      | delete $v2
+      | replace $v2 with "literal"
+    )
+
+``$v2`` is ``$v`` or a path below it.  Positional predicates ``[n]`` are
+allowed in update targets (they are evaluated directly against storage,
+unlike query predicates).  Evaluation turns the statement into concrete
+:class:`~repro.updates.UpdateRequest` objects against a storage manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..flexkeys import FlexKey
+from ..storage import StorageManager
+from ..updates.primitives import UpdateRequest
+from ..xat.paths import Path
+from .ast import PathExpr, PredicateExpr, VarRef
+from .parser import XQueryParseError, XQueryParser
+
+
+@dataclass
+class UpdateStatement:
+    """One parsed ``for … update …`` statement."""
+
+    var: str
+    binding: PathExpr
+    where: Optional[tuple[str, str, str]]   # (relative path, op, literal)
+    action: str                             # insert / delete / replace
+    target_path: str                        # path below $v ("" = $v itself)
+    fragment_xml: Optional[str] = None      # for insert
+    position: Optional[str] = None          # before / after / into
+    new_value: Optional[str] = None         # for replace
+
+
+def parse_update(text: str) -> UpdateStatement:
+    parser = _UpdateParser(text)
+    statement = parser.parse()
+    parser.skip_ws()
+    if not parser.at_end():
+        raise XQueryParseError("trailing input after update", parser.pos)
+    return statement
+
+
+class _UpdateParser(XQueryParser):
+    def parse(self) -> UpdateStatement:
+        if not self.take_keyword("for"):
+            raise self.error("expected 'for'")
+        self.expect("$")
+        var = self.parse_name()
+        if not self.take_keyword("in"):
+            raise self.error("expected 'in'")
+        binding = self.parse_single()
+        if not isinstance(binding, PathExpr) or not binding.from_document:
+            raise self.error("update binding must be a document path")
+        where = None
+        if self.take_keyword("where"):
+            left = self.parse_single()
+            self.skip_ws()
+            op = None
+            for candidate in ("!=", "<=", ">=", "=", "<", ">"):
+                if self.try_token(candidate):
+                    op = candidate
+                    break
+            if op is None:
+                raise self.error("expected comparison in where")
+            self.skip_ws()
+            if self.peek() in "'\"“":
+                literal = self.parse_string()
+            else:
+                literal = self.parse_number().value
+            rel = self._relative_of(left, var)
+            where = (rel, op, literal)
+        if not self.take_keyword("update"):
+            raise self.error("expected 'update'")
+        self.expect("$")
+        update_var = self.parse_name()
+        if update_var != var:
+            raise self.error(f"update variable ${update_var} is not ${var}")
+        self.skip_ws()
+        if self.take_keyword("insert"):
+            fragment_xml = self._parse_raw_fragment()
+            position = None
+            for candidate in ("before", "after", "into"):
+                if self.take_keyword(candidate):
+                    position = candidate
+                    break
+            if position is None:
+                raise self.error("expected before/after/into")
+            target = self.parse_single()
+            return UpdateStatement(var, binding, where, "insert",
+                                   self._relative_of(target, var),
+                                   fragment_xml=fragment_xml,
+                                   position=position)
+        if self.take_keyword("delete"):
+            target = self.parse_single()
+            return UpdateStatement(var, binding, where, "delete",
+                                   self._relative_of(target, var))
+        if self.take_keyword("replace"):
+            target = self.parse_single()
+            if not self.take_keyword("with"):
+                raise self.error("expected 'with'")
+            self.skip_ws()
+            value = self.parse_string() if self.peek() in "'\"“" \
+                else self.parse_number().value
+            rel = self._relative_of(target, var)
+            if rel.endswith("text()"):
+                rel = rel[:-len("/text()")] if rel != "text()" else ""
+            return UpdateStatement(var, binding, where, "replace", rel,
+                                   new_value=value)
+        raise self.error("expected insert/delete/replace")
+
+    def _relative_of(self, expr, var: str) -> str:
+        if isinstance(expr, VarRef):
+            if expr.name != var:
+                raise self.error(f"unknown variable ${expr.name}")
+            return ""
+        if isinstance(expr, PathExpr) and isinstance(expr.source, VarRef):
+            if expr.source.name != var:
+                raise self.error(f"unknown variable ${expr.source.name}")
+            return expr.path
+        raise self.error("expected $var or $var/path")
+
+    def _parse_raw_fragment(self) -> str:
+        """Capture the inserted XML verbatim (balanced element)."""
+        self.skip_ws()
+        if self.peek() != "<":
+            raise self.error("expected an XML fragment")
+        start = self.pos
+        depth = 0
+        i = self.pos
+        text = self.text
+        while i < len(text):
+            if text.startswith("</", i):
+                depth -= 1
+                i = text.index(">", i) + 1
+                if depth == 0:
+                    self.pos = i
+                    return text[start:i]
+            elif text.startswith("<", i):
+                end = text.index(">", i)
+                if text[end - 1] == "/":
+                    if depth == 0:
+                        self.pos = end + 1
+                        return text[start:end + 1]
+                else:
+                    depth += 1
+                i = end + 1
+            else:
+                i += 1
+        raise self.error("unterminated XML fragment")
+
+
+def evaluate_update(statement: UpdateStatement, storage: StorageManager
+                    ) -> list[UpdateRequest]:
+    """Resolve a parsed update statement into concrete update requests."""
+    document = statement.binding.source
+    bindings = _resolve_binding(storage, statement.binding)
+    if statement.where is not None:
+        rel, op, literal = statement.where
+        bindings = [key for key in bindings
+                    if _where_matches(storage, key, rel, op, literal)]
+    requests: list[UpdateRequest] = []
+    for key in bindings:
+        targets = _resolve_relative(storage, key, statement.target_path)
+        for target in targets:
+            if statement.action == "insert":
+                position = statement.position
+                requests.append(UpdateRequest.insert(
+                    document, target, statement.fragment_xml,
+                    position=position))
+            elif statement.action == "delete":
+                requests.append(UpdateRequest.delete(document, target))
+            else:
+                requests.append(UpdateRequest.modify(
+                    document, target, statement.new_value))
+    return requests
+
+
+def _resolve_binding(storage: StorageManager,
+                     binding: PathExpr) -> list[FlexKey]:
+    path = Path.parse(binding.path)
+    keys = storage.find_by_path(binding.source, path.as_pairs())
+    for step_index, predicates in sorted(binding.predicates.items()):
+        for predicate in predicates:
+            keys = _apply_predicate(storage, keys, predicate,
+                                    step_index, path)
+    return keys
+
+
+def _apply_predicate(storage, keys, predicate: PredicateExpr,
+                     step_index: int, path: Path) -> list[FlexKey]:
+    if step_index != len(path.steps) - 1:
+        raise ValueError(
+            "update-target predicates are only supported on the last step")
+    if predicate.path == "position()":
+        position = int(predicate.literal)
+        return [keys[position - 1]] if 0 < position <= len(keys) else []
+    kept = []
+    for key in keys:
+        if _where_matches(storage, key, predicate.path, predicate.op,
+                          predicate.literal):
+            kept.append(key)
+    return kept
+
+
+def _where_matches(storage, key: FlexKey, relative: str, op: str,
+                   literal: str) -> bool:
+    values = []
+    if relative in ("", "text()"):
+        values.append(storage.text(key))
+    else:
+        path = Path.parse(relative)
+        attribute = None
+        for step in path.value_steps():
+            if step.is_attribute:
+                attribute = step.attribute_name
+        for target in _resolve_relative(storage, key, relative):
+            if attribute is not None:
+                value = storage.attribute(target, attribute)
+                if value is not None:
+                    values.append(value)
+            else:
+                values.append(storage.text(target))
+    import operator as _op
+
+    table = {"=": _op.eq, "!=": _op.ne, "<": _op.lt, "<=": _op.le,
+             ">": _op.gt, ">=": _op.ge}
+    fn = table[op]
+    for value in values:
+        try:
+            if fn(float(value), float(literal)):
+                return True
+        except ValueError:
+            if fn(value, literal):
+                return True
+    return False
+
+
+def _resolve_relative(storage, key: FlexKey, relative: str
+                      ) -> list[FlexKey]:
+    if not relative:
+        return [key]
+    path = Path.parse(relative)
+    current = [key]
+    for step in path.element_steps():
+        matched: list[FlexKey] = []
+        for k in current:
+            if step.axis == "child":
+                matched.extend(storage.children(k, step.test))
+            else:
+                matched.extend(storage.descendants(k, step.test))
+        current = matched
+    return current
+
+
+def apply_xquery_update(text: str, storage: StorageManager
+                        ) -> list[UpdateRequest]:
+    """Parse an XQuery-update statement and resolve it against storage."""
+    return evaluate_update(parse_update(text), storage)

@@ -1,0 +1,51 @@
+"""Shared fixtures/utilities for the test suite."""
+
+from __future__ import annotations
+
+from repro import MaterializedXQueryView, StorageManager, XmlDocument
+from repro.workloads import bib as bibload
+from repro.workloads import xmark
+
+
+def running_example() -> tuple[StorageManager, MaterializedXQueryView]:
+    """The Fig 1.1/1.2 setup: bib.xml + prices.xml + the yGroup view."""
+    storage = StorageManager()
+    bibload.register_running_example(storage)
+    view = MaterializedXQueryView(storage, bibload.YEAR_GROUP_QUERY)
+    view.materialize()
+    return storage, view
+
+
+def site_view(query: str, num_persons: int = 30, seed: int = 42
+              ) -> tuple[StorageManager, MaterializedXQueryView]:
+    storage = StorageManager()
+    xmark.register_site(storage, num_persons, seed=seed)
+    view = MaterializedXQueryView(storage, query)
+    view.materialize()
+    return storage, view
+
+
+def assert_consistent(view: MaterializedXQueryView) -> None:
+    """The paper's correctness criterion: refreshed extent == recompute."""
+    got = view.to_xml()
+    want = view.recompute_xml()
+    assert got == want, (
+        f"extent diverged from recomputation\n got: {got}\nwant: {want}")
+
+
+def books_of(storage: StorageManager):
+    root = storage.root_key("bib.xml")
+    return storage.children(root, "book")
+
+
+def persons_of(storage: StorageManager):
+    return storage.find_by_path(
+        "site.xml",
+        [("child", "site"), ("child", "people"), ("child", "person")])
+
+
+def closed_auctions_of(storage: StorageManager):
+    return storage.find_by_path(
+        "site.xml",
+        [("child", "site"), ("child", "closed_auctions"),
+         ("child", "closed_auction")])

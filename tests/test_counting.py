@@ -1,0 +1,124 @@
+"""Tests for the counting solution (Chapter 6): count annotations across
+operators and multiple-derivation deletes."""
+
+from repro import MaterializedXQueryView, StorageManager, UpdateRequest, \
+    XmlDocument
+from repro.xat import (ColumnRef, Comparison, Distinct, GroupBy, Join,
+                       NavigateCollection, NavigateUnnest, Path, Source,
+                       single_item)
+from repro.xat.base import ExecutionContext
+
+
+def storage_with(bib_xml):
+    sm = StorageManager()
+    sm.register(XmlDocument.from_string("bib.xml", bib_xml))
+    return sm
+
+
+THREE_BOOKS = ("<bib><book year='1994'><title>A</title></book>"
+               "<book year='1994'><title>B</title></book>"
+               "<book year='2000'><title>C</title></book></bib>")
+
+
+class TestCountAnnotationsAtQueryTime:
+    def test_distinct_sums_duplicates(self):
+        sm = storage_with(THREE_BOOKS)
+        years = NavigateUnnest(
+            NavigateUnnest(Source("bib.xml", "$S"), "$S",
+                           Path.parse("bib/book"), "$b"),
+            "$b", Path.parse("@year"), "$y")
+        table = ExecutionContext(sm).evaluate(
+            Distinct(years, "$y").prepare())
+        counts = {single_item(t["$y"]).value: t.count for t in table}
+        assert counts == {"1994": 2, "2000": 1}
+
+    def test_join_multiplies_counts(self):
+        sm = storage_with(THREE_BOOKS)
+        years = NavigateUnnest(
+            NavigateUnnest(Source("bib.xml", "$S"), "$S",
+                           Path.parse("bib/book"), "$b"),
+            "$b", Path.parse("@year"), "$y")
+        dy = Distinct(years, "$y")
+        books = NavigateUnnest(
+            NavigateUnnest(Source("bib.xml", "$S2"), "$S2",
+                           Path.parse("bib/book"), "$b2"),
+            "$b2", Path.parse("@year"), "$y2")
+        join = Join(dy, books, Comparison(ColumnRef("$y"), "=",
+                                          ColumnRef("$y2"))).prepare()
+        table = ExecutionContext(sm).evaluate(join)
+        # each 1994 book tuple inherits the distinct multiplicity 2
+        counts = sorted(t.count for t in table)
+        assert counts == [1, 2, 2]
+
+    def test_groupby_sums_member_counts(self):
+        sm = storage_with(THREE_BOOKS)
+        years = NavigateUnnest(
+            NavigateUnnest(Source("bib.xml", "$S"), "$S",
+                           Path.parse("bib/book"), "$b"),
+            "$b", Path.parse("@year"), "$y")
+        grouped = GroupBy(years, ("$y",), combine_col="$b").prepare()
+        table = ExecutionContext(sm).evaluate(grouped)
+        counts = {single_item(t["$y"]).value: t.count for t in table}
+        assert counts == {"1994": 2, "2000": 1}
+
+
+class TestMultipleDerivations:
+    """A view node with several derivations survives losing one of them."""
+
+    QUERY = """<result>{
+    for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+    return <g Y="{$y}">{
+      for $b in doc("bib.xml")/bib/book where $y = $b/@year
+      return $b/title}</g>
+    }</result>"""
+
+    def _view(self):
+        sm = storage_with(THREE_BOOKS)
+        view = MaterializedXQueryView(sm, self.QUERY)
+        view.materialize()
+        return sm, view
+
+    def test_group_node_counts_match_derivations(self):
+        _sm, view = self._view()
+        forest = view.extent
+        groups = {c.attributes["Y"]: c for c in forest.children[0].children
+                  if c.tag == "g"}
+        # yGroup count reflects the Z-multiplicity (distinct count x members)
+        assert groups["1994"].count > groups["2000"].count
+
+    def test_delete_one_derivation_keeps_group(self):
+        sm, view = self._view()
+        books = sm.children(sm.root_key("bib.xml"), "book")
+        view.apply_updates([UpdateRequest.delete("bib.xml", books[0])])
+        xml = view.to_xml()
+        assert 'Y="1994"' in xml and ">B<" in xml and ">A<" not in xml
+        assert view.to_xml() == view.recompute_xml()
+
+    def test_delete_all_derivations_removes_group(self):
+        sm, view = self._view()
+        books = sm.children(sm.root_key("bib.xml"), "book")
+        view.apply_updates([UpdateRequest.delete("bib.xml", books[0]),
+                            UpdateRequest.delete("bib.xml", books[1])])
+        assert 'Y="1994"' not in view.to_xml()
+        assert view.to_xml() == view.recompute_xml()
+
+    def test_fragment_deleted_from_root_not_node_by_node(self):
+        sm, view = self._view()
+        books = sm.children(sm.root_key("bib.xml"), "book")
+        report = view.apply_updates(
+            [UpdateRequest.delete("bib.xml", books[2])])  # only 2000 book
+        # one root disconnect removed the whole <g Y="2000"> fragment
+        assert report.fusion.removed_roots == 1
+        assert report.fusion.removed_nodes >= 3
+        assert view.to_xml() == view.recompute_xml()
+
+    def test_reinsert_after_full_delete(self):
+        sm, view = self._view()
+        books = sm.children(sm.root_key("bib.xml"), "book")
+        view.apply_updates([UpdateRequest.delete("bib.xml", books[2])])
+        remaining = sm.children(sm.root_key("bib.xml"), "book")
+        view.apply_updates([UpdateRequest.insert(
+            "bib.xml", remaining[-1],
+            "<book year='2000'><title>C2</title></book>", "after")])
+        assert 'Y="2000"' in view.to_xml()
+        assert view.to_xml() == view.recompute_xml()

@@ -1,0 +1,175 @@
+"""Engine-level behaviour, workload generators, profiler, misc coverage."""
+
+import pytest
+
+from repro import (Engine, MaterializedXQueryView, Profiler, StorageManager,
+                   XmlDocument, translate_query)
+from repro.workloads import bib as bibload
+from repro.workloads import xmark
+from repro.xquery.updates import apply_xquery_update, parse_update
+
+
+class TestEngine:
+    def _storage(self):
+        sm = StorageManager()
+        sm.register(XmlDocument.from_string("bib.xml", bibload.BIB_XML))
+        sm.register(XmlDocument.from_string("prices.xml",
+                                            bibload.PRICES_XML))
+        return sm
+
+    def test_unprepared_plan_rejected(self):
+        from repro.xat import Source
+
+        with pytest.raises(RuntimeError):
+            Engine(self._storage()).run(Source("bib.xml", "$S"))
+
+    def test_query_tree(self):
+        sm = self._storage()
+        tree = Engine(sm).query_tree(translate_query(
+            '<r>{for $b in doc("bib.xml")/bib/book return $b/title}</r>'))
+        assert tree.tag == "r" and len(tree.children) == 2
+
+    def test_empty_query_result_serializes_empty(self):
+        sm = self._storage()
+        out = Engine(sm).query(translate_query(
+            '<r>{for $b in doc("bib.xml")/bib/nothing return $b}</r>'))
+        assert out == "<r/>"
+
+    def test_profiler_collects_labels(self):
+        sm = self._storage()
+        profiler = Profiler(enabled=True)
+        Engine(sm).query(translate_query(bibload.YEAR_GROUP_QUERY),
+                         profiler=profiler)
+        assert "semantic_id" in profiler.totals
+        assert "final_sort" in profiler.totals
+
+    def test_disabled_profiler_stays_empty(self):
+        sm = self._storage()
+        profiler = Profiler(enabled=False)
+        Engine(sm).query(translate_query(bibload.YEAR_GROUP_QUERY),
+                         profiler=profiler)
+        assert profiler.totals == {}
+
+
+class TestWorkloadGenerators:
+    def test_generate_bib_deterministic(self):
+        assert bibload.generate_bib(20) == bibload.generate_bib(20)
+
+    def test_generate_bib_scales(self):
+        small = bibload.generate_bib(5)
+        large = bibload.generate_bib(50)
+        assert large.count("<book") == 50 > small.count("<book")
+
+    def test_generate_prices_fraction(self):
+        none = bibload.generate_prices(30, priced_fraction=0.0)
+        full = bibload.generate_prices(30, priced_fraction=1.0)
+        assert none.count("<entry>") == 0
+        assert full.count("<entry>") == 30
+
+    def test_site_structure(self):
+        sm = StorageManager()
+        xmark.register_site(sm, 15)
+        root = sm.root_key("site.xml")
+        people = sm.children(root, "people")
+        assert len(people) == 1
+        assert len(sm.children(people[0], "person")) == 15
+        assert sm.children(root, "closed_auctions")
+        assert sm.children(root, "open_auctions")
+
+    def test_site_deterministic(self):
+        assert xmark.generate_site(10) == xmark.generate_site(10)
+        assert xmark.generate_site(10, seed=1) != xmark.generate_site(
+            10, seed=2)
+
+    def test_site_parses_and_queries(self):
+        sm = StorageManager()
+        xmark.register_site(sm, 10)
+        out = Engine(sm).query(translate_query(xmark.ORDER_QUERY_2))
+        assert out.startswith("<result>")
+
+
+class TestUpdateLanguageEdges:
+    def _storage(self):
+        sm = StorageManager()
+        sm.register(XmlDocument.from_string("bib.xml", bibload.BIB_XML))
+        return sm
+
+    def test_where_filters_to_nothing(self):
+        sm = self._storage()
+        requests = apply_xquery_update(
+            'for $b in document("bib.xml")/bib/book '
+            'where $b/title = "No Such Book" update $b delete $b', sm)
+        assert requests == []
+
+    def test_positional_out_of_range(self):
+        sm = self._storage()
+        requests = apply_xquery_update(
+            'for $b in document("bib.xml")/bib/book[9] '
+            'update $b delete $b', sm)
+        assert requests == []
+
+    def test_insert_into(self):
+        sm = self._storage()
+        requests = apply_xquery_update(
+            'for $b in document("bib.xml")/bib/book[1] update $b '
+            'insert <note>hi</note> into $b', sm)
+        assert requests[0].position == "into"
+
+    def test_numeric_where(self):
+        sm = self._storage()
+        requests = apply_xquery_update(
+            'for $b in document("bib.xml")/bib/book '
+            'where $b/@year > 1995 update $b delete $b', sm)
+        assert len(requests) == 1
+
+    def test_replace_whole_element_text(self):
+        sm = self._storage()
+        requests = apply_xquery_update(
+            'for $b in document("bib.xml")/bib/book[1] update $b '
+            'replace $b/title with "Renamed"', sm)
+        assert requests[0].kind == "modify"
+
+    def test_mismatched_update_variable(self):
+        from repro.xquery.parser import XQueryParseError
+
+        with pytest.raises(XQueryParseError):
+            parse_update('for $a in document("d")/x update $b delete $b')
+
+    def test_delete_by_relative_path(self):
+        sm = self._storage()
+        requests = apply_xquery_update(
+            'for $b in document("bib.xml")/bib/book[1] update $b '
+            'delete $b/author', sm)
+        assert len(requests) == 1
+        assert sm.node(requests[0].target).tag == "author"
+
+
+class TestViewMisc:
+    def test_view_accepts_prepared_plan(self):
+        sm = StorageManager()
+        sm.register(XmlDocument.from_string("bib.xml", bibload.BIB_XML))
+        sm.register(XmlDocument.from_string("prices.xml",
+                                            bibload.PRICES_XML))
+        plan = translate_query(bibload.YEAR_GROUP_QUERY)
+        view = MaterializedXQueryView(sm, plan)
+        assert view.materialize() == view.recompute_xml()
+
+    def test_extent_size(self):
+        sm = StorageManager()
+        sm.register(XmlDocument.from_string("bib.xml", bibload.BIB_XML))
+        sm.register(XmlDocument.from_string("prices.xml",
+                                            bibload.PRICES_XML))
+        view = MaterializedXQueryView(sm, bibload.YEAR_GROUP_QUERY)
+        assert view.extent_size() == 0
+        view.materialize()
+        assert view.extent_size() > 10
+
+    def test_empty_update_list(self):
+        sm = StorageManager()
+        sm.register(XmlDocument.from_string("bib.xml", bibload.BIB_XML))
+        sm.register(XmlDocument.from_string("prices.xml",
+                                            bibload.PRICES_XML))
+        view = MaterializedXQueryView(sm, bibload.YEAR_GROUP_QUERY)
+        view.materialize()
+        report = view.apply_updates([])
+        assert report.batches == 0 and report.accepted == 0

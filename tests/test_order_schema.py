@@ -1,0 +1,129 @@
+"""Tests for Order Schema rules (Table 3.1) and order-correct results."""
+
+from repro import StorageManager, XmlDocument, translate_query
+from repro.engine import Engine
+from repro.xat import (Combine, Distinct, GroupBy, Join, LeftOuterJoin,
+                       NavigateCollection, NavigateUnnest, OrderBy, Path,
+                       Select, Source, Tagger, Pattern, ColumnRef,
+                       Comparison, Literal)
+
+from .helpers import site_view
+
+
+def _bib_storage():
+    sm = StorageManager()
+    sm.register(XmlDocument.from_string("bib.xml", (
+        "<bib><book year='2000'><title>B</title></book>"
+        "<book year='1994'><title>A</title></book></bib>")))
+    return sm
+
+
+def books(sm):
+    return NavigateUnnest(Source("bib.xml", "$S"), "$S",
+                          Path.parse("bib/book"), "$b")
+
+
+class TestTable31Rules:
+    def test_source_empty(self, ):
+        op = Source("bib.xml", "$S").prepare()
+        assert op.schema.order_schema == ()
+
+    def test_unnest_appends_column(self):
+        sm = _bib_storage()
+        op = books(sm).prepare()
+        assert op.schema.order_schema == ("$b",)
+
+    def test_unnest_replaces_trailing_entry_column(self):
+        sm = _bib_storage()
+        op = NavigateUnnest(books(sm), "$b", Path.parse("title"),
+                            "$t").prepare()
+        assert op.schema.order_schema == ("$t",)
+
+    def test_value_unnest_keeps_entry_order(self):
+        sm = _bib_storage()
+        op = NavigateUnnest(books(sm), "$b", Path.parse("@year"),
+                            "$y").prepare()
+        assert op.schema.order_schema == ("$b",)
+
+    def test_category_one_preserves(self):
+        sm = _bib_storage()
+        base = books(sm)
+        for op in (
+            NavigateCollection(base, "$b", Path.parse("title"), "$t"),
+            Select(base, Comparison(ColumnRef("$b"), "=", Literal("x"))),
+            Tagger(base, Pattern("w", (), ("$b",)), "$w"),
+        ):
+            op.prepare()
+            assert op.schema.order_schema == ("$b",)
+
+    def test_category_two_destroys(self):
+        sm = _bib_storage()
+        years = NavigateUnnest(books(sm), "$b", Path.parse("@year"), "$y")
+        assert Distinct(years, "$y").prepare().schema.order_schema == ()
+        assert Combine(books(sm), "$b").prepare().schema.order_schema == ()
+        grouped = GroupBy(years, ("$y",), combine_col="$b").prepare()
+        assert grouped.schema.order_schema == ()
+
+    def test_join_concatenates(self):
+        sm = _bib_storage()
+        left = books(sm)
+        right = NavigateUnnest(Source("bib.xml", "$S2"), "$S2",
+                               Path.parse("bib/book"), "$c")
+        join = Join(left, right, Comparison(ColumnRef("$b"), "=",
+                                            ColumnRef("$c"))).prepare()
+        assert join.schema.order_schema == ("$b", "$c")
+
+    def test_orderby_owns_order(self):
+        sm = _bib_storage()
+        years = NavigateUnnest(books(sm), "$b", Path.parse("@year"), "$y")
+        op = OrderBy(years, ("$y",)).prepare()
+        assert op.schema.order_schema == ("$y",)
+
+
+class TestOrderedResults:
+    def test_document_order_preserved_without_sorting(self):
+        """Intermediate tables are never sorted, yet the result follows
+        document order (the non-ordered bag semantics of Section 3.4.3)."""
+        sm = _bib_storage()
+        out = Engine(sm).query(translate_query(
+            '<r>{for $b in doc("bib.xml")/bib/book return $b/title}</r>'))
+        assert out.index(">B<") < out.index(">A<")  # document order: B first
+
+    def test_orderby_overrides_document_order(self):
+        sm = _bib_storage()
+        out = Engine(sm).query(translate_query(
+            '<r>{for $b in doc("bib.xml")/bib/book order by $b/title '
+            'return $b/title}</r>'))
+        assert out.index(">A<") < out.index(">B<")
+
+    def test_join_major_minor_order(self):
+        """Join output order: left major, right minor (Fig 3.4)."""
+        _sm, view = site_view(
+            """<result>{
+            for $p in doc("site.xml")/site/people/person,
+                $c in doc("site.xml")/site/closed_auctions/closed_auction
+            where $p/@id = $c/seller/@person
+            return <s><p>{$p/name}</p>{$c/date}</s>
+            }</result>""", num_persons=10)
+        xml = view.to_xml()
+        # person-major: occurrences of person names are non-decreasing in
+        # document order of persons
+        import re
+        names = re.findall(r"Person Name (\d+)", xml)
+        assert names == sorted(names, key=int)
+
+    def test_constructed_content_order(self):
+        """Construction order beats document order inside new elements."""
+        sm = _bib_storage()
+        out = Engine(sm).query(translate_query(
+            '<r>{for $b in doc("bib.xml")/bib/book '
+            'return <x>{$b/title}{$b/@year}</x>}</r>'))
+        first = out.index("<x>")
+        assert out.index("<title>", first) < out.index("2000", first)
+
+    def test_nested_collections_in_document_order(self):
+        _sm, view = site_view(
+            '<r>{for $p in doc("site.xml")/site/people/person '
+            'return $p/profile}</r>', num_persons=8)
+        xml = view.to_xml()
+        assert xml == view.recompute_xml()

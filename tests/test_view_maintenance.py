@@ -1,0 +1,252 @@
+"""Integration tests: V-P-A maintenance across view classes (Chapters 7-9).
+
+Every test uses the paper's correctness criterion: after maintenance the
+extent must serialize identically (content and order) to recomputation.
+"""
+
+import pytest
+
+from repro import UpdateRequest
+from repro.workloads import xmark
+
+from .helpers import (assert_consistent, closed_auctions_of, persons_of,
+                      site_view)
+
+ALL_QUERIES = [
+    ("doc-order", xmark.ORDER_QUERY_1),
+    ("order-by", xmark.ORDER_QUERY_2),
+    ("join", xmark.ORDER_QUERY_3),
+    ("construction", xmark.ORDER_QUERY_4),
+    ("group-by-city", xmark.PERSONS_BY_CITY_QUERY),
+    ("selection", xmark.SELECTION_QUERY),
+    ("join-names", xmark.JOIN_QUERY),
+]
+
+
+@pytest.mark.parametrize("label,query", ALL_QUERIES)
+class TestInsertAcrossViewClasses:
+    def test_insert_person(self, label, query):
+        storage, view = site_view(query, num_persons=20)
+        persons = persons_of(storage)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(1, city="Cairo"),
+            "after")])
+        assert_consistent(view)
+
+    def test_insert_auction(self, label, query):
+        storage, view = site_view(query, num_persons=20)
+        auctions = closed_auctions_of(storage)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", auctions[0],
+            xmark.new_closed_auction_xml(2, "person3"), "before")])
+        assert_consistent(view)
+
+
+@pytest.mark.parametrize("label,query", ALL_QUERIES)
+class TestDeleteAcrossViewClasses:
+    def test_delete_person(self, label, query):
+        storage, view = site_view(query, num_persons=20)
+        persons = persons_of(storage)
+        view.apply_updates([UpdateRequest.delete("site.xml", persons[3])])
+        assert_consistent(view)
+
+    def test_delete_several_persons_one_batch(self, label, query):
+        storage, view = site_view(query, num_persons=20)
+        persons = persons_of(storage)
+        view.apply_updates([UpdateRequest.delete("site.xml", p)
+                            for p in persons[2:7]])
+        assert_consistent(view)
+
+    def test_delete_auction(self, label, query):
+        storage, view = site_view(query, num_persons=20)
+        auctions = closed_auctions_of(storage)
+        view.apply_updates([UpdateRequest.delete("site.xml", auctions[1])])
+        assert_consistent(view)
+
+
+@pytest.mark.parametrize("label,query", ALL_QUERIES)
+class TestMixedSequences:
+    def test_heterogeneous_sequence(self, label, query):
+        storage, view = site_view(query, num_persons=20)
+        persons = persons_of(storage)
+        auctions = closed_auctions_of(storage)
+        updates = [
+            UpdateRequest.insert("site.xml", persons[-1],
+                                 xmark.new_person_xml(9, city="Oslo"),
+                                 "after"),
+            UpdateRequest.delete("site.xml", persons[0]),
+            UpdateRequest.insert("site.xml", auctions[-1],
+                                 xmark.new_closed_auction_xml(9, "person7"),
+                                 "after"),
+            UpdateRequest.delete("site.xml", auctions[2]),
+        ]
+        view.apply_updates(updates)
+        assert_consistent(view)
+
+
+class TestGroupMaintenance:
+    """Grouped view specifics (Chapter 7.3): group shells appear/vanish."""
+
+    def test_new_city_creates_group(self):
+        storage, view = site_view(xmark.PERSONS_BY_CITY_QUERY,
+                                  num_persons=12, seed=5)
+        persons = persons_of(storage)
+        assert "Zanzibar" not in view.to_xml()
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1],
+            xmark.new_person_xml(5, city="Zanzibar"), "after")])
+        assert 'name="Zanzibar"' in view.to_xml()
+        assert_consistent(view)
+
+    def test_last_member_delete_removes_group(self):
+        storage, view = site_view(xmark.PERSONS_BY_CITY_QUERY,
+                                  num_persons=12, seed=5)
+        persons = persons_of(storage)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1],
+            xmark.new_person_xml(6, city="Zanzibar"), "after")])
+        new_person = persons_of(storage)[-1]
+        report = view.apply_updates(
+            [UpdateRequest.delete("site.xml", new_person)])
+        assert 'name="Zanzibar"' not in view.to_xml()
+        assert report.fusion.removed_roots >= 1
+        assert_consistent(view)
+
+    def test_group_grows_in_place(self):
+        storage, view = site_view(xmark.PERSONS_BY_CITY_QUERY,
+                                  num_persons=12, seed=5)
+        persons = persons_of(storage)
+        before = view.to_xml().count("<entry>")
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1],
+            xmark.new_person_xml(7, city="Worcester"), "after")])
+        assert view.to_xml().count("<entry>") == before + 1
+        assert_consistent(view)
+
+
+class TestLojDanglingFlips:
+    """Chapter 7.4: dangling status flips under right-side updates."""
+
+    QUERY = """<result>{
+    for $y in distinct-values(doc("site.xml")/site/people/person/address/city)
+    order by $y
+    return <g C="{$y}">{
+      for $c in doc("site.xml")/site/closed_auctions/closed_auction,
+          $p in doc("site.xml")/site/people/person
+      where $p/@id = $c/seller/@person and $y = $p/address/city
+      return $c/date
+    }</g>
+    }</result>"""
+
+    def test_insert_fills_dangling_group(self):
+        storage, view = site_view(self.QUERY, num_persons=6, seed=9)
+        # add a person in a fresh city, then an auction sold by them:
+        persons = persons_of(storage)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1],
+            xmark.new_person_xml(11, city="Atlantis"), "after")])
+        assert_consistent(view)
+        auctions = closed_auctions_of(storage)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", auctions[-1],
+            xmark.new_closed_auction_xml(11, "newperson11"), "after")])
+        assert_consistent(view)
+
+    def test_delete_restores_dangling_group(self):
+        storage, view = site_view(self.QUERY, num_persons=6, seed=9)
+        auctions = closed_auctions_of(storage)
+        # delete every auction: all groups must become empty shells
+        view.apply_updates([UpdateRequest.delete("site.xml", a)
+                            for a in auctions])
+        assert_consistent(view)
+        assert "<date>" not in view.to_xml()
+        assert "<g " in view.to_xml()  # shells survive
+
+
+class TestModifySemantics:
+    def test_modify_exposed_value(self):
+        storage, view = site_view(xmark.JOIN_QUERY, num_persons=10)
+        persons = persons_of(storage)
+        name = storage.children(persons[2], "name")[0]
+        report = view.apply_updates(
+            [UpdateRequest.modify("site.xml", name, "Renamed Person")])
+        assert_consistent(view)
+        if "Renamed Person" in view.to_xml():
+            assert report.decomposed == 0
+
+    def test_modify_join_key_decomposes(self):
+        storage, view = site_view(xmark.PERSONS_BY_CITY_QUERY,
+                                  num_persons=10)
+        persons = persons_of(storage)
+        address = storage.children(persons[0], "address")[0]
+        city = storage.children(address, "city")[0]
+        report = view.apply_updates(
+            [UpdateRequest.modify("site.xml", city, "Montevideo")])
+        assert report.decomposed == 1
+        assert 'name="Montevideo"' in view.to_xml()
+        assert_consistent(view)
+
+    def test_modify_deep_inside_exposed_fragment(self):
+        storage, view = site_view(xmark.ORDER_QUERY_1, num_persons=10)
+        persons = persons_of(storage)
+        profile = storage.children(persons[4], "profile")[0]
+        education = storage.children(profile, "education")[0]
+        view.apply_updates([UpdateRequest.modify(
+            "site.xml", education, "Doctorate")])
+        assert "Doctorate" in view.to_xml()
+        assert_consistent(view)
+
+
+class TestInsertIntoExposedFragment:
+    def test_new_child_appears_in_extent(self):
+        storage, view = site_view(xmark.ORDER_QUERY_1, num_persons=8)
+        persons = persons_of(storage)
+        profile = storage.children(persons[1], "profile")[0]
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", profile, '<interest category="categoryX"/>',
+            position="into")])
+        assert "categoryX" in view.to_xml()
+        assert_consistent(view)
+
+    def test_delete_child_of_exposed_fragment(self):
+        storage, view = site_view(xmark.ORDER_QUERY_1, num_persons=8)
+        persons = persons_of(storage)
+        profile = storage.children(persons[0], "profile")[0]
+        education = storage.children(profile, "education")[0]
+        view.apply_updates([UpdateRequest.delete("site.xml", education)])
+        assert_consistent(view)
+
+
+class TestValidatePhaseEffects:
+    def test_irrelevant_updates_skip_propagation(self):
+        storage, view = site_view(xmark.ORDER_QUERY_2, num_persons=10)
+        persons = persons_of(storage)
+        # ORDER_QUERY_2 reads only cities; deleting a profile is irrelevant
+        profile = storage.children(persons[0], "profile")[0]
+        report = view.apply_updates(
+            [UpdateRequest.delete("site.xml", profile)])
+        assert report.irrelevant == 1 and report.batches == 0
+        assert_consistent(view)
+
+    def test_validation_can_be_disabled(self):
+        storage, _ = site_view(xmark.ORDER_QUERY_2, num_persons=10)
+        from repro import MaterializedXQueryView
+
+        view = MaterializedXQueryView(storage, xmark.ORDER_QUERY_2,
+                                      validate_updates=False)
+        view.materialize()
+        persons = persons_of(storage)
+        profile = storage.children(persons[0], "profile")[0]
+        report = view.apply_updates(
+            [UpdateRequest.delete("site.xml", profile)])
+        assert report.irrelevant == 0
+        assert_consistent(view)
+
+    def test_update_before_materialize_rejected(self):
+        from repro import MaterializedXQueryView, StorageManager
+
+        storage = StorageManager()
+        xmark.register_site(storage, 5)
+        view = MaterializedXQueryView(storage, xmark.ORDER_QUERY_2)
+        with pytest.raises(RuntimeError):
+            view.apply_updates([])

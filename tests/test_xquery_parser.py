@@ -1,0 +1,173 @@
+"""Tests for the XQuery subset parser and normalization (Sections 2.1, 2.3)."""
+
+import pytest
+
+from repro.xquery import ast, normalize, parse_query
+from repro.xquery.parser import XQueryParseError
+
+
+class TestPaths:
+    def test_doc_path(self):
+        expr = parse_query('doc("bib.xml")/bib/book')
+        assert isinstance(expr, ast.PathExpr)
+        assert expr.source == "bib.xml"
+        assert expr.path == "/bib/book"
+
+    def test_document_alias(self):
+        expr = parse_query('document("bib.xml")/bib')
+        assert expr.source == "bib.xml"
+
+    def test_descendant_axis(self):
+        expr = parse_query('doc("s.xml")/site//city')
+        assert "//city" in expr.path
+
+    def test_attribute_step(self):
+        expr = parse_query('doc("b.xml")/bib/book/@year')
+        assert expr.path.endswith("@year")
+
+    def test_text_step(self):
+        expr = parse_query('doc("b.xml")/bib/book/title/text()')
+        assert expr.path.endswith("text()")
+
+    def test_value_predicate(self):
+        expr = parse_query('doc("b.xml")/bib/book[title = "X"]/author')
+        assert 1 in expr.predicates
+        pred = expr.predicates[1][0]
+        assert (pred.path, pred.op, pred.literal) == ("title", "=", "X")
+
+    def test_positional_predicate(self):
+        expr = parse_query('doc("b.xml")/bib/book[2]')
+        pred = expr.predicates[1][0]
+        assert pred.path == "position()" and pred.literal == "2"
+
+
+class TestFlwor:
+    def test_minimal(self):
+        expr = parse_query('for $b in doc("b.xml")/bib/book return $b')
+        assert isinstance(expr, ast.FLWOR)
+        assert expr.fors[0].var == "b"
+        assert isinstance(expr.ret, ast.VarRef)
+
+    def test_multi_variable_for(self):
+        expr = parse_query(
+            'for $a in doc("x.xml")/a, $b in doc("y.xml")/b return $a')
+        assert [f.var for f in expr.fors] == ["a", "b"]
+
+    def test_where_conjunction(self):
+        expr = parse_query(
+            'for $b in doc("b.xml")/bib/book '
+            'where $b/@year = "1994" and $b/title != "X" return $b')
+        assert isinstance(expr.where, ast.BoolAnd)
+        assert len(expr.where.conjuncts) == 2
+
+    def test_order_by(self):
+        expr = parse_query(
+            'for $b in doc("b.xml")/bib/book order by $b/title return $b')
+        assert len(expr.order_by) == 1
+
+    def test_uppercase_keywords(self):
+        expr = parse_query(
+            'FOR $b IN doc("b.xml")/bib/book WHERE $b/@y = "1" RETURN $b')
+        assert isinstance(expr, ast.FLWOR)
+
+    def test_let_clause_parsed(self):
+        expr = parse_query(
+            'let $t := doc("b.xml")/bib/book for $x in $t/title return $x')
+        assert expr.lets and expr.lets[0].var == "t"
+
+    def test_distinct_values(self):
+        expr = parse_query(
+            'for $y in distinct-values(doc("b.xml")/bib/book/@year) '
+            'return $y')
+        binding = expr.fors[0].binding
+        assert isinstance(binding, ast.FunctionCall)
+        assert binding.name == "distinct-values"
+
+    def test_aggregate_function(self):
+        expr = parse_query('count(doc("b.xml")/bib/book)')
+        assert isinstance(expr, ast.FunctionCall) and expr.name == "count"
+
+
+class TestConstructors:
+    def test_simple(self):
+        expr = parse_query("<r>{$x}</r>")
+        assert isinstance(expr, ast.ElementConstructor)
+        assert isinstance(expr.content[0], ast.VarRef)
+
+    def test_attributes(self):
+        expr = parse_query('<r a="lit" b="{$v}">x</r>')
+        names = [n for n, _ in expr.attributes]
+        assert names == ["a", "b"]
+        assert isinstance(expr.attributes[1][1], ast.VarRef)
+
+    def test_nested_constructor_and_text(self):
+        expr = parse_query("<a>hello <b>{$x}</b></a>")
+        kinds = [type(c).__name__ for c in expr.content]
+        assert kinds == ["TextContent", "ElementConstructor"]
+
+    def test_empty_element(self):
+        expr = parse_query("<a/>")
+        assert expr.tag == "a" and not expr.content
+
+    def test_flwor_inside_braces(self):
+        expr = parse_query(
+            '<r>{for $b in doc("b.xml")/bib/book return $b}</r>')
+        assert isinstance(expr.content[0], ast.FLWOR)
+
+    def test_bare_flwor_in_content(self):
+        expr = parse_query(
+            '<r> FOR $b in doc("b.xml")/bib/book RETURN $b </r>')
+        assert isinstance(expr.content[0], ast.FLWOR)
+
+    def test_multiple_braced_groups(self):
+        expr = parse_query("<r>{$a} {$b}</r>")
+        assert len(expr.content) == 2
+
+    def test_comment_skipped(self):
+        expr = parse_query("(: comment :) <a/>")
+        assert expr.tag == "a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "for $x return $x", "<a>{$x}</b>", "for $x in doc('d')/a",
+        "<a x=1/>", "for $x in doc(\"d\")/a order $x return $x",
+        "$x ==", "doc('d.xml')/a[title >< 'x']",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(XQueryParseError):
+            parse_query(bad)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XQueryParseError):
+            parse_query("<a/> junk")
+
+
+class TestNormalization:
+    def test_let_inlining(self):
+        expr = parse_query(
+            'let $t := doc("b.xml")/bib/book '
+            'for $x in $t/title return $x')
+        norm = normalize(expr)
+        assert not norm.lets
+        binding = norm.fors[0].binding
+        assert isinstance(binding, ast.PathExpr)
+        assert binding.from_document
+        assert "title" in binding.path
+
+    def test_let_var_direct_use(self):
+        expr = parse_query(
+            'let $d := doc("b.xml")/bib for $x in $d/book return $x')
+        norm = normalize(expr)
+        assert norm.fors[0].binding.path.endswith("book")
+
+    def test_for_var_shadows_let(self):
+        expr = parse_query(
+            'let $x := doc("b.xml")/bib '
+            'for $x in doc("c.xml")/c return $x')
+        norm = normalize(expr)
+        assert isinstance(norm.ret, ast.VarRef)
+
+    def test_normalize_idempotent_on_plain_query(self):
+        expr = parse_query('for $b in doc("b.xml")/bib/book return $b')
+        assert normalize(expr).fors[0].var == "b"
