@@ -1,0 +1,185 @@
+"""Multi-view maintenance: shared validation routing vs per-view checks.
+
+With N registered views, the naive Validate phase runs every view's SAPT
+relevancy check per update — N tag-path walks and N path-set scans.  The
+:class:`repro.multiview.SharedValidationRouter` classifies each update
+once against one interned path index.  This module measures both on the
+same update-target stream across a growing view count and emits a JSON
+result (run as a script) showing shared routing winning, plus an
+end-to-end registry maintenance timing.
+"""
+
+import json
+
+from bench_common import (StorageManager, auctions, ms, persons,
+                          print_table, scales, time_call, translate_query,
+                          xmark)
+
+from repro import UpdateRequest, ViewRegistry
+from repro.multiview.router import SharedValidationRouter
+from repro.updates.sapt import Sapt
+from repro.workloads import bib as bibload
+
+#: The view definitions a registry instance maintains, in registration
+#: order; slices of this list give the N-view workloads.
+VIEW_QUERIES = [
+    ("profiles", xmark.ORDER_QUERY_1),
+    ("cities", xmark.ORDER_QUERY_2),
+    ("sale-dates", xmark.ORDER_QUERY_3),
+    ("customers-bids", xmark.ORDER_QUERY_4),
+    ("by-city", xmark.PERSONS_BY_CITY_QUERY),
+    ("seniors", xmark.SELECTION_QUERY),
+    ("sales", xmark.JOIN_QUERY),
+]
+
+
+def build_storage(num_persons: int) -> StorageManager:
+    storage = StorageManager()
+    xmark.register_site(storage, num_persons)
+    bibload.register_running_example(storage)
+    return storage
+
+
+def build_sapts(num_views: int) -> list[tuple[str, Sapt]]:
+    sapts = []
+    for name, query in VIEW_QUERIES[:num_views]:
+        sapts.append((name, Sapt.from_plan(translate_query(query).prepare())))
+    return sapts
+
+
+def classification_targets(storage: StorageManager) -> list:
+    """A mixed stream of update targets: binding roots, value leaves,
+    predicate leaves and subtrees irrelevant to every view."""
+    targets = []
+    targets += [("site.xml", key) for key in persons(storage)]
+    targets += [("site.xml", key) for key in storage.find_by_path(
+        "site.xml", [("child", "site"), ("child", "people"),
+                     ("child", "person"), ("child", "profile"),
+                     ("child", "age")])]
+    targets += [("site.xml", key) for key in auctions(storage)]
+    targets += [("bib.xml", key) for key in storage.find_by_path(
+        "bib.xml", [("child", "bib"), ("child", "book"),
+                    ("child", "author")])]
+    return targets
+
+
+def measure_routing(num_persons: int, num_views: int
+                    ) -> tuple[float, float, int]:
+    """Best-of-3 seconds for (per-view, shared) classification of the
+    whole target stream."""
+    storage = build_storage(num_persons)
+    sapts = build_sapts(num_views)
+    router = SharedValidationRouter()
+    for name, sapt in sapts:
+        router.subscribe(name, sapt)
+    targets = classification_targets(storage)
+
+    def per_view():
+        for document, key in targets:
+            for _name, sapt in sapts:
+                sapt.is_relevant(storage, document, key)
+
+    def shared():
+        for document, key in targets:
+            router.route(storage, document, key)
+
+    return (time_call(per_view, repeat=3), time_call(shared, repeat=3),
+            len(targets))
+
+
+def measure_maintenance(num_persons: int, num_views: int) -> float:
+    """End-to-end registry maintenance of an interleaved stream."""
+    storage = build_storage(num_persons)
+    registry = ViewRegistry(storage)
+    for name, query in VIEW_QUERIES[:num_views]:
+        registry.register(name, query)
+    person_keys = persons(storage)
+    auction_keys = auctions(storage)
+    updates = [
+        UpdateRequest.insert("site.xml", person_keys[-1],
+                             xmark.new_person_xml(1, age=61), "after"),
+        UpdateRequest.delete("site.xml", person_keys[0]),
+        UpdateRequest.insert("site.xml", auction_keys[-1],
+                             xmark.new_closed_auction_xml(9, "person5"),
+                             "after"),
+        UpdateRequest.delete("site.xml", auction_keys[1]),
+    ]
+    return time_call(lambda: registry.apply_updates(updates), repeat=1)
+
+
+def routing_result(num_persons: int = 100) -> dict:
+    """The JSON-serializable shared-vs-per-view routing comparison."""
+    series = []
+    for num_views in (1, 3, 5, len(VIEW_QUERIES)):
+        per_view, shared, targets = measure_routing(num_persons, num_views)
+        series.append({
+            "views": num_views,
+            "targets": targets,
+            "per_view_seconds": per_view,
+            "shared_seconds": shared,
+            "speedup": per_view / shared if shared > 0 else None,
+        })
+    return {
+        "benchmark": "multiview_shared_validation_routing",
+        "num_persons": num_persons,
+        "series": series,
+        "shared_routing_wins": all(
+            row["shared_seconds"] < row["per_view_seconds"]
+            for row in series if row["views"] > 1),
+    }
+
+
+def figure_rows():
+    rows = []
+    for n in scales():
+        per_view, shared, _targets = measure_routing(n, len(VIEW_QUERIES))
+        maintain = measure_maintenance(n, len(VIEW_QUERIES))
+        rows.append([n, ms(per_view), ms(shared),
+                     f"{per_view / shared:6.2f}x", ms(maintain)])
+    return rows
+
+
+def test_shared_routing_matches_per_view_validation():
+    storage = build_storage(30)
+    sapts = build_sapts(len(VIEW_QUERIES))
+    router = SharedValidationRouter()
+    for name, sapt in sapts:
+        router.subscribe(name, sapt)
+    for document, key in classification_targets(storage):
+        routed = router.route(storage, document, key).views
+        expected = {name for name, sapt in sapts
+                    if sapt.is_relevant(storage, document, key)}
+        assert routed == expected, (document, key)
+
+
+def test_shared_routing_beats_per_view_validation():
+    per_view, shared, _targets = measure_routing(60, len(VIEW_QUERIES))
+    # The sweep shows ~2.5x at 7 views; the margin absorbs timer noise on
+    # loaded machines.
+    assert shared < per_view * 1.5, (shared, per_view)
+
+
+def test_registry_maintains_full_view_set():
+    storage = build_storage(30)
+    registry = ViewRegistry(storage)
+    for name, query in VIEW_QUERIES:
+        registry.register(name, query)
+    person_keys = persons(storage)
+    registry.apply_updates([
+        UpdateRequest.insert("site.xml", person_keys[-1],
+                             xmark.new_person_xml(3, age=48), "after"),
+        UpdateRequest.delete("site.xml", person_keys[2]),
+    ])
+    for name in registry.names():
+        assert registry.query(name) == registry.recompute_xml(name), name
+
+
+if __name__ == "__main__":
+    result = routing_result()
+    print(json.dumps(result, indent=2))
+    print_table(
+        "Multi-view: shared routing vs per-view validation "
+        f"({len(VIEW_QUERIES)} views)",
+        ["persons", "per-view (ms)", "shared (ms)", "speedup",
+         "maintain (ms)"],
+        figure_rows())

@@ -23,6 +23,8 @@ Quickstart::
 
 from .engine import Engine
 from .flexkeys import FlexKey
+from .multiview import (CostModel, MaintenancePolicy, MultiViewReport,
+                        ViewRegistry)
 from .storage import StorageManager
 from .translate import TranslationError, Translator, translate_query
 from .updates import Sapt, UpdateRequest, UpdateTree
@@ -36,10 +38,13 @@ from .xquery.updates import apply_xquery_update, parse_update
 __version__ = "1.0.0"
 
 __all__ = [
+    "CostModel",
     "Engine",
     "FlexKey",
+    "MaintenancePolicy",
     "MaintenanceReport",
     "MaterializedXQueryView",
+    "MultiViewReport",
     "Profiler",
     "Sapt",
     "StorageManager",
@@ -47,6 +52,7 @@ __all__ = [
     "Translator",
     "UpdateRequest",
     "UpdateTree",
+    "ViewRegistry",
     "XmlDocument",
     "XmlNode",
     "apply_xquery_update",

@@ -8,6 +8,7 @@ annotations, ready for incremental maintenance.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..apply.deep_union import FusionReport, deep_union, fuse_forest
@@ -67,6 +68,35 @@ class Engine:
             for root in forest:
                 _ensure_sorted(root)
         return forest
+
+    def propagate(self, plan: XatOperator, extent: Optional[ExtentNode],
+                  spec: DeltaSpec, *, profiler: Optional[Profiler] = None,
+                  report=None, before_fuse=None
+                  ) -> tuple[ExtentNode, FusionReport]:
+        """One V-P-A delta pass: execute ``plan`` in delta mode for ``spec``
+        and fuse the resulting delta forest into ``extent``.
+
+        ``before_fuse`` (if given) runs between delta execution and fusion;
+        the maintenance pipeline applies deferred storage deletes there —
+        deletes reach storage only after propagation has read the doomed
+        subtrees, per the phase discipline of Chapter 6.  ``report`` is an
+        optional maintenance report (any object with ``propagate_seconds``,
+        ``apply_seconds`` and ``fusion`` attributes) that receives the
+        per-phase timings.
+        """
+        started = time.perf_counter()
+        forest = self.result_forest(plan, mode=DELTA, delta=spec,
+                                    profiler=profiler)
+        if before_fuse is not None:
+            before_fuse()
+        propagate_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        fusion = report.fusion if report is not None else None
+        extent, fusion_report = fuse_forest(extent, forest, fusion)
+        if report is not None:
+            report.propagate_seconds += propagate_elapsed
+            report.apply_seconds += time.perf_counter() - started
+        return extent, fusion_report
 
     def materialize(self, plan: XatOperator,
                     profiler: Optional[Profiler] = None

@@ -1,0 +1,42 @@
+"""Multi-view maintenance: N materialized XQuery views over one storage.
+
+The subsystem generalizes the single-view V-P-A facade to a registry of
+views maintained from a single update stream:
+
+* :mod:`~repro.multiview.pipeline` — the shared V-P-A machinery (also
+  backing :class:`repro.MaterializedXQueryView`);
+* :mod:`~repro.multiview.router` — shared validation: one interned path
+  index over all views, one classification per update;
+* :mod:`~repro.multiview.policies` — per-view immediate / deferred /
+  threshold flush policies;
+* :mod:`~repro.multiview.cost` — cost-based incremental-vs-recompute
+  flush decisions;
+* :mod:`~repro.multiview.registry` — the :class:`ViewRegistry` tying it
+  together.
+"""
+
+from .cost import CostModel
+from .pipeline import MaintenanceReport, ViewPipeline, run_maintenance
+from .policies import DEFERRED, IMMEDIATE, MaintenancePolicy, threshold
+from .registry import (MultiViewReport, RegisteredView, RoutedTree,
+                       ViewRegistry, ViewStats)
+from .router import RouterStats, RouteResult, SharedValidationRouter
+
+__all__ = [
+    "CostModel",
+    "DEFERRED",
+    "IMMEDIATE",
+    "MaintenancePolicy",
+    "MaintenanceReport",
+    "MultiViewReport",
+    "RegisteredView",
+    "RoutedTree",
+    "RouteResult",
+    "RouterStats",
+    "SharedValidationRouter",
+    "ViewPipeline",
+    "ViewRegistry",
+    "ViewStats",
+    "run_maintenance",
+    "threshold",
+]

@@ -1,0 +1,76 @@
+"""Cost-based choice between incremental propagation and recomputation.
+
+The paper's evaluation (Section 9.1, Fig 9.1-9.6 — reproduced by the
+``benchmarks/bench_fig9_*`` modules) shows incremental maintenance wins
+for small update batches but loses to full recomputation once a batch
+touches a large enough fraction of the sources.  :class:`CostModel`
+captures that trade-off per view with two online-calibrated quantities:
+
+* ``recompute_seconds`` — the observed cost of one full materialization,
+  seeded by the initial :meth:`ViewRegistry.materialize` timing and
+  refreshed (EWMA) on every later recomputation;
+* ``per_tree_seconds`` — the observed propagation cost per update tree,
+  refreshed (EWMA) from every incremental flush's
+  :class:`~repro.multiview.pipeline.MaintenanceReport` timings.
+
+A flush of ``n`` pending trees falls back to recomputation when
+``n * per_tree_seconds > bias * recompute_seconds``.  Until both sides
+have been observed the model always chooses incremental — the paper's
+default.  ``bias`` (> 1 favours incremental) absorbs the estimation
+noise of small timings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CostModel:
+    """Per-view estimator for incremental-vs-recompute flush decisions."""
+
+    def __init__(self, recompute_seconds: Optional[float] = None,
+                 per_tree_seconds: Optional[float] = None,
+                 alpha: float = 0.5, bias: float = 1.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if bias <= 0.0:
+            raise ValueError("bias must be positive")
+        self.recompute_seconds = recompute_seconds
+        self.per_tree_seconds = per_tree_seconds
+        self.alpha = alpha
+        self.bias = bias
+        self.recompute_observations = 0
+        self.propagation_observations = 0
+
+    def _blend(self, old: Optional[float], new: float) -> float:
+        if old is None:
+            return new
+        return self.alpha * new + (1.0 - self.alpha) * old
+
+    def observe_recompute(self, seconds: float) -> None:
+        self.recompute_seconds = self._blend(self.recompute_seconds,
+                                             seconds)
+        self.recompute_observations += 1
+
+    def observe_propagation(self, trees: int, seconds: float) -> None:
+        if trees <= 0:
+            return
+        self.per_tree_seconds = self._blend(self.per_tree_seconds,
+                                            seconds / trees)
+        self.propagation_observations += 1
+
+    def estimate_propagation(self, trees: int) -> Optional[float]:
+        if self.per_tree_seconds is None:
+            return None
+        return trees * self.per_tree_seconds
+
+    def should_recompute(self, pending_trees: int) -> bool:
+        """Would propagating ``pending_trees`` lose to recomputing?"""
+        estimate = self.estimate_propagation(pending_trees)
+        if estimate is None or self.recompute_seconds is None:
+            return False  # uncalibrated: stay incremental
+        return estimate > self.bias * self.recompute_seconds
+
+    def __repr__(self) -> str:
+        return (f"CostModel(recompute={self.recompute_seconds!r}, "
+                f"per_tree={self.per_tree_seconds!r}, bias={self.bias})")

@@ -1,0 +1,286 @@
+"""The reusable V-P-A pipeline (Validate / Propagate / Apply).
+
+This module is the single implementation of the maintenance machinery of
+Chapters 5-7, extracted from the original single-view facade so that both
+:class:`repro.MaterializedXQueryView` (one view) and
+:class:`repro.multiview.ViewRegistry` (N views over one storage) run the
+same code:
+
+* the **Validate** helpers — relevancy classification against a SAPT,
+  storage application of accepted primitives, and the delete+insert
+  decomposition of insufficient modifies (Section 5.2.2);
+* the **Propagate/Apply** step — :meth:`ViewPipeline.propagate_run` runs
+  one batch update tree through the plan in delta mode and fuses the delta
+  forest into the extent with the count-aware Deep Union;
+* the sequential driver :func:`run_maintenance` — the exact single-view
+  discipline: updates processed in order, maximal same-document same-kind
+  runs batched (via :class:`repro.updates.batch.RunBatcher`), inserts and
+  modifies applied to storage before their batch propagates, deletes
+  after.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..apply import ExtentNode, FusionReport
+from ..engine import Engine
+from ..updates.batch import RunBatcher, spec_for_run
+from ..updates.primitives import UpdateRequest, UpdateTree
+from ..updates.sapt import Sapt
+from ..storage import StorageManager
+from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
+from ..xmlmodel import XmlNode
+
+
+@dataclass
+class MaintenanceReport:
+    """What one maintenance pass did, with timing per V-P-A phase."""
+
+    accepted: int = 0
+    irrelevant: int = 0
+    decomposed: int = 0
+    batches: int = 0
+    validate_seconds: float = 0.0
+    propagate_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    recomputed: bool = False
+    fusion: FusionReport = field(default_factory=FusionReport)
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.validate_seconds + self.propagate_seconds
+                + self.apply_seconds)
+
+
+# -- Validate phase: storage application helpers ----------------------------------------
+
+
+def apply_insert(storage: StorageManager, request: UpdateRequest):
+    """Apply an insert request to storage, returning the new root's key."""
+    if request.position == "into":
+        return storage.insert_fragment(request.target, request.fragment)
+    parent = storage.parent_key(request.target)
+    if parent is None:
+        raise ValueError("cannot insert next to a document root")
+    if request.position == "after":
+        return storage.insert_fragment(parent, request.fragment,
+                                       after=request.target)
+    return storage.insert_fragment(parent, request.fragment,
+                                   before=request.target)
+
+
+def decompose_modify(storage: StorageManager, request: UpdateRequest,
+                     anchor) -> list[UpdateRequest]:
+    """A modify on a predicate path becomes delete+insert of the binding
+    fragment rooted at ``anchor`` (the sufficiency treatment of Section
+    5.2.2).  The caller picks the anchor — the nearest enclosing binding
+    root for a single view, the outermost such root across views for the
+    registry."""
+    parent = storage.parent_key(anchor)
+    if parent is None:
+        raise ValueError("cannot decompose a modify at a document root")
+    anchor_node = storage.node(anchor)
+    siblings = anchor_node.parent.children
+    position_index = siblings.index(anchor_node)
+    before_key = (siblings[position_index + 1].key
+                  if position_index + 1 < len(siblings) else None)
+
+    replacement = anchor_node.deep_copy()
+    target_copy = _copy_path_target(storage, anchor, request.target,
+                                    replacement)
+    for child in list(target_copy.children):
+        if child.is_text:
+            target_copy.remove(child)
+    target_copy.append(XmlNode.text(request.new_value))
+
+    if before_key is not None:
+        insert = UpdateRequest.insert(request.document, before_key,
+                                      replacement, position="before")
+    else:
+        insert = UpdateRequest.insert(request.document, parent,
+                                      replacement, position="into")
+    return [UpdateRequest.delete(request.document, anchor), insert]
+
+
+def decomposition_anchor(storage: StorageManager, sapt: Sapt,
+                         request: UpdateRequest):
+    """The binding fragment root an insufficient modify decomposes at."""
+    anchor = sapt.binding_anchor(storage, request.document, request.target)
+    if anchor is None:
+        anchor = storage.parent_key(request.target) or request.target
+    return anchor
+
+
+def _copy_path_target(storage: StorageManager, anchor, target,
+                      replacement: XmlNode) -> XmlNode:
+    """Locate inside ``replacement`` the copy of the node at ``target``."""
+    chain = []
+    probe = target
+    while probe != anchor:
+        chain.append(storage.node(probe))
+        probe = storage.parent_key(probe)
+    node_copy = replacement
+    original = storage.node(anchor)
+    for step in reversed(chain):
+        node_copy = node_copy.children[original.children.index(step)]
+        original = step
+    return node_copy
+
+
+def validate_one(storage: StorageManager, sapt: Sapt,
+                 request: UpdateRequest, report: MaintenanceReport,
+                 validate_updates: bool = True):
+    """Single-view Validate: classify one request and apply its storage
+    change at the right point of the pipeline.
+
+    Returns ``(UpdateTree, deferred delete request | None)``, a list of
+    replacement requests (decomposition), or ``None`` (irrelevant — the
+    storage change has been applied, nothing propagates)."""
+    if request.kind == INSERT:
+        key = apply_insert(storage, request)
+        if validate_updates and not sapt.is_relevant(
+                storage, request.document, key):
+            report.irrelevant += 1
+            return None
+        report.accepted += 1
+        return UpdateTree(request.document, key, INSERT), None
+    if request.kind == DELETE:
+        if validate_updates and not sapt.is_relevant(
+                storage, request.document, request.target):
+            storage.delete_subtree(request.target)
+            report.irrelevant += 1
+            return None
+        report.accepted += 1
+        return (UpdateTree(request.document, request.target, DELETE),
+                request)
+    # MODIFY
+    if validate_updates and not sapt.is_relevant(
+            storage, request.document, request.target):
+        storage.replace_text(request.target, request.new_value)
+        report.irrelevant += 1
+        return None
+    if validate_updates and sapt.modify_hits_predicate(
+            storage, request.document, request.target):
+        report.decomposed += 1
+        anchor = decomposition_anchor(storage, sapt, request)
+        return decompose_modify(storage, request, anchor)
+    report.accepted += 1
+    storage.replace_text(request.target, request.new_value)
+    return UpdateTree(request.document, request.target, MODIFY), None
+
+
+# -- the maintainable state of one view ------------------------------------------------
+
+
+class ViewPipeline:
+    """Plan, SAPT and extent of one materialized view, plus its P-A step.
+
+    This is the view-side state the registry manages per registered view
+    and the facade wraps for the single-view API."""
+
+    def __init__(self, engine: Engine, plan: XatOperator,
+                 sapt: Optional[Sapt] = None, validate_updates: bool = True):
+        self.engine = engine
+        self.storage = engine.storage
+        self.plan = plan if plan.schema is not None else plan.prepare()
+        self.sapt = sapt if sapt is not None else Sapt.from_plan(self.plan)
+        self.validate_updates = validate_updates
+        self.extent: Optional[ExtentNode] = None
+        self.materialized = False
+
+    def materialize(self, profiler: Optional[Profiler] = None) -> None:
+        self.extent, _report = self.engine.materialize(self.plan,
+                                                       profiler=profiler)
+        self.materialized = True
+
+    def recompute(self) -> None:
+        """Replace the extent by full recomputation over current sources."""
+        self.extent, _report = self.engine.materialize(self.plan)
+
+    def to_xml(self) -> str:
+        return Engine.serialize_extent(self.extent)
+
+    def recompute_xml(self) -> str:
+        """Full recomputation over current sources (the correctness
+        oracle) — does not touch the maintained extent."""
+        extent, _report = self.engine.materialize(self.plan)
+        return Engine.serialize_extent(extent)
+
+    def extent_size(self) -> int:
+        return self.extent.subtree_size() if self.extent is not None else 0
+
+    def propagate_run(self, run: list[UpdateTree],
+                      report: MaintenanceReport,
+                      profiler: Optional[Profiler] = None,
+                      before_fuse=None) -> None:
+        """Propagate one closed run (one batch update tree) and fuse the
+        delta into the extent."""
+        report.batches += 1
+        self.extent, _fusion = self.engine.propagate(
+            self.plan, self.extent, spec_for_run(run), profiler=profiler,
+            report=report, before_fuse=before_fuse)
+
+
+# -- the single-view V-P-A driver ------------------------------------------------------
+
+
+def run_maintenance(view: ViewPipeline, updates: list[UpdateRequest],
+                    profiler: Optional[Profiler] = None
+                    ) -> MaintenanceReport:
+    """Validate, propagate and apply a heterogeneous update sequence
+    against one view — the Fig 1.5 loop."""
+    if not view.materialized:
+        raise RuntimeError("materialize() the view before updating it")
+    storage = view.storage
+    report = MaintenanceReport()
+    batcher = RunBatcher()
+    deferred_deletes: list[UpdateRequest] = []
+
+    def flush(run, deletes):
+        if run is None:
+            return
+
+        def apply_deletes():
+            # Deletes reach storage only after propagation has read the
+            # doomed subtrees (the phase/count discipline of Chapter 6).
+            for request in deletes:
+                storage.delete_subtree(request.target)
+
+        view.propagate_run(run, report, profiler=profiler,
+                           before_fuse=apply_deletes)
+
+    queue = list(updates)
+    index = 0
+    while index < len(queue):
+        request = queue[index]
+        index += 1
+        started = time.perf_counter()
+        outcome = validate_one(storage, view.sapt, request, report,
+                               view.validate_updates)
+        report.validate_seconds += time.perf_counter() - started
+        if outcome is None:
+            continue
+        if isinstance(outcome, list):  # decomposed modify
+            queue[index:index] = outcome
+            continue
+        tree, deferred = outcome
+        closed, accepted = batcher.push(tree)
+        if closed is not None:
+            flush(closed, deferred_deletes)
+            deferred_deletes = []
+        if not accepted:
+            continue  # already covered by an enclosing root in the run
+        if deferred is not None:
+            deferred_deletes.append(deferred)
+    flush(batcher.close(), deferred_deletes)
+
+    if report.fusion.aggregate_refreshes:
+        # min/max eviction: fall back to recomputation (Section 7.6).
+        started = time.perf_counter()
+        view.recompute()
+        report.recomputed = True
+        report.apply_seconds += time.perf_counter() - started
+    return report

@@ -1,0 +1,393 @@
+"""ViewRegistry: N materialized views over one storage, one update stream.
+
+The registry generalizes the single-view V-P-A facade (Fig 1.5) to many
+simultaneously maintained views:
+
+* **register / unregister** views by name; each carries its own plan,
+  SAPT, extent, :class:`~repro.multiview.policies.MaintenancePolicy` and
+  :class:`~repro.multiview.cost.CostModel`;
+* **shared Validate** — every :class:`~repro.updates.primitives
+  .UpdateRequest` entering :meth:`apply_updates` is classified *once* by
+  the :class:`~repro.multiview.router.SharedValidationRouter` and
+  dispatched only to the views it can affect; updates irrelevant to every
+  view hit storage exactly once and propagate nowhere;
+* **shared batching** — the stream is grouped into maximal same-document
+  same-kind runs by the same :class:`~repro.updates.batch.RunBatcher`
+  the single-view driver uses; each relevant view propagates its own
+  subset of a run's trees (relevance is ancestor-monotone, so the global
+  nested-root dedup never hides a root from a view that needs it);
+* **policies** — immediate views propagate at every batch boundary;
+  deferred/threshold views queue batches and flush lazily.  Delete
+  batches are barriers: the doomed subtrees leave storage only after
+  every relevant view (whatever its policy) has propagated them;
+* **cost-based fallback** — at flush time each view's cost model compares
+  the estimated propagation cost of its pending trees against observed
+  recomputation cost and recomputes the extent wholesale when
+  incremental maintenance would lose (Section 9.1's enable-cost
+  trade-off, applied per batch).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..engine import Engine
+from ..storage import StorageManager
+from ..translate import translate_query
+from ..updates.batch import RunBatcher
+from ..updates.primitives import UpdateRequest, UpdateTree
+from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
+from .cost import CostModel
+from .pipeline import (MaintenanceReport, ViewPipeline, apply_insert,
+                       decompose_modify, decomposition_anchor)
+from .policies import (DEFERRED_KIND, IMMEDIATE_KIND, THRESHOLD_KIND,
+                       MaintenancePolicy)
+from .router import SharedValidationRouter
+
+
+@dataclass
+class RoutedTree(UpdateTree):
+    """An update tree annotated with the names of the views it affects."""
+
+    views: frozenset = frozenset()
+
+
+@dataclass
+class ViewStats:
+    """Maintenance activity of one registered view."""
+
+    flushes: int = 0
+    recomputes: int = 0
+    propagated_trees: int = 0
+    routed_trees: int = 0
+
+
+@dataclass
+class MultiViewReport:
+    """What one :meth:`ViewRegistry.apply_updates` call did."""
+
+    updates: int = 0                 # requests processed (incl. replacements)
+    classifications: int = 0         # router classifications (exactly once
+                                     # per processed request)
+    routed: int = 0                  # requests relevant to >= 1 view
+    irrelevant_everywhere: int = 0   # requests that only touched storage
+    decomposed: int = 0              # insufficient modifies decomposed
+    storage_ops: int = 0             # storage mutations performed
+    validate_seconds: float = 0.0    # shared routing time (not per view)
+    views: dict = field(default_factory=dict)  # name -> cumulative report
+
+
+class RegisteredView:
+    """One view under registry maintenance (a handle, also used
+    internally)."""
+
+    def __init__(self, name: str, pipeline: ViewPipeline,
+                 policy: MaintenancePolicy, cost: CostModel):
+        self.name = name
+        self.pipeline = pipeline
+        self.policy = policy
+        self.cost = cost
+        self.pending: list[list[RoutedTree]] = []
+        self.report = MaintenanceReport()
+        self.stats = ViewStats()
+
+    def pending_trees(self) -> int:
+        return sum(len(batch) for batch in self.pending)
+
+    def to_xml(self) -> str:
+        return self.pipeline.to_xml()
+
+
+class ViewRegistry:
+    """Manages N materialized views over one :class:`StorageManager`."""
+
+    def __init__(self, storage: StorageManager):
+        self.storage = storage
+        self.engine = Engine(storage)
+        self.router = SharedValidationRouter()
+        self._views: dict[str, RegisteredView] = {}
+        self._storage_ops = 0
+        storage.add_listener(self._count_storage_op)
+
+    def _count_storage_op(self, op: str, key) -> None:
+        self._storage_ops += 1
+
+    def close(self) -> None:
+        """Detach from the storage manager (idempotent).  A registry holds
+        a mutation listener on its storage; call this when discarding a
+        registry whose StorageManager outlives it."""
+        try:
+            self.storage.remove_listener(self._count_storage_op)
+        except ValueError:
+            pass
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(self, name: str, query: Union[str, XatOperator],
+                 policy: Union[MaintenancePolicy, str, int] = "immediate",
+                 cost_model: Optional[CostModel] = None,
+                 materialize: bool = True) -> RegisteredView:
+        """Register (and by default materialize) a view under ``name``."""
+        if name in self._views:
+            raise ValueError(f"view {name!r} already registered")
+        plan = (translate_query(query) if isinstance(query, str)
+                else query)
+        view = RegisteredView(name, ViewPipeline(self.engine, plan),
+                              MaintenancePolicy.parse(policy),
+                              cost_model if cost_model is not None
+                              else CostModel())
+        self._views[name] = view
+        self.router.subscribe(name, view.pipeline.sapt)
+        if materialize:
+            self.materialize(name)
+        return view
+
+    def unregister(self, name: str) -> None:
+        """Drop a view; its queued deltas are discarded with it."""
+        view = self._views.pop(name)
+        self.router.unsubscribe(name)
+        view.pending.clear()
+
+    def names(self) -> list[str]:
+        return list(self._views)
+
+    def view(self, name: str) -> RegisteredView:
+        return self._views[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    # -- materialization and reads -----------------------------------------------------
+
+    def materialize(self, name: Optional[str] = None,
+                    profiler: Optional[Profiler] = None) -> None:
+        """(Re)materialize one view, or every registered view.
+
+        The observed full-computation time seeds the view's cost model —
+        the recompute side of every later flush decision."""
+        views = ([self._views[name]] if name is not None
+                 else list(self._views.values()))
+        for view in views:
+            started = time.perf_counter()
+            view.pipeline.materialize(profiler=profiler)
+            view.cost.observe_recompute(time.perf_counter() - started)
+
+    def query(self, name: str) -> str:
+        """Read a view's XML, first flushing its pending deltas (the lazy
+        flush point of the deferred policy)."""
+        self.flush(name)
+        return self._views[name].pipeline.to_xml()
+
+    def to_xml(self, name: str) -> str:
+        """The view's current extent *without* flushing (deferred views
+        may be stale by design)."""
+        return self._views[name].pipeline.to_xml()
+
+    def recompute_xml(self, name: str) -> str:
+        """Full recomputation oracle for one view (extent untouched)."""
+        return self._views[name].pipeline.recompute_xml()
+
+    # -- the shared update entry point -------------------------------------------------
+
+    def apply_updates(self, updates: list[UpdateRequest],
+                      profiler: Optional[Profiler] = None
+                      ) -> MultiViewReport:
+        """Route, batch and propagate one heterogeneous update sequence
+        across every registered view."""
+        report = MultiViewReport()
+        stats_before = (self.router.stats.classifications,
+                        self.router.stats.routed,
+                        self.router.stats.irrelevant_everywhere)
+        ops_before = self._storage_ops
+        self._profiler = profiler
+
+        storage = self.storage
+        batcher = RunBatcher()
+        queue = list(updates)
+        index = 0
+        while index < len(queue):
+            request = queue[index]
+            index += 1
+            report.updates += 1
+            started = time.perf_counter()
+            if request.kind == INSERT:
+                key = apply_insert(storage, request)
+                result = self.router.route(storage, request.document, key)
+                tree = RoutedTree(request.document, key, INSERT,
+                                  views=result.views)
+            elif request.kind == DELETE:
+                result = self.router.route(storage, request.document,
+                                           request.target)
+                if not result.views:
+                    storage.delete_subtree(request.target)
+                    report.validate_seconds += (time.perf_counter()
+                                                - started)
+                    continue
+                tree = RoutedTree(request.document, request.target, DELETE,
+                                  views=result.views)
+            else:  # MODIFY
+                result = self.router.route(storage, request.document,
+                                           request.target)
+                if not result.views:
+                    storage.replace_text(request.target, request.new_value)
+                    report.validate_seconds += (time.perf_counter()
+                                                - started)
+                    continue
+                hitters = self.router.predicate_hitters(
+                    request.document, result.tags, result.views)
+                if hitters:
+                    # One view's insufficiency decomposes the modify for
+                    # everyone: delete+insert of the outermost binding
+                    # fragment is a storage-equivalent rewrite every view
+                    # handles correctly through re-routing.
+                    anchor = self._outermost_anchor(hitters, request)
+                    report.decomposed += 1
+                    replacements = decompose_modify(storage, request,
+                                                    anchor)
+                    report.validate_seconds += (time.perf_counter()
+                                                - started)
+                    queue[index:index] = replacements
+                    continue
+                storage.replace_text(request.target, request.new_value)
+                tree = RoutedTree(request.document, request.target, MODIFY,
+                                  views=result.views)
+            report.validate_seconds += time.perf_counter() - started
+            if request.kind == INSERT and not result.views:
+                continue  # fragment stored; nothing propagates
+            closed, accepted = batcher.push(tree)
+            if closed is not None:
+                self._dispatch(closed)
+            if accepted:
+                for name in tree.views:
+                    view = self._views.get(name)
+                    if view is not None:
+                        view.report.accepted += 1
+                        view.stats.routed_trees += 1
+        closed = batcher.close()
+        if closed is not None:
+            self._dispatch(closed)
+        self._profiler = None
+
+        report.classifications = (self.router.stats.classifications
+                                  - stats_before[0])
+        report.routed = self.router.stats.routed - stats_before[1]
+        report.irrelevant_everywhere = (
+            self.router.stats.irrelevant_everywhere - stats_before[2])
+        report.storage_ops = self._storage_ops - ops_before
+        report.views = {name: view.report
+                        for name, view in self._views.items()}
+        return report
+
+    def _outermost_anchor(self, hitters, request: UpdateRequest):
+        """The outermost binding anchor across the views that need the
+        modify decomposed — a fragment enclosing each view's own anchor,
+        hence sufficient for all of them."""
+        anchors = [decomposition_anchor(self.storage,
+                                        self._views[name].pipeline.sapt,
+                                        request)
+                   for name in sorted(hitters)]
+        return min(anchors, key=lambda key: key.depth)
+
+    # -- dispatch and flushing ---------------------------------------------------------
+
+    def _dispatch(self, run: list[RoutedTree]) -> None:
+        """Hand one closed run to every view it affects, honouring
+        policies — except that delete runs are barriers (see module
+        docstring)."""
+        affected = [view for name, view in self._views.items()
+                    if any(name in tree.views for tree in run)]
+        if run[0].kind == DELETE:
+            recompute_after = []
+            for view in affected:
+                self._enqueue(view, run)
+                if self._flush_view(view, defer_recompute=True):
+                    recompute_after.append(view)
+            for tree in run:
+                self.storage.delete_subtree(tree.root)
+            for view in recompute_after:
+                self._recompute(view)
+            return
+        for view in affected:
+            self._enqueue(view, run)
+            policy = view.policy
+            if policy.kind == IMMEDIATE_KIND or (
+                    policy.kind == THRESHOLD_KIND
+                    and view.pending_trees() >= policy.threshold):
+                self._flush_view(view)
+
+    def _enqueue(self, view: RegisteredView, run: list[RoutedTree]) -> None:
+        if not view.pipeline.materialized:
+            raise RuntimeError(
+                f"materialize view {view.name!r} before updating it")
+        subset = [tree for tree in run if view.name in tree.views]
+        kept: list[RoutedTree] = []
+        for tree in subset:
+            pending = [t for batch in view.pending for t in batch]
+            if tree.kind != DELETE and any(
+                    t.kind == INSERT and (t.root == tree.root
+                                          or t.root.is_ancestor_of(tree.root))
+                    for t in pending):
+                # A pending insert reads final storage when it flushes, so
+                # it already covers this nested insert/modify; propagating
+                # both would double-count.
+                continue
+            if any(t.root == tree.root or t.root.is_ancestor_of(tree.root)
+                   or tree.root.is_ancestor_of(t.root) for t in pending):
+                # Conservative: overlapping roots across deferred batches
+                # can double-propagate — drain the queue first.
+                self._flush_view(view)
+            kept.append(tree)
+        if kept:
+            view.pending.append(kept)
+
+    def flush(self, name: Optional[str] = None) -> None:
+        """Propagate pending deltas of one view (or of all views) now."""
+        views = ([self._views[name]] if name is not None
+                 else list(self._views.values()))
+        for view in views:
+            self._flush_view(view)
+
+    def _flush_view(self, view: RegisteredView,
+                    defer_recompute: bool = False) -> bool:
+        """Flush one view's queue; returns True when the flush decided on
+        recomputation but must wait for pending storage deletes (the
+        caller recomputes after applying them)."""
+        if not view.pending:
+            return False
+        view.stats.flushes += 1
+        trees = view.pending_trees()
+        if view.cost.should_recompute(trees):
+            view.pending.clear()
+            if defer_recompute:
+                return True
+            self._recompute(view)
+            return False
+        refreshes_before = len(view.report.fusion.aggregate_refreshes)
+        started = time.perf_counter()
+        for batch in view.pending:
+            view.pipeline.propagate_run(batch, view.report,
+                                        profiler=self._profiler)
+        view.cost.observe_propagation(trees,
+                                      time.perf_counter() - started)
+        view.stats.propagated_trees += trees
+        view.pending.clear()
+        if len(view.report.fusion.aggregate_refreshes) > refreshes_before:
+            # min/max eviction: fall back to recomputation (Section 7.6).
+            if defer_recompute:
+                return True
+            self._recompute(view)
+        return False
+
+    def _recompute(self, view: RegisteredView) -> None:
+        started = time.perf_counter()
+        view.pipeline.recompute()
+        view.cost.observe_recompute(time.perf_counter() - started)
+        view.report.recomputed = True
+        view.stats.recomputes += 1
+
+    _profiler: Optional[Profiler] = None

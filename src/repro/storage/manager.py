@@ -33,6 +33,31 @@ class StorageManager:
         self._roots: dict[str, FlexKey] = {}
         self._nodes: dict[FlexKey, XmlNode] = {}
         self._doc_of_root_atom: dict[str, str] = {}
+        self._listeners: list = []
+        self._notify_depth = 0
+
+    # -- update notification --------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(op, key)`` to storage mutations.
+
+        ``op`` is one of ``"insert"``, ``"delete"``, ``"modify"``; ``key``
+        is the affected node's FlexKey.  Each user-level update primitive
+        notifies exactly once (internal sub-operations are suppressed), so
+        listeners can count how often an update stream hits storage — the
+        multi-view registry uses this to assert that updates irrelevant to
+        every view touch storage exactly once.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, op: str, key: FlexKey) -> None:
+        if self._notify_depth:
+            return
+        for listener in self._listeners:
+            listener(op, key)
 
     # -- registration --------------------------------------------------------------
 
@@ -151,6 +176,7 @@ class StorageManager:
         parent.insert(index, fragment)
         new_key = parent_key.child(atom)
         self._assign_keys(fragment, new_key)
+        self._notify("insert", new_key)
         return new_key
 
     def delete_subtree(self, key: FlexKey) -> XmlNode:
@@ -161,6 +187,7 @@ class StorageManager:
         for sub_key in list(self.iter_subtree_keys(key)):
             del self._nodes[sub_key]
         node.detach()
+        self._notify("delete", key)
         return node
 
     def replace_text(self, key: FlexKey, new_value: str) -> None:
@@ -173,13 +200,19 @@ class StorageManager:
         node = self.node(key)
         if node.is_text:
             node.value = new_value
+            self._notify("modify", key)
             return
-        for child in list(node.children):
-            if child.is_text:
-                del self._nodes[child.key]
-                node.remove(child)
-        text_node = XmlNode.text(new_value)
-        self.insert_fragment(key, text_node)
+        self._notify_depth += 1
+        try:
+            for child in list(node.children):
+                if child.is_text:
+                    del self._nodes[child.key]
+                    node.remove(child)
+            text_node = XmlNode.text(new_value)
+            self.insert_fragment(key, text_node)
+        finally:
+            self._notify_depth -= 1
+        self._notify("modify", key)
 
     def replace_attribute(self, key: FlexKey, name: str, value: str) -> None:
         self.node(key).attributes[name] = value

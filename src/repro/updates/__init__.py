@@ -1,8 +1,8 @@
 """Validate phase: update primitives, SAPT, batching (Chapter 5)."""
 
-from .batch import batch_update_trees
+from .batch import RunBatcher, batch_update_trees, spec_for_run
 from .primitives import UpdateRequest, UpdateTree
 from .sapt import AccessPath, Sapt
 
-__all__ = ["AccessPath", "Sapt", "UpdateRequest", "UpdateTree",
-           "batch_update_trees"]
+__all__ = ["AccessPath", "RunBatcher", "Sapt", "UpdateRequest",
+           "UpdateTree", "batch_update_trees", "spec_for_run"]

@@ -6,38 +6,79 @@ maximal runs over the same document with the same update kind become one
 not reordered across kind/document boundaries — the paper's batches encode
 updates "of possibly different types" that may share prefix paths, and
 sequential semantics must be preserved.
+
+:class:`RunBatcher` is the incremental form of this grouping.  It is the
+single implementation of the run discipline, shared by the offline
+:func:`batch_update_trees` helper, the single-view V-P-A driver
+(:mod:`repro.multiview.pipeline`) and the multi-view registry
+(:mod:`repro.multiview.registry`).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from ..xat.base import DeltaRoot, DeltaSpec
 from .primitives import UpdateTree
 
 
+class RunBatcher:
+    """Incrementally groups update trees into maximal same-document,
+    same-kind runs.
+
+    ``push`` returns ``(closed_run, accepted)``: ``closed_run`` is the
+    previous run when the new tree crossed a document/kind boundary (else
+    ``None``), and ``accepted`` is False when the tree is already covered
+    by an enclosing root in the current run (nested roots in one batch
+    would double-propagate, so only the outermost root is kept).
+    """
+
+    def __init__(self):
+        self._run: list[UpdateTree] = []
+
+    @property
+    def pending(self) -> list[UpdateTree]:
+        """The trees of the still-open run (a copy)."""
+        return list(self._run)
+
+    def push(self, tree: UpdateTree
+             ) -> tuple[Optional[list[UpdateTree]], bool]:
+        closed = None
+        if self._run and (tree.document != self._run[0].document
+                          or tree.kind != self._run[0].kind):
+            closed = self.close()
+        if any(t.root == tree.root or t.root.is_ancestor_of(tree.root)
+               for t in self._run):
+            return closed, False
+        self._run = [t for t in self._run
+                     if not tree.root.is_ancestor_of(t.root)]
+        self._run.append(tree)
+        return closed, True
+
+    def close(self) -> Optional[list[UpdateTree]]:
+        """End the current run, returning its trees (None when empty)."""
+        if not self._run:
+            return None
+        run, self._run = self._run, []
+        return run
+
+
+def spec_for_run(run: list[UpdateTree]) -> DeltaSpec:
+    """The :class:`DeltaSpec` propagating one closed run in a single pass."""
+    return DeltaSpec(run[0].document,
+                     tuple(DeltaRoot(t.root, t.kind) for t in run),
+                     run[0].kind)
+
+
 def batch_update_trees(trees: list[UpdateTree]) -> list[DeltaSpec]:
     """Group consecutive same-document same-kind trees into DeltaSpecs."""
+    batcher = RunBatcher()
     batches: list[DeltaSpec] = []
-    run: list[UpdateTree] = []
-
-    def flush():
-        if not run:
-            return
-        batches.append(DeltaSpec(
-            run[0].document,
-            tuple(DeltaRoot(t.root, t.kind) for t in run),
-            run[0].kind))
-        run.clear()
-
     for tree in trees:
-        if run and (tree.document != run[0].document
-                    or tree.kind != run[0].kind):
-            flush()
-        # Nested roots in one batch would double-propagate: keep only the
-        # outermost root when one contains another.
-        if any(t.root == tree.root or t.root.is_ancestor_of(tree.root)
-               for t in run):
-            continue
-        run[:] = [t for t in run if not tree.root.is_ancestor_of(t.root)]
-        run.append(tree)
-    flush()
+        closed, _accepted = batcher.push(tree)
+        if closed is not None:
+            batches.append(spec_for_run(closed))
+    closed = batcher.close()
+    if closed is not None:
+        batches.append(spec_for_run(closed))
     return batches

@@ -138,9 +138,19 @@ class Sapt:
         predicate inputs).  Updates strictly below binding-only paths do
         not reach the view (Section 5.2.1).
         """
+        return self.relevant_for_tags(document,
+                                      tag_path(storage, target))
+
+    def relevant_for_tags(self, document: str,
+                          tags: tuple[str, ...]) -> bool:
+        """Relevancy against a precomputed root-to-target tag path.
+
+        Splitting the tag-path walk from the path matching lets the
+        multi-view router compute the walk once per update and reuse it
+        across every registered view's path set.
+        """
         if document not in self.paths:
             return False
-        tags = _tag_path(storage, target)
         for access in self.paths[document]:
             if access.has_descendant:
                 return True  # conservative: // can reach anywhere
@@ -159,7 +169,11 @@ class Sapt:
     def modify_hits_predicate(self, storage: StorageManager, document: str,
                               target: FlexKey) -> bool:
         """True when a text replace at ``target`` feeds a predicate path."""
-        tags = _tag_path(storage, target)
+        return self.modify_hits_predicate_tags(
+            document, tag_path(storage, target))
+
+    def modify_hits_predicate_tags(self, document: str,
+                                   tags: tuple[str, ...]) -> bool:
         for steps in self.predicate_paths(document):
             if steps == tags:
                 return True
@@ -175,13 +189,14 @@ class Sapt:
                          if BINDING in a.usages}
         key: Optional[FlexKey] = target
         while key is not None:
-            if _tag_path(storage, key) in binding_paths:
+            if tag_path(storage, key) in binding_paths:
                 return key
             key = storage.parent_key(key)
         return None
 
 
-def _tag_path(storage: StorageManager, key: FlexKey) -> tuple[str, ...]:
+def tag_path(storage: StorageManager, key: FlexKey) -> tuple[str, ...]:
+    """The root-to-node element tag path of ``key`` in its document."""
     tags: list[str] = []
     node = storage.node(key)
     while node is not None:
@@ -189,3 +204,6 @@ def _tag_path(storage: StorageManager, key: FlexKey) -> tuple[str, ...]:
             tags.append(node.tag)
         node = node.parent
     return tuple(reversed(tags))
+
+
+_tag_path = tag_path  # historical name

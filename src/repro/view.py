@@ -16,44 +16,27 @@ Updates are processed in order; maximal runs over the same document with
 the same kind form one batch update tree (one delta pass).  Inserts and
 modifies reach storage before their batch propagates, deletes after — the
 phase/count discipline of Chapter 6.
+
+The machinery itself lives in :mod:`repro.multiview.pipeline` and is
+shared with :class:`repro.multiview.ViewRegistry`, which maintains many
+views over one storage from a single update stream.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from .apply import ExtentNode, FusionReport, deep_union
-from .apply.deep_union import fuse_forest
+from .apply import ExtentNode
 from .engine import Engine
+from .multiview.pipeline import (MaintenanceReport, ViewPipeline,
+                                 run_maintenance)
 from .storage import StorageManager
 from .translate import translate_query
-from .updates.primitives import UpdateRequest, UpdateTree
-from .updates.sapt import Sapt
-from .xat import DELETE, DELTA, INSERT, MODIFY, Profiler, XatOperator
-from .xat.base import DeltaRoot, DeltaSpec
-from .xmlmodel import XmlNode, serialize
+from .updates.primitives import UpdateRequest
+from .xat import Profiler, XatOperator
+from .xmlmodel import XmlNode
 
-
-@dataclass
-class MaintenanceReport:
-    """What one ``apply_updates`` call did, with timing per V-P-A phase."""
-
-    accepted: int = 0
-    irrelevant: int = 0
-    decomposed: int = 0
-    batches: int = 0
-    validate_seconds: float = 0.0
-    propagate_seconds: float = 0.0
-    apply_seconds: float = 0.0
-    recomputed: bool = False
-    fusion: FusionReport = field(default_factory=FusionReport)
-
-    @property
-    def total_seconds(self) -> float:
-        return (self.validate_seconds + self.propagate_seconds
-                + self.apply_seconds)
+__all__ = ["MaintenanceReport", "MaterializedXQueryView"]
 
 
 class MaterializedXQueryView:
@@ -66,35 +49,60 @@ class MaterializedXQueryView:
         self.engine = Engine(storage)
         if isinstance(query, str):
             self.query_text: Optional[str] = query
-            self.plan = translate_query(query)
+            plan = translate_query(query)
         else:
             self.query_text = None
-            self.plan = query if query.schema is not None else query.prepare()
-        self.sapt = Sapt.from_plan(self.plan)
-        self.validate_updates = validate_updates
-        self.extent: Optional[ExtentNode] = None
-        self._materialized = False
+            plan = query
+        self._pipeline = ViewPipeline(self.engine, plan,
+                                      validate_updates=validate_updates)
+
+    # -- pipeline state (kept as attributes for API compatibility) -----------------------
+
+    @property
+    def plan(self) -> XatOperator:
+        return self._pipeline.plan
+
+    @property
+    def sapt(self):
+        return self._pipeline.sapt
+
+    @property
+    def validate_updates(self) -> bool:
+        return self._pipeline.validate_updates
+
+    @validate_updates.setter
+    def validate_updates(self, value: bool) -> None:
+        self._pipeline.validate_updates = value
+
+    @property
+    def extent(self) -> Optional[ExtentNode]:
+        return self._pipeline.extent
+
+    @extent.setter
+    def extent(self, value: Optional[ExtentNode]) -> None:
+        self._pipeline.extent = value
+
+    @property
+    def _materialized(self) -> bool:
+        return self._pipeline.materialized
 
     # -- materialization ---------------------------------------------------------------
 
     def materialize(self, profiler: Optional[Profiler] = None) -> str:
         """Execute the view and keep the extent; returns the XML string."""
-        self.extent, _report = self.engine.materialize(self.plan,
-                                                       profiler=profiler)
-        self._materialized = True
+        self._pipeline.materialize(profiler=profiler)
         return self.to_xml()
 
     def to_xml(self) -> str:
         """Serialized current extent (content and order)."""
-        return Engine.serialize_extent(self.extent)
+        return self._pipeline.to_xml()
 
     def recompute_xml(self) -> str:
         """Full recomputation over current sources (the correctness oracle)."""
-        extent, _ = self.engine.materialize(self.plan)
-        return Engine.serialize_extent(extent)
+        return self._pipeline.recompute_xml()
 
     def extent_size(self) -> int:
-        return self.extent.subtree_size() if self.extent is not None else 0
+        return self._pipeline.extent_size()
 
     # -- maintenance (V-P-A) ---------------------------------------------------------------
 
@@ -102,165 +110,4 @@ class MaterializedXQueryView:
                       profiler: Optional[Profiler] = None
                       ) -> MaintenanceReport:
         """Validate, propagate and apply a heterogeneous update sequence."""
-        if not self._materialized:
-            raise RuntimeError("materialize() the view before updating it")
-        report = MaintenanceReport()
-        run: list[UpdateTree] = []
-        deferred_deletes: list[UpdateRequest] = []
-
-        def flush_run():
-            if not run:
-                return
-            report.batches += 1
-            spec = DeltaSpec(run[0].document,
-                             tuple(DeltaRoot(t.root, t.kind) for t in run),
-                             run[0].kind)
-            started = time.perf_counter()
-            forest = self.engine.result_forest(self.plan, mode=DELTA,
-                                               delta=spec,
-                                               profiler=profiler)
-            for request in deferred_deletes:
-                self.storage.delete_subtree(request.target)
-            report.propagate_seconds += time.perf_counter() - started
-            started = time.perf_counter()
-            self.extent, _ = fuse_forest(self.extent, forest, report.fusion)
-            report.apply_seconds += time.perf_counter() - started
-            run.clear()
-            deferred_deletes.clear()
-
-        queue = list(updates)
-        index = 0
-        while index < len(queue):
-            request = queue[index]
-            index += 1
-            started = time.perf_counter()
-            outcome = self._validate_one(request, report)
-            report.validate_seconds += time.perf_counter() - started
-            if outcome is None:
-                continue
-            if isinstance(outcome, list):  # decomposed modify
-                queue[index:index] = outcome
-                continue
-            tree, deferred = outcome
-            if run and (tree.document != run[0].document
-                        or tree.kind != run[0].kind):
-                flush_run()
-            if any(t.root == tree.root or t.root.is_ancestor_of(tree.root)
-                   for t in run):
-                continue  # already covered by an enclosing root
-            run[:] = [t for t in run if not tree.root.is_ancestor_of(t.root)]
-            run.append(tree)
-            if deferred is not None:
-                deferred_deletes.append(deferred)
-        flush_run()
-
-        if report.fusion.aggregate_refreshes:
-            # min/max eviction: fall back to recomputation (Section 7.6).
-            started = time.perf_counter()
-            self.extent, _ = self.engine.materialize(self.plan)
-            report.recomputed = True
-            report.apply_seconds += time.perf_counter() - started
-        return report
-
-    # -- validate phase ------------------------------------------------------------------------
-
-    def _validate_one(self, request: UpdateRequest,
-                      report: MaintenanceReport):
-        """Returns (UpdateTree, deferred delete request | None), a list of
-        replacement requests (decomposition), or None (irrelevant)."""
-        storage = self.storage
-        if request.kind == INSERT:
-            key = self._insert_fragment(request)
-            if self.validate_updates and not self.sapt.is_relevant(
-                    storage, request.document, key):
-                report.irrelevant += 1
-                return None
-            report.accepted += 1
-            return UpdateTree(request.document, key, INSERT), None
-        if request.kind == DELETE:
-            if self.validate_updates and not self.sapt.is_relevant(
-                    storage, request.document, request.target):
-                storage.delete_subtree(request.target)
-                report.irrelevant += 1
-                return None
-            report.accepted += 1
-            return (UpdateTree(request.document, request.target, DELETE),
-                    request)
-        # MODIFY
-        if self.validate_updates and not self.sapt.is_relevant(
-                storage, request.document, request.target):
-            storage.replace_text(request.target, request.new_value)
-            report.irrelevant += 1
-            return None
-        if self.validate_updates and self.sapt.modify_hits_predicate(
-                storage, request.document, request.target):
-            report.decomposed += 1
-            return self._decompose_modify(request)
-        report.accepted += 1
-        storage.replace_text(request.target, request.new_value)
-        return UpdateTree(request.document, request.target, MODIFY), None
-
-    def _decompose_modify(self, request: UpdateRequest
-                          ) -> list[UpdateRequest]:
-        """A modify on a predicate path becomes delete+insert of its
-        binding fragment (the sufficiency treatment of Section 5.2.2)."""
-        storage = self.storage
-        anchor = self.sapt.binding_anchor(storage, request.document,
-                                          request.target)
-        if anchor is None:
-            anchor = storage.parent_key(request.target) or request.target
-        parent = storage.parent_key(anchor)
-        if parent is None:
-            raise ValueError("cannot decompose a modify at a document root")
-        anchor_node = storage.node(anchor)
-        siblings = anchor_node.parent.children
-        position_index = siblings.index(anchor_node)
-        before_key = (siblings[position_index + 1].key
-                      if position_index + 1 < len(siblings) else None)
-
-        replacement = anchor_node.deep_copy()
-        target_copy = self._copy_path_target(anchor, request.target,
-                                             replacement)
-        for child in list(target_copy.children):
-            if child.is_text:
-                target_copy.remove(child)
-        target_copy.append(XmlNode.text(request.new_value))
-
-        if before_key is not None:
-            insert = UpdateRequest.insert(request.document, before_key,
-                                          replacement, position="before")
-        else:
-            insert = UpdateRequest.insert(request.document, parent,
-                                          replacement, position="into")
-        return [UpdateRequest.delete(request.document, anchor), insert]
-
-    def _copy_path_target(self, anchor, target, replacement: XmlNode
-                          ) -> XmlNode:
-        """Locate inside ``replacement`` the copy of the node at ``target``."""
-        storage = self.storage
-        chain = []
-        probe = target
-        while probe != anchor:
-            chain.append(storage.node(probe))
-            probe = storage.parent_key(probe)
-        node_copy = replacement
-        original = storage.node(anchor)
-        for step in reversed(chain):
-            node_copy = node_copy.children[original.children.index(step)]
-            original = step
-        return node_copy
-
-    # -- storage application ---------------------------------------------------------------------
-
-    def _insert_fragment(self, request: UpdateRequest):
-        storage = self.storage
-        if request.position == "into":
-            return storage.insert_fragment(request.target, request.fragment)
-        parent = storage.parent_key(request.target)
-        if parent is None:
-            raise ValueError("cannot insert next to a document root")
-        if request.position == "after":
-            return storage.insert_fragment(parent, request.fragment,
-                                           after=request.target)
-        return storage.insert_fragment(parent, request.fragment,
-                                       before=request.target)
+        return run_maintenance(self._pipeline, updates, profiler=profiler)

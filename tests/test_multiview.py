@@ -1,0 +1,356 @@
+"""Multi-view maintenance: routing, policies, cost fallback, consistency.
+
+Every consistency assertion uses the paper's criterion — a view's extent
+must serialize identically (content and order) to recomputation over the
+current sources.
+"""
+
+import pytest
+
+from repro import StorageManager, UpdateRequest, ViewRegistry
+from repro.multiview import CostModel, DEFERRED, threshold
+from repro.multiview.router import SharedValidationRouter
+from repro.updates.sapt import Sapt
+from repro.workloads import bib as bibload
+from repro.workloads import xmark
+
+from .helpers import books_of, closed_auctions_of as auctions_of, persons_of
+
+
+def multiview_storage(num_persons: int = 20) -> StorageManager:
+    storage = StorageManager()
+    bibload.register_running_example(storage)
+    xmark.register_site(storage, num_persons)
+    return storage
+
+
+def standard_registry(num_persons: int = 20,
+                      **policies) -> tuple[StorageManager, ViewRegistry]:
+    """A registry with one bib view and three site views."""
+    storage = multiview_storage(num_persons)
+    registry = ViewRegistry(storage)
+    registry.register("ygroup", bibload.YEAR_GROUP_QUERY,
+                      policy=policies.get("ygroup", "immediate"))
+    registry.register("seniors", xmark.SELECTION_QUERY,
+                      policy=policies.get("seniors", "immediate"))
+    registry.register("sales", xmark.JOIN_QUERY,
+                      policy=policies.get("sales", "immediate"))
+    registry.register("profiles", xmark.ORDER_QUERY_1,
+                      policy=policies.get("profiles", "immediate"))
+    return storage, registry
+
+
+def assert_all_consistent(registry: ViewRegistry) -> None:
+    for name in registry.names():
+        got = registry.query(name)
+        want = registry.recompute_xml(name)
+        assert got == want, (
+            f"view {name} diverged from recomputation\n"
+            f" got: {got}\nwant: {want}")
+
+
+def ages_of(storage):
+    return storage.find_by_path(
+        "site.xml",
+        [("child", "site"), ("child", "people"), ("child", "person"),
+         ("child", "profile"), ("child", "age")])
+
+
+class TestInterleavedStream:
+    def test_four_views_interleaved_updates_all_consistent(self):
+        storage, registry = standard_registry()
+        persons = persons_of(storage)
+        auctions = auctions_of(storage)
+        books = books_of(storage)
+        updates = [
+            UpdateRequest.insert("bib.xml", books[-1],
+                                 bibload.NEW_BOOK_FRAGMENT, "after"),
+            UpdateRequest.insert("site.xml", persons[-1],
+                                 xmark.new_person_xml(1, city="Cairo",
+                                                      age=61), "after"),
+            UpdateRequest.delete("site.xml", persons[0]),
+            UpdateRequest.delete("site.xml", persons[4]),
+            UpdateRequest.insert("site.xml", auctions[0],
+                                 xmark.new_closed_auction_xml(7, "person3"),
+                                 "before"),
+            UpdateRequest.delete("bib.xml", books[0]),
+            UpdateRequest.insert("site.xml", persons[7],
+                                 xmark.new_person_xml(2, age=19), "before"),
+            UpdateRequest.delete("site.xml", auctions[3]),
+            # name is exposed content (no predicate): a plain modify
+            UpdateRequest.modify(
+                "site.xml",
+                storage.children(persons[8], "name")[0], "Renamed 8"),
+        ]
+        report = registry.apply_updates(updates)
+        # Shared validation: each request classified exactly once.
+        assert report.classifications == len(updates)
+        assert report.updates == len(updates)
+        assert report.decomposed == 0
+        assert_all_consistent(registry)
+
+    def test_modify_stream_with_decomposition(self):
+        storage, registry = standard_registry()
+        ages = ages_of(storage)
+        persons = persons_of(storage)
+        updates = [
+            # age feeds the selection view's predicate -> decomposed
+            UpdateRequest.modify("site.xml", ages[3], "77"),
+            UpdateRequest.insert("site.xml", persons[-1],
+                                 xmark.new_person_xml(5, age=50), "after"),
+            UpdateRequest.modify("site.xml", ages[8], "12"),
+        ]
+        report = registry.apply_updates(updates)
+        assert report.decomposed == 2
+        assert_all_consistent(registry)
+
+
+class TestRouting:
+    def test_update_routed_only_to_relevant_views(self):
+        storage, registry = standard_registry()
+        books = books_of(storage)
+        report = registry.apply_updates([UpdateRequest.insert(
+            "bib.xml", books[-1], bibload.NEW_BOOK_FRAGMENT, "after")])
+        assert report.routed == 1
+        assert registry.view("ygroup").stats.routed_trees == 1
+        for site_view in ("seniors", "sales", "profiles"):
+            assert registry.view(site_view).stats.routed_trees == 0
+            assert registry.view(site_view).report.batches == 0
+        assert_all_consistent(registry)
+
+    def test_irrelevant_everywhere_hits_storage_exactly_once(self):
+        storage, registry = standard_registry()
+        before = {name: registry.to_xml(name) for name in registry.names()}
+        # An author fragment sits below bib's binding-only /bib/book path
+        # and inside no site view's documents: irrelevant to every view.
+        book = books_of(storage)[0]
+        author = storage.children(book, "author")[0]
+        report = registry.apply_updates([UpdateRequest.insert(
+            "bib.xml", author, "<author><last>New</last></author>",
+            "after")])
+        assert report.irrelevant_everywhere == 1
+        assert report.routed == 0
+        assert report.storage_ops == 1
+        for name, xml in before.items():
+            assert registry.to_xml(name) == xml  # nothing propagated
+        assert_all_consistent(registry)
+
+    def test_router_matches_per_view_validation(self):
+        storage, registry = standard_registry()
+        targets = ([("bib.xml", key) for key in books_of(storage)[:2]]
+                   + [("site.xml", key) for key in persons_of(storage)[:3]]
+                   + [("site.xml", key) for key in auctions_of(storage)[:2]]
+                   + [("site.xml", key) for key in ages_of(storage)[:2]])
+        for document, target in targets:
+            routed = registry.router.route(storage, document, target).views
+            expected = {
+                name for name in registry.names()
+                if registry.view(name).pipeline.sapt.is_relevant(
+                    storage, document, target)}
+            assert routed == expected, (document, target)
+
+    def test_unregister_stops_routing(self):
+        storage, registry = standard_registry()
+        registry.unregister("profiles")
+        assert "profiles" not in registry
+        assert len(registry) == 3
+        persons = persons_of(storage)
+        report = registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(3), "after")])
+        assert report.classifications == 1
+        assert "profiles" not in report.views
+        assert_all_consistent(registry)
+
+    def test_duplicate_name_rejected(self):
+        _storage, registry = standard_registry()
+        with pytest.raises(ValueError):
+            registry.register("ygroup", bibload.YEAR_GROUP_QUERY)
+
+    def test_unmaterialized_view_rejects_updates(self):
+        storage = multiview_storage()
+        registry = ViewRegistry(storage)
+        registry.register("seniors", xmark.SELECTION_QUERY,
+                          materialize=False)
+        persons = persons_of(storage)
+        with pytest.raises(RuntimeError, match="materialize"):
+            registry.apply_updates([UpdateRequest.insert(
+                "site.xml", persons[-1], xmark.new_person_xml(1, age=70),
+                "after")])
+
+    def test_close_detaches_storage_listener(self):
+        storage, registry = standard_registry()
+        registry.close()
+        registry.close()  # idempotent
+        counted_before = registry._storage_ops
+        storage.replace_text(
+            storage.children(persons_of(storage)[0], "name")[0], "x")
+        assert registry._storage_ops == counted_before  # no longer counting
+
+
+class TestDeferredPolicy:
+    def test_deferred_view_flushes_on_read(self):
+        storage, registry = standard_registry(seniors=DEFERRED)
+        stale = registry.to_xml("seniors")
+        persons = persons_of(storage)
+        registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(1, age=70),
+            "after")])
+        view = registry.view("seniors")
+        assert view.pending_trees() == 1
+        assert registry.to_xml("seniors") == stale  # not yet propagated
+        assert registry.query("seniors") == registry.recompute_xml("seniors")
+        assert view.pending_trees() == 0
+        assert view.stats.flushes == 1
+        assert_all_consistent(registry)
+
+    def test_immediate_views_unaffected_by_neighbour_deferral(self):
+        storage, registry = standard_registry(seniors=DEFERRED)
+        persons = persons_of(storage)
+        registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(2, age=66),
+            "after")])
+        # profiles is immediate: already refreshed without a read.
+        assert (registry.to_xml("profiles")
+                == registry.recompute_xml("profiles"))
+
+    def test_delete_is_a_barrier_for_deferred_views(self):
+        storage, registry = standard_registry(seniors=DEFERRED)
+        persons = persons_of(storage)
+        registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(4, age=55),
+            "after")])
+        assert registry.view("seniors").pending_trees() == 1
+        registry.apply_updates([
+            UpdateRequest.delete("site.xml", persons[2])])
+        # The queued insert and the delete both propagated before the
+        # subtree left storage.
+        assert registry.view("seniors").pending_trees() == 0
+        assert (registry.to_xml("seniors")
+                == registry.recompute_xml("seniors"))
+        assert_all_consistent(registry)
+
+    def test_nested_insert_covered_by_pending_insert(self):
+        storage, registry = standard_registry(profiles=DEFERRED)
+        persons = persons_of(storage)
+        first = registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(6), "after")])
+        new_person = storage.find_by_path(
+            "site.xml", [("child", "site"), ("child", "people"),
+                         ("child", "person")])[-1]
+        profile = storage.children(new_person, "profile")[0]
+        # An interest inside the still-pending person: the queued insert
+        # reads final storage at flush time, so this must not be queued
+        # again (it would double-count).
+        registry.apply_updates([UpdateRequest.insert(
+            "site.xml", profile, '<interest category="category1"/>',
+            "into")])
+        assert registry.view("profiles").pending_trees() == 1
+        assert (registry.query("profiles")
+                == registry.recompute_xml("profiles"))
+        assert_all_consistent(registry)
+
+
+class TestThresholdPolicy:
+    def test_flushes_when_pending_reaches_bound(self):
+        storage, registry = standard_registry(seniors=threshold(3))
+        view = registry.view("seniors")
+        persons = persons_of(storage)
+        for index in range(2):
+            registry.apply_updates([UpdateRequest.insert(
+                "site.xml", persons[-1],
+                xmark.new_person_xml(index, age=60 + index), "after")])
+        assert view.pending_trees() == 2
+        assert view.stats.flushes == 0
+        registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(9, age=45),
+            "after")])
+        assert view.pending_trees() == 0
+        assert view.stats.flushes == 1
+        assert (registry.to_xml("seniors")
+                == registry.recompute_xml("seniors"))
+        assert_all_consistent(registry)
+
+
+class TestCostBasedFallback:
+    def test_flush_falls_back_to_recompute_when_incremental_loses(self):
+        storage = multiview_storage()
+        registry = ViewRegistry(storage)
+        # Calibrate so any pending tree looks more expensive than a full
+        # recomputation: per-tree cost huge, recompute cost ~zero.
+        registry.register(
+            "seniors", xmark.SELECTION_QUERY,
+            cost_model=CostModel(recompute_seconds=0.0,
+                                 per_tree_seconds=1.0, alpha=1e-9))
+        persons = persons_of(storage)
+        registry.apply_updates([UpdateRequest.insert(
+            "site.xml", persons[-1], xmark.new_person_xml(1, age=71),
+            "after")])
+        view = registry.view("seniors")
+        assert view.stats.recomputes == 1
+        assert view.report.recomputed
+        assert view.report.batches == 0  # nothing propagated incrementally
+        assert_all_consistent(registry)
+
+    def test_recompute_after_delete_barrier_sees_final_storage(self):
+        storage = multiview_storage()
+        registry = ViewRegistry(storage)
+        registry.register(
+            "seniors", xmark.SELECTION_QUERY,
+            cost_model=CostModel(recompute_seconds=0.0,
+                                 per_tree_seconds=1.0, alpha=1e-9))
+        persons = persons_of(storage)
+        registry.apply_updates([
+            UpdateRequest.delete("site.xml", persons[1]),
+            UpdateRequest.delete("site.xml", persons[2]),
+        ])
+        view = registry.view("seniors")
+        assert view.stats.recomputes == 1
+        assert (registry.to_xml("seniors")
+                == registry.recompute_xml("seniors"))
+
+    def test_uncalibrated_model_stays_incremental(self):
+        model = CostModel()
+        assert not model.should_recompute(10_000)
+        model.observe_recompute(0.5)
+        assert not model.should_recompute(10_000)  # per-tree still unknown
+        model.observe_propagation(10, 1.0)
+        assert model.should_recompute(6)   # 6 * 0.1 > 0.5
+        assert not model.should_recompute(4)
+
+    def test_ewma_calibration(self):
+        model = CostModel(alpha=0.5)
+        model.observe_propagation(10, 1.0)
+        assert model.per_tree_seconds == pytest.approx(0.1)
+        model.observe_propagation(10, 2.0)
+        assert model.per_tree_seconds == pytest.approx(0.15)
+        model.observe_recompute(1.0)
+        model.observe_recompute(3.0)
+        assert model.recompute_seconds == pytest.approx(2.0)
+
+
+class TestSharedRouterUnit:
+    def test_interned_paths_shared_between_identical_views(self):
+        storage = multiview_storage()
+        router = SharedValidationRouter()
+        from repro.translate import translate_query
+        plan_a = translate_query(xmark.SELECTION_QUERY)
+        plan_b = translate_query(xmark.SELECTION_QUERY)
+        router.subscribe("a", Sapt.from_plan(plan_a.prepare()))
+        router.subscribe("b", Sapt.from_plan(plan_b.prepare()))
+        person = persons_of(storage)[0]
+        result = router.route(storage, "site.xml", person)
+        assert result.views == {"a", "b"}
+        assert router.stats.classifications == 1
+        # identical path sets intern into the same entries
+        entries = router._index["site.xml"]
+        assert all(entry.any_views == {"a", "b"} for entry in entries)
+
+    def test_unsubscribed_view_removed_from_index(self):
+        storage = multiview_storage()
+        router = SharedValidationRouter()
+        from repro.translate import translate_query
+        plan = translate_query(xmark.SELECTION_QUERY).prepare()
+        router.subscribe("only", Sapt.from_plan(plan))
+        router.unsubscribe("only")
+        person = persons_of(storage)[0]
+        assert router.route(storage, "site.xml", person).views == frozenset()
