@@ -62,3 +62,6 @@ if __name__ == "__main__":
         "Ablation: SAPT relevancy filtering (10 irrelevant modifies)",
         ["persons", "with SAPT (ms)", "without (ms)", "saving"],
         figure_rows())
+    from bench_common import save_json
+
+    save_json("ablation_validate")

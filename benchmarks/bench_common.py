@@ -2,28 +2,34 @@
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+
 from repro import MaterializedXQueryView, Profiler, StorageManager
-from repro.bench.harness import ms, print_table, ratio, scales, time_call
+from repro.bench.harness import (ms, print_table, ratio, recorded_tables,
+                                 scales, time_call)
 from repro.engine import Engine
 from repro.translate import translate_query
 from repro.workloads import xmark
 
 __all__ = ["Engine", "MaterializedXQueryView", "Profiler", "StorageManager",
            "fresh_site", "materialized_view", "ms", "persons", "auctions",
-           "print_table", "ratio", "scales", "time_call", "translate_query",
-           "xmark"]
+           "print_table", "ratio", "save_json", "scales", "time_call",
+           "translate_query", "xmark"]
 
 
-def fresh_site(num_persons: int, seed: int = 42) -> StorageManager:
-    storage = StorageManager()
+def fresh_site(num_persons: int, seed: int = 42,
+               indexed: bool = True) -> StorageManager:
+    storage = StorageManager(indexed=indexed)
     xmark.register_site(storage, num_persons, seed=seed)
     return storage
 
 
-def materialized_view(query: str, num_persons: int,
-                      seed: int = 42) -> tuple[StorageManager,
-                                               MaterializedXQueryView]:
-    storage = fresh_site(num_persons, seed=seed)
+def materialized_view(query: str, num_persons: int, seed: int = 42,
+                      indexed: bool = True) -> tuple[StorageManager,
+                                                     MaterializedXQueryView]:
+    storage = fresh_site(num_persons, seed=seed, indexed=indexed)
     view = MaterializedXQueryView(storage, query)
     view.materialize()
     return storage, view
@@ -40,3 +46,38 @@ def auctions(storage: StorageManager):
         "site.xml",
         [("child", "site"), ("child", "closed_auctions"),
          ("child", "closed_auction")])
+
+
+# -- machine-readable output -------------------------------------------------------
+#
+# Every figure script accepts a shared ``--json PATH`` flag when run as a
+# script: the tables it prints (recorded by ``print_table``) are persisted
+# as JSON so sweeps can be archived and diffed instead of only printed.
+
+def json_output_path(argv=None) -> str | None:
+    """The ``--json PATH`` flag value, tolerating unknown arguments."""
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("--json", default=None, metavar="PATH")
+    args, _unknown = parser.parse_known_args(
+        sys.argv[1:] if argv is None else argv)
+    return args.json
+
+
+def save_json(benchmark: str, extra: dict | None = None,
+              argv=None) -> str | None:
+    """Persist every table printed so far to the ``--json`` path (if any).
+
+    Call at the end of a figure script's ``__main__`` block; a no-op when
+    the flag is absent, so plain console runs are unchanged.
+    """
+    path = json_output_path(argv)
+    if not path:
+        return None
+    payload = {"benchmark": benchmark, "tables": recorded_tables()}
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\n[results saved to {path}]")
+    return path

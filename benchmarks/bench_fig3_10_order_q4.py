@@ -28,3 +28,6 @@ def figure_rows():
 
 if __name__ == "__main__":
     print_figure("3.10", "construction order (Query 4)", QUERY)
+    from bench_common import save_json
+
+    save_json("fig3_10_order_q4")

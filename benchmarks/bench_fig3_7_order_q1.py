@@ -28,3 +28,6 @@ def figure_rows():
 
 if __name__ == "__main__":
     print_figure("3.7", "document order (Query 1)", QUERY)
+    from bench_common import save_json
+
+    save_json("fig3_7_order_q1")

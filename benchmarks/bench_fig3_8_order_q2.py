@@ -28,3 +28,6 @@ def figure_rows():
 
 if __name__ == "__main__":
     print_figure("3.8", "order-by clause (Query 2)", QUERY)
+    from bench_common import save_json
+
+    save_json("fig3_8_order_q2")

@@ -28,3 +28,6 @@ def figure_rows():
 
 if __name__ == "__main__":
     print_figure("3.9", "for-nesting order (Query 3)", QUERY)
+    from bench_common import save_json
+
+    save_json("fig3_9_order_q3")

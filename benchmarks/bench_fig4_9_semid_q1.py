@@ -19,3 +19,6 @@ def test_benchmark_query_execution(benchmark):
 
 if __name__ == "__main__":
     print_figure("4.9", "grouping view (Query 1 of Fig 4.8)", QUERY)
+    from bench_common import save_json
+
+    save_json("fig4_9_semid_q1")

@@ -58,3 +58,6 @@ if __name__ == "__main__":
         "Fig 9.1: cost of enabling view maintenance (join view)",
         ["persons", "plain exec (ms)", "materialize (ms)", "overhead"],
         figure_rows())
+    from bench_common import save_json
+
+    save_json("fig9_1_enable_cost")

@@ -83,3 +83,6 @@ if __name__ == "__main__":
             f"Fig 9.2 (bottom): V-P-A breakdown — {name} at {largest}",
             ["phase", "cost (ms)", "of total"],
             breakdown_rows(query, largest))
+    from bench_common import save_json
+
+    save_json("fig9_2_doc_size")

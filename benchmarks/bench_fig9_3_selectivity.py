@@ -64,3 +64,6 @@ if __name__ == "__main__":
         f"Fig 9.3: varying query selectivity at {largest} persons",
         ["selectivity", "maintain (ms)", "recompute (ms)", "speedup"],
         figure_rows(largest))
+    from bench_common import save_json
+
+    save_json("fig9_3_selectivity")

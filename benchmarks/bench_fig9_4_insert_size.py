@@ -77,3 +77,6 @@ if __name__ == "__main__":
         f"Fig 9.4 (bottom): V-P-A breakdown, batch={BATCH_SIZES[-1]}",
         ["phase", "cost (ms)", "of total"],
         breakdown_rows(largest))
+    from bench_common import save_json
+
+    save_json("fig9_4_insert_size")

@@ -58,3 +58,6 @@ if __name__ == "__main__":
             f"Fig 9.5: varying delete size — {name} at {largest} persons",
             ["batch", "maintain (ms)", "recompute (ms)"],
             figure_rows(query, largest))
+    from bench_common import save_json
+
+    save_json("fig9_5_delete_size")

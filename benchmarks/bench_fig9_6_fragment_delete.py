@@ -89,3 +89,6 @@ if __name__ == "__main__":
         ["persons", "frag size", "maintain (ms)", "recompute (ms)",
          "roots cut", "nodes gone"],
         figure_rows())
+    from bench_common import save_json
+
+    save_json("fig9_6_fragment_delete")

@@ -183,3 +183,6 @@ if __name__ == "__main__":
         ["persons", "per-view (ms)", "shared (ms)", "speedup",
          "maintain (ms)"],
         figure_rows())
+    from bench_common import save_json
+
+    save_json("multiview", extra={"routing": result})

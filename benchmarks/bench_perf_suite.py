@@ -1,0 +1,311 @@
+"""Perf suite: indexed vs unindexed storage across XMark scaling factors.
+
+Runs the fig-3/fig-9 style scenarios twice — through the incremental
+:class:`repro.storage.StructuralIndex` fast paths and through the
+walk-based unindexed fallbacks — and emits one machine-readable
+``BENCH_perf_suite.json``:
+
+* **navigation_descendant** (fig 9.2 regime, descendant-heavy): ``//``
+  location paths and whole-document descendant scans, where the index
+  turns an O(document) tree walk into a binary search plus a slice;
+* **navigation_child_paths** (fig 3 regime): child-step-only paths;
+* **selectivity** (fig 9.3 regime): descendant scans over tags of
+  decreasing match frequency at the largest document size;
+* **view_maintenance_insert** (fig 9.2 maintenance): end-to-end
+  incremental maintenance of the join view under an insert batch;
+* **update_overhead**: the honest cost of index upkeep — raw
+  insert+delete batches against indexed vs unindexed storage.
+
+Every navigation scenario also diffs the two paths' results; the suite
+refuses to report a speedup for answers that disagree
+(``consistency_ok``).
+
+Run ``python benchmarks/bench_perf_suite.py`` (with ``PYTHONPATH=src``)
+from the repo root; ``--scales 20,40`` shrinks the sweep for CI smoke
+runs and ``--json PATH`` redirects the output file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from bench_common import (fresh_site, materialized_view, ms, persons,
+                          print_table, scales, time_call, xmark)
+
+from repro import UpdateRequest
+from repro.xmlmodel import parse_fragment
+
+#: Descendant-heavy location paths (the fig 9.2-style navigation load).
+NAV_DESCENDANT_PATHS = [
+    ("//city", [("descendant", "city")]),
+    ("//interest", [("descendant", "interest")]),
+    ("//date", [("descendant", "date")]),
+    ("//person//age", [("descendant", "person"), ("descendant", "age")]),
+]
+
+#: Whole-document descendant scans bundled into the same workload.
+NAV_DESCENDANT_TAGS = ["person", "city", "interest", "education", "date"]
+
+#: Child-step-only paths (the fig 3-style query navigation load).
+NAV_CHILD_PATHS = [
+    ("/site/people/person/profile/age",
+     [("child", "site"), ("child", "people"), ("child", "person"),
+      ("child", "profile"), ("child", "age")]),
+    ("/site/people/person/address/city",
+     [("child", "site"), ("child", "people"), ("child", "person"),
+      ("child", "address"), ("child", "city")]),
+    ("/site/closed_auctions/closed_auction/date",
+     [("child", "site"), ("child", "closed_auctions"),
+      ("child", "closed_auction"), ("child", "date")]),
+]
+
+#: Tags of decreasing match frequency for the fig 9.3-style sweep.
+SELECTIVITY_TAGS = ["interest", "person", "city", "initial", "people"]
+
+UPDATE_BATCH = 8
+MAINTENANCE_BATCH = 4
+
+#: A descendant-heavy view: its V-P-A maintenance navigates ``//`` paths
+#: from the document root, the regime where range scans replace walks.
+DESC_VIEW_QUERY = """<result>{
+for $c in doc("site.xml")//city
+return <c>{$c}</c>
+}</result>"""
+
+MAINTENANCE_QUERIES = [("join", xmark.JOIN_QUERY),
+                       ("descendant-city", DESC_VIEW_QUERY)]
+
+
+# -- workloads (indexed / unindexed run the same calls) ----------------------------
+
+def run_paths(storage, paths, indexed: bool):
+    find = (storage.find_by_path if indexed
+            else storage.find_by_path_unindexed)
+    results = []
+    for _label, steps in paths:
+        results.append(find("site.xml", steps))
+    return results
+
+
+def run_descendant_scans(storage, tags, indexed: bool):
+    root = storage.root_key("site.xml")
+    scan = storage.descendants if indexed else storage.descendants_unindexed
+    return [scan(root, tag) for tag in tags]
+
+
+def _series_entry(num_persons: int, indexed_s: float, unindexed_s: float,
+                  **extra) -> dict:
+    entry = {"persons": num_persons,
+             "indexed_seconds": indexed_s,
+             "unindexed_seconds": unindexed_s,
+             "speedup": unindexed_s / indexed_s if indexed_s > 0 else None}
+    entry.update(extra)
+    return entry
+
+
+def measure_navigation(scenario_paths, desc_tags, scale_list, repeat: int
+                       ) -> tuple[list[dict], bool]:
+    series = []
+    consistent = True
+    for n in scale_list:
+        storage = fresh_site(n)
+        fast = run_paths(storage, scenario_paths, True)
+        slow = run_paths(storage, scenario_paths, False)
+        fast += run_descendant_scans(storage, desc_tags, True)
+        slow += run_descendant_scans(storage, desc_tags, False)
+        consistent = consistent and fast == slow
+        indexed_s = time_call(
+            lambda: (run_paths(storage, scenario_paths, True),
+                     run_descendant_scans(storage, desc_tags, True)),
+            repeat=repeat)
+        unindexed_s = time_call(
+            lambda: (run_paths(storage, scenario_paths, False),
+                     run_descendant_scans(storage, desc_tags, False)),
+            repeat=repeat)
+        series.append(_series_entry(
+            n, indexed_s, unindexed_s,
+            matches=sum(len(r) for r in fast)))
+    return series, consistent
+
+
+def measure_selectivity(num_persons: int, repeat: int
+                        ) -> tuple[list[dict], bool]:
+    storage = fresh_site(num_persons)
+    root = storage.root_key("site.xml")
+    total_elements = len(storage.descendants(root)) + 1
+    series = []
+    consistent = True
+    for tag in SELECTIVITY_TAGS:
+        fast = storage.descendants(root, tag)
+        slow = storage.descendants_unindexed(root, tag)
+        consistent = consistent and fast == slow
+        indexed_s = time_call(lambda: storage.descendants(root, tag),
+                              repeat=repeat)
+        unindexed_s = time_call(
+            lambda: storage.descendants_unindexed(root, tag), repeat=repeat)
+        series.append(_series_entry(
+            num_persons, indexed_s, unindexed_s, tag=tag, matches=len(fast),
+            selectivity=len(fast) / total_elements))
+    return series, consistent
+
+
+def measure_maintenance(scale_list, repeat: int) -> list[dict]:
+    def maintain_once(query: str, n: int, indexed: bool) -> float:
+        storage, view = materialized_view(query, n, indexed=indexed)
+        anchors = persons(storage)
+        updates = [UpdateRequest.insert(
+            "site.xml", anchors[-1], xmark.new_person_xml(i), "after")
+            for i in range(MAINTENANCE_BATCH)]
+        return view.apply_updates(updates).total_seconds
+
+    series = []
+    for n in scale_list:
+        for query_name, query in MAINTENANCE_QUERIES:
+            timings = {indexed: min(maintain_once(query, n, indexed)
+                                    for _ in range(repeat))
+                       for indexed in (True, False)}
+            series.append(_series_entry(n, timings[True], timings[False],
+                                        query=query_name,
+                                        batch=MAINTENANCE_BATCH))
+    return series
+
+
+def measure_update_overhead(scale_list, repeat: int) -> list[dict]:
+    """Index upkeep cost: an insert+delete batch returns storage to its
+    initial state, so the same manager is timed repeatedly."""
+    series = []
+    fragments_xml = [xmark.new_person_xml(i) for i in range(UPDATE_BATCH)]
+    for n in scale_list:
+        timings = {}
+        for indexed in (True, False):
+            storage = fresh_site(n, indexed=indexed)
+            people = storage.find_by_path(
+                "site.xml", [("child", "site"), ("child", "people")])[0]
+
+            def work():
+                inserted = [storage.insert_fragment(
+                    people, parse_fragment(xml)[0])
+                    for xml in fragments_xml]
+                for key in inserted:
+                    storage.delete_subtree(key)
+
+            timings[indexed] = time_call(work, repeat=repeat)
+        series.append(_series_entry(n, timings[True], timings[False],
+                                    batch=UPDATE_BATCH))
+    return series
+
+
+def run_suite(scale_list, repeat: int = 3) -> dict:
+    nav_desc, ok_desc = measure_navigation(
+        NAV_DESCENDANT_PATHS, NAV_DESCENDANT_TAGS, scale_list, repeat)
+    nav_child, ok_child = measure_navigation(
+        NAV_CHILD_PATHS, [], scale_list, repeat)
+    selectivity, ok_sel = measure_selectivity(scale_list[-1], repeat)
+    scenarios = [
+        {"name": "navigation_descendant",
+         "style": "fig 9.2 regime: descendant-heavy navigation vs doc size",
+         "series": nav_desc},
+        {"name": "navigation_child_paths",
+         "style": "fig 3 regime: child-step location paths vs doc size",
+         "series": nav_child},
+        {"name": "selectivity",
+         "style": "fig 9.3 regime: descendant scans by tag selectivity",
+         "series": selectivity},
+        {"name": "view_maintenance_insert",
+         "style": "fig 9.2 maintenance: insert batch, per view query",
+         "series": measure_maintenance(scale_list, repeat)},
+        {"name": "update_overhead",
+         "style": "index upkeep: raw insert+delete batch",
+         "series": measure_update_overhead(scale_list, repeat)},
+    ]
+    headline = nav_desc[-1]
+    return {
+        "suite": "perf_suite",
+        "description": "indexed StructuralIndex fast paths vs walk-based "
+                       "unindexed fallbacks across XMark scaling factors",
+        "scales": list(scale_list),
+        "repeat": repeat,
+        "consistency_ok": ok_desc and ok_child and ok_sel,
+        "scenarios": scenarios,
+        "headline": {"scenario": "navigation_descendant",
+                     "persons": headline["persons"],
+                     "speedup": headline["speedup"]},
+    }
+
+
+def print_suite(result: dict) -> None:
+    for scenario in result["scenarios"]:
+        rows = []
+        for entry in scenario["series"]:
+            label = entry.get("tag") or (
+                f"{entry['persons']} {entry['query']}"
+                if "query" in entry else entry["persons"])
+            rows.append([label, ms(entry["indexed_seconds"]),
+                         ms(entry["unindexed_seconds"]),
+                         f"{entry['speedup']:6.1f}x"])
+        print_table(f"Perf suite: {scenario['name']} — {scenario['style']}",
+                    ["scale", "indexed (ms)", "unindexed (ms)", "speedup"],
+                    rows)
+    print(f"\nconsistency_ok: {result['consistency_ok']}")
+    head = result["headline"]
+    print(f"headline: {head['scenario']} at {head['persons']} persons — "
+          f"{head['speedup']:.1f}x")
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scales", default=None,
+                        help="comma-separated person counts "
+                             "(default: REPRO_BENCH_SCALE or 50,100,200,400)")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--json", default="BENCH_perf_suite.json",
+                        metavar="PATH")
+    args = parser.parse_args(argv)
+    scale_list = ([int(part) for part in args.scales.split(",") if part]
+                  if args.scales else scales())
+    result = run_suite(scale_list, repeat=args.repeat)
+    print_suite(result)
+    with open(args.json, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"[results saved to {args.json}]")
+    return result
+
+
+# -- tier-1 shape tests ---------------------------------------------------------------
+
+def test_indexed_navigation_matches_unindexed():
+    storage = fresh_site(40)
+    assert run_paths(storage, NAV_DESCENDANT_PATHS, True) \
+        == run_paths(storage, NAV_DESCENDANT_PATHS, False)
+    assert run_paths(storage, NAV_CHILD_PATHS, True) \
+        == run_paths(storage, NAV_CHILD_PATHS, False)
+    assert run_descendant_scans(storage, NAV_DESCENDANT_TAGS, True) \
+        == run_descendant_scans(storage, NAV_DESCENDANT_TAGS, False)
+
+
+def test_indexed_descendant_navigation_faster():
+    series, consistent = measure_navigation(
+        NAV_DESCENDANT_PATHS, NAV_DESCENDANT_TAGS, [200], repeat=3)
+    assert consistent
+    # The sweep shows ~10x; any margin below 1x would mean the index lost.
+    assert series[0]["indexed_seconds"] < series[0]["unindexed_seconds"], \
+        series
+
+
+def test_suite_emits_valid_json(tmp_path):
+    path = tmp_path / "perf_suite.json"
+    main(["--scales", "10,20", "--repeat", "1", "--json", str(path)])
+    loaded = json.loads(path.read_text())
+    assert loaded["suite"] == "perf_suite"
+    assert loaded["consistency_ok"] is True
+    assert {s["name"] for s in loaded["scenarios"]} >= {
+        "navigation_descendant", "selectivity", "view_maintenance_insert"}
+    for scenario in loaded["scenarios"]:
+        assert scenario["series"], scenario["name"]
+
+
+if __name__ == "__main__":
+    main()

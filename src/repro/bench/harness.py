@@ -41,15 +41,37 @@ def ms(seconds: float) -> str:
     return f"{seconds * 1000.0:9.2f}"
 
 
+#: Every table printed by :func:`print_table`, in order — the benchmark
+#: scripts' shared ``--json PATH`` flag persists this record so each
+#: figure module emits machine-readable results alongside its console
+#: tables.
+_RECORDED_TABLES: list[dict] = []
+
+
 def print_table(title: str, headers: Sequence[str],
                 rows: Iterable[Sequence[object]]) -> None:
-    """Print one paper-style series table."""
+    """Print one paper-style series table (and record it for JSON output)."""
+    rows = [list(row) for row in rows]
+    _RECORDED_TABLES.append({
+        "title": title,
+        "headers": list(headers),
+        "rows": [[str(cell).strip() for cell in row] for row in rows],
+    })
     print()
     print(f"== {title} ==")
     widths = [max(12, len(h) + 2) for h in headers]
     print("".join(h.rjust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("".join(str(cell).rjust(w) for cell, w in zip(row, widths)))
+
+
+def recorded_tables() -> list[dict]:
+    """All tables printed so far (title/headers/rows dicts)."""
+    return list(_RECORDED_TABLES)
+
+
+def reset_recorded_tables() -> None:
+    _RECORDED_TABLES.clear()
 
 
 def ratio(part: float, total: float) -> str:

@@ -56,13 +56,19 @@ class FlexKey:
     effect transparently (Section 3.3.2: ``k1 < k2 <=> order(k1) < order(k2)``).
     """
 
-    __slots__ = ("_value", "_override")
+    __slots__ = ("_value", "_override", "_atoms", "_order")
 
     def __init__(self, value: str, override: Optional["FlexKey"] = None):
         if not value:
             raise FlexKeyError("FlexKey value must be non-empty")
         self._value = value
         self._override = override
+        # Lazily-memoized derived forms: the parsed atom tuple and the
+        # effective order token.  Keys are immutable, so both are computed
+        # at most once per instance — comparisons and sorts stop
+        # re-splitting / re-chasing override chains on every call.
+        self._atoms: Optional[tuple[str, ...]] = None
+        self._order: Optional[str] = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -110,7 +116,21 @@ class FlexKey:
     @property
     def atoms(self) -> tuple[str, ...]:
         """The per-level components of this key (composed keys flattened)."""
-        return tuple(_split_atoms(self._value))
+        atoms = self._atoms
+        if atoms is None:
+            atoms = self._atoms = tuple(_split_atoms(self._value))
+        return atoms
+
+    def order_token(self) -> str:
+        """The memoized effective order string (override chain resolved)."""
+        token = self._order
+        if token is None:
+            if self._override is not None:
+                token = self._override.order_token()
+            else:
+                token = self._value
+            self._order = token
+        return token
 
     @property
     def depth(self) -> int:
@@ -168,7 +188,7 @@ class FlexKey:
         return hash(self._value)
 
     def __lt__(self, other: "FlexKey") -> bool:
-        return order_of(self) < order_of(other)
+        return self.order_token() < other.order_token()
 
     def __repr__(self) -> str:
         if self._override is not None:
@@ -188,15 +208,13 @@ def _split_atoms(value: str) -> list[str]:
 
 
 def order_of(key: FlexKey) -> str:
-    """The effective order string for ``key`` (override wins)."""
-    if key.override is not None:
-        return order_of(key.override)
-    return key.value
+    """The effective order string for ``key`` (override wins, memoized)."""
+    return key.order_token()
 
 
 def compare(k1: FlexKey, k2: FlexKey) -> int:
     """Three-way comparison of effective orders."""
-    o1, o2 = order_of(k1), order_of(k2)
+    o1, o2 = k1.order_token(), k2.order_token()
     if o1 < o2:
         return -1
     if o1 > o2:

@@ -205,10 +205,26 @@ class ViewRegistry:
                         self.router.stats.irrelevant_everywhere)
         ops_before = self._storage_ops
         self._profiler = profiler
+        try:
+            self._apply_queue(list(updates), RunBatcher(), report)
+        finally:
+            self._profiler = None
 
+        report.classifications = (self.router.stats.classifications
+                                  - stats_before[0])
+        report.routed = self.router.stats.routed - stats_before[1]
+        report.irrelevant_everywhere = (
+            self.router.stats.irrelevant_everywhere - stats_before[2])
+        report.storage_ops = self._storage_ops - ops_before
+        report.views = {name: view.report
+                        for name, view in self._views.items()}
+        return report
+
+    def _apply_queue(self, queue: list[UpdateRequest], batcher: RunBatcher,
+                     report: MultiViewReport) -> None:
+        """Validate, route and dispatch the queue (mutates it in place
+        when a modify decomposes); the caller owns profiler cleanup."""
         storage = self.storage
-        batcher = RunBatcher()
-        queue = list(updates)
         index = 0
         while index < len(queue):
             request = queue[index]
@@ -271,17 +287,6 @@ class ViewRegistry:
         closed = batcher.close()
         if closed is not None:
             self._dispatch(closed)
-        self._profiler = None
-
-        report.classifications = (self.router.stats.classifications
-                                  - stats_before[0])
-        report.routed = self.router.stats.routed - stats_before[1]
-        report.irrelevant_everywhere = (
-            self.router.stats.irrelevant_everywhere - stats_before[2])
-        report.storage_ops = self._storage_ops - ops_before
-        report.views = {name: view.report
-                        for name, view in self._views.items()}
-        return report
 
     def _outermost_anchor(self, hitters, request: UpdateRequest):
         """The outermost binding anchor across the views that need the

@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..flexkeys import FlexKey
 from ..storage import StorageManager
-from ..updates.sapt import PREDICATE, _SUBTREE_USAGES, Sapt, tag_path
+from ..updates.sapt import PREDICATE, _SUBTREE_USAGES, Sapt
 
 
 @dataclass
@@ -116,9 +116,11 @@ class SharedValidationRouter:
 
     def route(self, storage: StorageManager, document: str,
               target: FlexKey) -> RouteResult:
-        """Classify one update target: one walk, one scan, all views."""
+        """Classify one update target: one tag-path lookup (served from
+        the storage manager's structural-index cache — no ancestor walk
+        for live keys), one scan of the merged index, all views."""
         self.stats.classifications += 1
-        tags = tag_path(storage, target)
+        tags = storage.tag_path(target)
         views = set(self._wildcard.get(document, ()))
         for entry in self._index.get(document, ()):
             a, t = entry.steps, tags

@@ -1,5 +1,6 @@
-"""FlexKey-addressed storage manager and constructed-node skeletons."""
+"""FlexKey-addressed storage manager, structural index and skeletons."""
 
+from .index import StructuralIndex
 from .manager import StorageError, StorageManager
 from .skeleton import REF, VALUE, ContentItem, Skeleton, SkeletonStore
 
@@ -11,4 +12,5 @@ __all__ = [
     "SkeletonStore",
     "StorageError",
     "StorageManager",
+    "StructuralIndex",
 ]

@@ -1,0 +1,165 @@
+"""Incremental structural index over FlexKey-addressed storage.
+
+The FlexKey design (Section 3.3, after the MASS keys of [DR03]) makes a
+node's subtree a *contiguous lexicographic range* of key strings: every
+descendant of ``k`` sorts inside ``[k + "." , k + "/")`` — the level
+separator ``"."`` is smaller than every atom character and ``"/"`` is its
+successor, so the half-open range covers exactly the proper descendants.
+:class:`StructuralIndex` exploits this with three structures:
+
+* **per-document, per-tag sorted key lists** in document order, so
+  ``descendants(key, tag)`` is a binary search plus a slice instead of a
+  subtree walk (and ``children`` the same scan filtered by depth);
+* a **key-interning map** from key string to a single :class:`FlexKey`
+  instance whose parsed-atom tuple and order token are memoized, so range
+  results never re-parse key strings;
+* a **root-to-node tag-path cache** consulted by the SAPT validator and
+  the multi-view router — keys are never relabeled and element tags never
+  change, so a cached path stays valid for the node's whole lifetime.
+
+The index is maintained *incrementally* by the
+:class:`~repro.storage.manager.StorageManager` mutation entry points —
+the same points that drive its listener notifications — so upkeep cost is
+proportional to the update size, never the document size.  (It hooks the
+mutation points directly rather than the public listener API because
+delete notifications carry only the subtree root after the keys are
+already dropped, and ``replace_text`` suppresses its internal
+sub-operations.)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Optional
+
+from ..flexkeys import LEVEL_SEP, FlexKey
+from ..xmlmodel import XmlNode
+
+#: Exclusive upper bound of a subtree's key range: the character after the
+#: level separator, smaller than every atom character.
+_RANGE_END = chr(ord(LEVEL_SEP) + 1)
+
+
+class StructuralIndex:
+    """Sorted-key-range index maintained alongside a ``StorageManager``."""
+
+    __slots__ = ("_tag_lists", "_all_lists", "_interned", "_tag_paths")
+
+    def __init__(self):
+        # (document, tag) -> sorted list of element key strings
+        self._tag_lists: dict[tuple[str, str], list[str]] = {}
+        # document -> sorted list of *all* element key strings
+        self._all_lists: dict[str, list[str]] = {}
+        # key string -> the one interned FlexKey (memoized atoms/order)
+        self._interned: dict[str, FlexKey] = {}
+        # key string -> root-to-node element tag path
+        self._tag_paths: dict[str, tuple[str, ...]] = {}
+
+    # -- incremental maintenance ---------------------------------------------------
+
+    def add_node(self, document: str, key: FlexKey, node: XmlNode,
+                 parent_tags: tuple[str, ...]) -> tuple[str, ...]:
+        """Index one newly-keyed node; returns its root-to-node tag path.
+
+        Registration assigns keys in document order, so the ``insort``
+        calls append at the end of each list; mid-document inserts pay one
+        binary search plus one list shift per indexed node.
+        """
+        value = key.value
+        self._interned[value] = key
+        if node.is_element:
+            tags = parent_tags + (node.tag,)
+            insort(self._all_lists.setdefault(document, []), value)
+            insort(self._tag_lists.setdefault((document, node.tag), []),
+                   value)
+        else:
+            tags = parent_tags
+        self._tag_paths[value] = tags
+        return tags
+
+    def remove_node(self, document: str, key: FlexKey,
+                    node: XmlNode) -> None:
+        """Drop one node's entries (called once per node of a deleted
+        subtree, during the same walk that releases its keys)."""
+        value = key.value
+        self._interned.pop(value, None)
+        self._tag_paths.pop(value, None)
+        if node.is_element:
+            _discard_sorted(self._all_lists.get(document), value)
+            _discard_sorted(self._tag_lists.get((document, node.tag)),
+                            value)
+
+    # -- range queries ----------------------------------------------------------------
+
+    def _list_for(self, document: str,
+                  tag: Optional[str]) -> Optional[list[str]]:
+        if tag is None:
+            return self._all_lists.get(document)
+        return self._tag_lists.get((document, tag))
+
+    def descendants(self, document: str, key: FlexKey,
+                    tag: Optional[str] = None) -> list[FlexKey]:
+        """Proper element descendants of ``key`` in document order: one
+        binary search over the ``[key., key/)`` prefix range."""
+        keys = self._list_for(document, tag)
+        if not keys:
+            return []
+        value = key.value
+        lo = bisect_left(keys, value + LEVEL_SEP)
+        hi = bisect_left(keys, value + _RANGE_END, lo)
+        interned = self._interned
+        return [interned[v] for v in keys[lo:hi]]
+
+    def children(self, document: str, key: FlexKey, tag: str,
+                 child_count: int) -> Optional[list[FlexKey]]:
+        """Element children of ``key`` with ``tag``, or ``None`` when the
+        child list itself is the cheaper scan.
+
+        The tag's descendant range filtered to exactly one level below
+        (keys never compose in storage, so depth is the level-separator
+        count) beats walking the child list only when it is *narrower*
+        than the child list — a selective tag under a wide node.  The
+        caller passes the node's child count and falls back to the tree
+        walk on ``None``.
+        """
+        keys = self._list_for(document, tag)
+        if not keys:
+            return []
+        value = key.value
+        lo = bisect_left(keys, value + LEVEL_SEP)
+        hi = bisect_left(keys, value + _RANGE_END, lo)
+        if hi - lo >= child_count:
+            return None
+        child_seps = value.count(LEVEL_SEP) + 1
+        interned = self._interned
+        return [interned[v] for v in keys[lo:hi]
+                if v.count(LEVEL_SEP) == child_seps]
+
+    # -- caches ------------------------------------------------------------------------
+
+    def tag_path(self, value: str) -> Optional[tuple[str, ...]]:
+        """The cached root-to-node tag path for a live key string."""
+        return self._tag_paths.get(value)
+
+    def intern(self, key: FlexKey) -> FlexKey:
+        """The canonical instance for ``key`` (itself when not indexed)."""
+        return self._interned.get(key.value, key)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "interned_keys": len(self._interned),
+            "tag_lists": len(self._tag_lists),
+            "documents": len(self._all_lists),
+            "indexed_elements": sum(len(v) for v in
+                                    self._all_lists.values()),
+        }
+
+
+def _discard_sorted(keys: Optional[list[str]], value: str) -> None:
+    if not keys:
+        return
+    idx = bisect_left(keys, value)
+    if idx < len(keys) and keys[idx] == value:
+        del keys[idx]

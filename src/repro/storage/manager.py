@@ -11,6 +11,14 @@ Provides the interface contract the paper's engine relies on (Section 3.3):
 The real MASS system is a disk-based index; this in-memory implementation
 preserves the same observable behaviour, which is all the view-maintenance
 algorithms depend on.
+
+Navigation (``children`` / ``descendants`` / ``find_by_path``) runs
+through an incrementally-maintained :class:`~repro.storage.index.
+StructuralIndex` by default: a subtree is a contiguous lexicographic
+FlexKey range, so descendant retrieval is a binary search instead of a
+tree walk.  The walk-based implementations stay available as
+``*_unindexed`` methods (and as the only path when constructed with
+``indexed=False``) for correctness diffing and benchmarking.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..flexkeys import FlexKey, atom_for_insert, sibling_atom
 from ..xmlmodel import XmlDocument, XmlNode
+from .index import StructuralIndex
 
 
 class StorageError(KeyError):
@@ -28,13 +37,23 @@ class StorageError(KeyError):
 class StorageManager:
     """Holds all registered source documents and resolves FlexKeys to nodes."""
 
-    def __init__(self):
+    def __init__(self, indexed: bool = True):
         self._documents: dict[str, XmlDocument] = {}
         self._roots: dict[str, FlexKey] = {}
         self._nodes: dict[FlexKey, XmlNode] = {}
         self._doc_of_root_atom: dict[str, str] = {}
         self._listeners: list = []
         self._notify_depth = 0
+        self._index: Optional[StructuralIndex] = (
+            StructuralIndex() if indexed else None)
+
+    @property
+    def indexed(self) -> bool:
+        return self._index is not None
+
+    @property
+    def index(self) -> Optional[StructuralIndex]:
+        return self._index
 
     # -- update notification --------------------------------------------------------
 
@@ -69,14 +88,20 @@ class StorageManager:
         self._documents[document.name] = document
         self._roots[document.name] = root_key
         self._doc_of_root_atom[root_key.value] = document.name
-        self._assign_keys(document.root, root_key)
+        self._assign_keys(document.root, root_key, document.name, ())
         return root_key
 
-    def _assign_keys(self, node: XmlNode, key: FlexKey) -> None:
+    def _assign_keys(self, node: XmlNode, key: FlexKey, document: str,
+                     parent_tags: tuple[str, ...]) -> None:
         node.key = key
         self._nodes[key] = node
+        if self._index is not None:
+            tags = self._index.add_node(document, key, node, parent_tags)
+        else:
+            tags = parent_tags
         for index, child in enumerate(node.children):
-            self._assign_keys(child, key.child(sibling_atom(index)))
+            self._assign_keys(child, key.child(sibling_atom(index)),
+                              document, tags)
 
     # -- lookup ----------------------------------------------------------------------
 
@@ -100,11 +125,17 @@ class StorageManager:
             raise StorageError(f"unknown document {name!r}") from None
 
     def document_of_key(self, key: FlexKey) -> str:
-        atom = key.atoms[0]
+        value = key.value
+        sep = value.find(".")
+        atom = value if sep < 0 else value[:sep]
         try:
             return self._doc_of_root_atom[atom]
         except KeyError:
             raise StorageError(f"key {key} belongs to no document") from None
+
+    def is_document_root(self, key: FlexKey) -> bool:
+        """True when ``key`` is a registered document's root key."""
+        return key.value in self._doc_of_root_atom
 
     def node(self, key: FlexKey) -> XmlNode:
         try:
@@ -122,10 +153,37 @@ class StorageManager:
 
     def children(self, key: FlexKey, tag: Optional[str] = None) -> list[FlexKey]:
         node = self.node(key)
+        if self._index is not None and tag is not None \
+                and len(node.children) > 16:
+            # Hybrid: a range scan of the tag's sorted key list wins only
+            # when the tag is selective under a wide node; for narrow
+            # nodes even the prune check costs more than the child walk.
+            fast = self._index.children(self.document_of_key(key), key, tag,
+                                        len(node.children))
+            if fast is not None:
+                return fast
+        return [c.key for c in node.children
+                if c.is_element and (tag is None or c.tag == tag)]
+
+    def children_unindexed(self, key: FlexKey,
+                           tag: Optional[str] = None) -> list[FlexKey]:
+        """Walk-based ``children`` (the indexed path's correctness oracle)."""
+        node = self.node(key)
         return [c.key for c in node.children
                 if c.is_element and (tag is None or c.tag == tag)]
 
     def descendants(self, key: FlexKey, tag: Optional[str] = None) -> list[FlexKey]:
+        if self._index is not None:
+            if not self.has_node(key):
+                raise StorageError(f"no node stored under key {key}")
+            return self._index.descendants(self.document_of_key(key), key,
+                                           tag)
+        return self.descendants_unindexed(key, tag)
+
+    def descendants_unindexed(self, key: FlexKey,
+                              tag: Optional[str] = None) -> list[FlexKey]:
+        """Walk-based ``descendants`` (the indexed path's correctness
+        oracle; cost is proportional to the subtree, not the result)."""
         node = self.node(key)
         return [d.key for d in node.descendants(tag)]
 
@@ -138,6 +196,26 @@ class StorageManager:
     def parent_key(self, key: FlexKey) -> Optional[FlexKey]:
         node = self.node(key)
         return node.parent.key if node.parent is not None else None
+
+    def tag_path(self, key: FlexKey) -> tuple[str, ...]:
+        """The root-to-node element tag path of ``key``.
+
+        Keys never relabel and tags never change, so the structural
+        index caches the path for a node's whole lifetime; the SAPT
+        validator and multi-view router classify updates against it
+        without re-walking ancestors.
+        """
+        if self._index is not None:
+            cached = self._index.tag_path(key.value)
+            if cached is not None:
+                return cached
+        tags: list[str] = []
+        node = self.node(key)
+        while node is not None:
+            if node.is_element:
+                tags.append(node.tag)
+            node = node.parent
+        return tuple(reversed(tags))
 
     def iter_subtree_keys(self, key: FlexKey) -> Iterator[FlexKey]:
         for node in self.node(key).iter_subtree():
@@ -175,17 +253,30 @@ class StorageManager:
         atom = atom_for_insert(low, high)
         parent.insert(index, fragment)
         new_key = parent_key.child(atom)
-        self._assign_keys(fragment, new_key)
+        if self._index is not None:
+            self._assign_keys(fragment, new_key,
+                              self.document_of_key(parent_key),
+                              self.tag_path(parent_key))
+        else:
+            self._assign_keys(fragment, new_key, "", ())
         self._notify("insert", new_key)
         return new_key
 
     def delete_subtree(self, key: FlexKey) -> XmlNode:
-        """Disconnect the subtree rooted at ``key`` and drop its keys."""
+        """Disconnect the subtree rooted at ``key`` and drop its keys.
+
+        A single ``iter_subtree`` walk collects the (key, node) pairs;
+        keys and index entries are dropped without re-resolving each key.
+        """
         node = self.node(key)
         if node.parent is None:
             raise StorageError("cannot delete a document root")
-        for sub_key in list(self.iter_subtree_keys(key)):
-            del self._nodes[sub_key]
+        index = self._index
+        document = self.document_of_key(key) if index is not None else ""
+        for sub in node.iter_subtree():
+            del self._nodes[sub.key]
+            if index is not None:
+                index.remove_node(document, sub.key, sub)
         node.detach()
         self._notify("delete", key)
         return node
@@ -207,6 +298,9 @@ class StorageManager:
             for child in list(node.children):
                 if child.is_text:
                     del self._nodes[child.key]
+                    if self._index is not None:
+                        self._index.remove_node(
+                            self.document_of_key(key), child.key, child)
                     node.remove(child)
             text_node = XmlNode.text(new_value)
             self.insert_fragment(key, text_node)
@@ -216,6 +310,7 @@ class StorageManager:
 
     def replace_attribute(self, key: FlexKey, name: str, value: str) -> None:
         self.node(key).attributes[name] = value
+        self._notify("modify", key)
 
     # -- path evaluation helpers -------------------------------------------------------------
 
@@ -225,27 +320,51 @@ class StorageManager:
 
         Axes: ``child`` and ``descendant``.  Used by the SAPT validator and
         by the update-language evaluator; the query engine runs navigation
-        through XAT operators instead.
+        through XAT operators instead.  The frontier is deduplicated
+        between steps and kept in document order: overlapping descendant
+        steps (an ancestor and its descendant both on the frontier) would
+        otherwise multiply the same key into the result.
         """
+        return self._find_by_path(name, steps, self._index is not None)
+
+    def find_by_path_unindexed(self, name: str,
+                               steps: Iterable[tuple[str, str]]
+                               ) -> list[FlexKey]:
+        """Walk-based ``find_by_path`` (the indexed path's oracle)."""
+        return self._find_by_path(name, steps, False)
+
+    def _find_by_path(self, name: str, steps: Iterable[tuple[str, str]],
+                      indexed: bool) -> list[FlexKey]:
+        if indexed:
+            children, descendants = self.children, self.descendants
+        else:
+            children = self.children_unindexed
+            descendants = self.descendants_unindexed
         current = [self.root_key(name)]
         first = True
         for axis, nametest in steps:
             matched: list[FlexKey] = []
+            seen: set[str] = set()
             for key in current:
                 if axis == "child":
                     if first:
                         # From the (implicit) document node, the first child
                         # step names the document element itself.
-                        if self.node(key).tag == nametest:
-                            matched.append(key)
+                        reached = ([key] if self.node(key).tag == nametest
+                                   else [])
                     else:
-                        matched.extend(self.children(key, nametest))
+                        reached = children(key, nametest)
                 elif axis == "descendant":
+                    reached = descendants(key, nametest)
                     if first and self.node(key).tag == nametest:
-                        matched.append(key)
-                    matched.extend(self.descendants(key, nametest))
+                        reached = [key] + reached
                 else:
                     raise StorageError(f"unsupported axis {axis!r}")
+                for target in reached:
+                    if target.value not in seen:
+                        seen.add(target.value)
+                        matched.append(target)
+            matched.sort(key=lambda k: k.value)
             current = matched
             first = False
         return current

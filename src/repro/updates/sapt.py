@@ -196,14 +196,13 @@ class Sapt:
 
 
 def tag_path(storage: StorageManager, key: FlexKey) -> tuple[str, ...]:
-    """The root-to-node element tag path of ``key`` in its document."""
-    tags: list[str] = []
-    node = storage.node(key)
-    while node is not None:
-        if node.is_element:
-            tags.append(node.tag)
-        node = node.parent
-    return tuple(reversed(tags))
+    """The root-to-node element tag path of ``key`` in its document.
+
+    Delegates to the storage manager, whose structural index caches the
+    path per key (keys never relabel, tags never change), so classifying
+    an update does not re-walk the target's ancestors.
+    """
+    return storage.tag_path(key)
 
 
 _tag_path = tag_path  # historical name

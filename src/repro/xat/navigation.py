@@ -69,22 +69,24 @@ def _classify(ctx: ExecutionContext, key: FlexKey) -> Optional[str]:
 
 def _element_targets(ctx: ExecutionContext, entry_key: FlexKey,
                      step: Step, is_first: bool) -> list[FlexKey]:
-    """Element-step navigation in storage with document-node semantics."""
+    """Element-step navigation in storage with document-node semantics.
+
+    Frontier expansion stays on the storage index's sorted-key range
+    scans: the stored node is only resolved for the document-node special
+    case of the first step, never per expanded frontier key.
+    """
     storage = ctx.storage
-    node = storage.node(entry_key)
     targets: list[FlexKey] = []
-    if step.axis == CHILD:
-        if is_first and node.parent is None:
-            # From the implicit document node the first child step names the
-            # document element itself.
-            if node.tag == step.test:
-                targets.append(entry_key)
-        else:
-            targets.extend(storage.children(entry_key, step.test))
-    else:  # descendant
-        if is_first and node.parent is None and node.tag == step.test:
+    if is_first and storage.is_document_root(entry_key):
+        # From the implicit document node the first step names (or, for
+        # descendant, includes) the document element itself.
+        if storage.node(entry_key).tag == step.test:
             targets.append(entry_key)
-        targets.extend(storage.descendants(entry_key, step.test))
+        if step.axis == CHILD:
+            return targets
+    elif step.axis == CHILD:
+        return storage.children(entry_key, step.test)
+    targets.extend(storage.descendants(entry_key, step.test))
     return targets
 
 
@@ -201,7 +203,7 @@ class NavigateUnnest(XatOperator):
                     if ctx.mode == DELTA else None
                 frontier: list[tuple[FlexKey, int, bool, Optional[str]]] = [
                     (entry_key, 1, False, entry_status)]
-                is_first = ctx.storage.node(entry_key).parent is None
+                is_first = ctx.storage.is_document_root(entry_key)
                 for index, step in enumerate(element_steps):
                     is_last = index == len(element_steps) - 1
                     next_frontier = []
@@ -291,7 +293,7 @@ class NavigateCollection(XatOperator):
                 entry_status = _classify(ctx, entry_key) \
                     if ctx.mode == DELTA else None
                 frontier = [entry_key]
-                is_first = ctx.storage.node(entry_key).parent is None
+                is_first = ctx.storage.is_document_root(entry_key)
                 for index, step in enumerate(element_steps):
                     is_last = index == len(element_steps) - 1
                     next_frontier = []

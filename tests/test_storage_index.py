@@ -1,0 +1,229 @@
+"""Consistency tests for the incremental structural index.
+
+The contract under test: after ANY interleaving of the storage mutation
+primitives, the indexed navigation fast paths (``children`` /
+``descendants`` / ``find_by_path`` / ``tag_path``) return exactly what
+the walk-based unindexed fallbacks return.  The fallbacks re-derive
+answers from the node tree on every call, so they are the oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.flexkeys import FlexKey, order_of
+from repro.storage import StorageError, StorageManager, StructuralIndex
+from repro.workloads import xmark
+from repro.xmlmodel import XmlDocument, XmlNode, parse_fragment
+
+TAGS = ["person", "name", "city", "interest", "profile", "note", "nope"]
+
+PATHS = [
+    [("descendant", "city")],
+    [("descendant", "person"), ("descendant", "city")],
+    [("descendant", "site"), ("descendant", "interest")],
+    [("child", "site"), ("child", "people"), ("child", "person")],
+    [("child", "site"), ("descendant", "name")],
+]
+
+
+def build_site(num_persons: int = 12) -> StorageManager:
+    storage = StorageManager()
+    xmark.register_site(storage, num_persons, seed=7)
+    return storage
+
+
+def live_element_keys(storage: StorageManager) -> list[FlexKey]:
+    root = storage.root_key("site.xml")
+    return [root] + storage.descendants_unindexed(root)
+
+
+def assert_storage_consistent(storage: StorageManager) -> None:
+    """Every fast path equals its walk-based oracle."""
+    root = storage.root_key("site.xml")
+    keys = live_element_keys(storage)
+    for tag in TAGS + [None]:
+        assert storage.descendants(root, tag) \
+            == storage.descendants_unindexed(root, tag), tag
+    for key in keys:
+        for tag in (None, "city", "person", "interest"):
+            assert storage.children(key, tag) \
+                == storage.children_unindexed(key, tag), (key, tag)
+        assert storage.descendants(key, "city") \
+            == storage.descendants_unindexed(key, "city"), key
+        assert storage.tag_path(key) == _walk_tag_path(storage, key), key
+    for steps in PATHS:
+        assert storage.find_by_path("site.xml", steps) \
+            == storage.find_by_path_unindexed("site.xml", steps), steps
+
+
+def _walk_tag_path(storage, key):
+    tags = []
+    node = storage.node(key)
+    while node is not None:
+        if node.is_element:
+            tags.append(node.tag)
+        node = node.parent
+    return tuple(reversed(tags))
+
+
+class TestRandomInterleavings:
+    """Random insert/delete/replace streams keep both paths identical."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_mutation_stream(self, seed):
+        rng = random.Random(seed)
+        storage = build_site(10)
+        root = storage.root_key("site.xml")
+        fragment_counter = 0
+        for step in range(60):
+            keys = live_element_keys(storage)
+            op = rng.choice(["insert", "insert", "delete", "replace_text",
+                             "replace_attribute"])
+            if op == "insert":
+                parent = rng.choice(keys)
+                fragment_counter += 1
+                fragment = parse_fragment(
+                    f'<note id="n{fragment_counter}">'
+                    f'<city>Quincy</city>note text</note>')[0]
+                children = storage.children(parent)
+                if children and rng.random() < 0.6:
+                    anchor = rng.choice(children)
+                    if rng.random() < 0.5:
+                        storage.insert_fragment(parent, fragment,
+                                                after=anchor)
+                    else:
+                        storage.insert_fragment(parent, fragment,
+                                                before=anchor)
+                else:
+                    storage.insert_fragment(parent, fragment)
+            elif op == "delete":
+                candidates = [k for k in keys if k != root]
+                if candidates:
+                    storage.delete_subtree(rng.choice(candidates))
+            elif op == "replace_text":
+                storage.replace_text(rng.choice(keys), f"text-{step}")
+            else:
+                storage.replace_attribute(rng.choice(keys), "mark",
+                                          str(step))
+            if step % 10 == 9:
+                assert_storage_consistent(storage)
+        assert_storage_consistent(storage)
+
+    def test_extended_atoms_stay_in_range(self):
+        """Repeated same-anchor inserts force extended sibling atoms
+        ("we can always create new gaps"); the prefix-range scans must
+        keep seeing every key exactly once."""
+        storage = build_site(3)
+        root = storage.root_key("site.xml")
+        people = storage.children(root, "people")[0]
+        anchor = storage.children(people, "person")[0]
+        for i in range(25):
+            storage.insert_fragment(
+                people, XmlNode.element("person", {"id": f"x{i}"}),
+                after=anchor)
+        assert_storage_consistent(storage)
+        got = storage.children(people, "person")
+        assert got == storage.children_unindexed(people, "person")
+        assert [k.value for k in got] \
+            == sorted(k.value for k in got)
+
+
+class TestFindByPathDedupe:
+    def test_overlapping_descendant_steps_no_duplicates(self):
+        storage = StorageManager()
+        storage.register(XmlDocument.from_string(
+            "nest.xml", "<a><b><b><c/></b></b><c/></a>"))
+        # Step 1 puts both b elements (an ancestor and its descendant) on
+        # the frontier; both reach the same inner c.
+        result = storage.find_by_path(
+            "nest.xml", [("descendant", "b"), ("descendant", "c")])
+        assert len(result) == 1
+        result = storage.find_by_path_unindexed(
+            "nest.xml", [("descendant", "b"), ("descendant", "c")])
+        assert len(result) == 1
+
+    def test_results_in_document_order(self):
+        storage = build_site(6)
+        for steps in PATHS:
+            keys = storage.find_by_path("site.xml", steps)
+            assert [k.value for k in keys] \
+                == sorted(k.value for k in keys), steps
+            assert len({k.value for k in keys}) == len(keys), steps
+
+
+class TestIndexUnits:
+    def test_unindexed_manager_has_no_index(self):
+        storage = StorageManager(indexed=False)
+        xmark.register_site(storage, 3)
+        assert not storage.indexed and storage.index is None
+        root = storage.root_key("site.xml")
+        assert storage.descendants(root, "city") \
+            == storage.descendants_unindexed(root, "city")
+
+    def test_unknown_key_still_raises(self):
+        storage = build_site(3)
+        with pytest.raises(StorageError):
+            storage.descendants(FlexKey("zz.zz"), "city")
+        with pytest.raises(StorageError):
+            storage.children(FlexKey("zz.zz"), "city")
+
+    def test_deleted_key_rejected_like_unindexed(self):
+        storage = build_site(3)
+        root = storage.root_key("site.xml")
+        victim = storage.descendants(root, "person")[0]
+        storage.delete_subtree(victim)
+        with pytest.raises(StorageError):
+            storage.descendants(victim, "city")
+
+    def test_index_stats_track_mutations(self):
+        storage = build_site(3)
+        stats = storage.index.stats()
+        before = stats["indexed_elements"]
+        root = storage.root_key("site.xml")
+        victim = storage.descendants(root, "person")[0]
+        dropped = len([n for n in storage.node(victim).iter_subtree()
+                       if n.is_element])
+        storage.delete_subtree(victim)
+        assert storage.index.stats()["indexed_elements"] \
+            == before - dropped
+
+    def test_interned_keys_are_reused(self):
+        storage = build_site(3)
+        root = storage.root_key("site.xml")
+        first = storage.descendants(root, "city")
+        second = storage.descendants(root, "city")
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_structural_index_is_exported(self):
+        from repro.storage.index import StructuralIndex as module_cls
+        assert module_cls is StructuralIndex
+        assert isinstance(StorageManager().index, StructuralIndex)
+
+
+class TestFlexKeyMemoization:
+    def test_atoms_cached_per_instance(self):
+        key = FlexKey("b.cd.ef")
+        assert key.atoms is key.atoms
+        assert key.atoms == ("b", "cd", "ef")
+
+    def test_order_token_follows_override_chain(self):
+        base = FlexKey("b.c")
+        override = FlexKey("z.z", override=FlexKey("a.a"))
+        key = base.with_override(override)
+        assert order_of(key) == "a.a"
+        assert key.order_token() == "a.a"
+        # identity (value) is unchanged by the override
+        assert key.value == "b.c"
+        assert key < FlexKey("b.b")  # compares by overriding order
+
+    def test_tag_path_cache_survives_unrelated_updates(self):
+        storage = build_site(4)
+        root = storage.root_key("site.xml")
+        city = storage.descendants(root, "city")[0]
+        path = storage.tag_path(city)
+        assert path == ("site", "people", "person", "address", "city")
+        people = storage.children(root, "people")[0]
+        storage.insert_fragment(
+            people, parse_fragment(xmark.new_person_xml(99))[0])
+        assert storage.tag_path(city) == path
