@@ -14,7 +14,12 @@ walk-based unindexed fallbacks — and emits one machine-readable
 * **view_maintenance_insert** (fig 9.2 maintenance): end-to-end
   incremental maintenance of the join view under an insert batch;
 * **update_overhead**: the honest cost of index upkeep — raw
-  insert+delete batches against indexed vs unindexed storage.
+  insert+delete batches against indexed vs unindexed storage;
+* **api_overhead**: the cost of the :class:`repro.api.Database` facade —
+  the same logical insert+delete stream driven through ``Database.batch``
+  (path-addressed statements, resolved at flush) vs directly through
+  ``ViewRegistry.apply_updates`` with pre-resolved FlexKeys.  The facade
+  targets <5% overhead (``api_overhead.ok`` in the JSON).
 
 Every navigation scenario also diffs the two paths' results; the suite
 refuses to report a speedup for answers that disagree
@@ -28,13 +33,15 @@ runs and ``--json PATH`` redirects the output file.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
-import sys
+import statistics
 
 from bench_common import (fresh_site, materialized_view, ms, persons,
                           print_table, scales, time_call, xmark)
 
-from repro import UpdateRequest
+from repro import CostModel, UpdateRequest, ViewRegistry
+from repro.api import Database
 from repro.xmlmodel import parse_fragment
 
 #: Descendant-heavy location paths (the fig 9.2-style navigation load).
@@ -66,6 +73,8 @@ SELECTIVITY_TAGS = ["interest", "person", "city", "initial", "people"]
 
 UPDATE_BATCH = 8
 MAINTENANCE_BATCH = 4
+API_BATCH = 10
+API_OVERHEAD_TARGET = 0.05
 
 #: A descendant-heavy view: its V-P-A maintenance navigates ``//`` paths
 #: from the document root, the regime where range scans replace walks.
@@ -197,7 +206,111 @@ def measure_update_overhead(scale_list, repeat: int) -> list[dict]:
     return series
 
 
+def measure_api_overhead(scale_list, repeat: int) -> list[dict]:
+    """Facade cost: the same logical insert+delete stream — one run of
+    ``API_BATCH`` person inserts, then one run deleting them — driven
+    through ``Database.batch`` (path-addressed, resolved at flush) and
+    directly through ``ViewRegistry.apply_updates`` with pre-resolved
+    keys, against a two-view (selection + join) registry.  Each work
+    unit returns storage to its initial state, so the same session is
+    timed repeatedly.
+
+    Scales below 100 persons are skipped: there a work unit finishes in
+    a few milliseconds and the ratio is dominated by timer jitter rather
+    than by facade cost.  The scales actually measured are recorded in
+    the series.  Views are pinned to the incremental path (a
+    never-recompute cost model) so both sides do identical maintenance
+    work and the measured delta is the facade alone."""
+
+    class _NeverRecompute(CostModel):
+        def should_recompute(self, trees: int) -> bool:
+            return False
+
+    fragments = [xmark.new_person_xml(9000 + i, age=70)
+                 for i in range(API_BATCH)]
+    views = [("seniors", xmark.SELECTION_QUERY),
+             ("sales", xmark.JOIN_QUERY)]
+    # Work units are a few milliseconds and host noise has heavy tails
+    # (pairwise ratios can spike 2-4x); the median needs many more pairs
+    # than the document-scaled scenarios need repeats.
+    repeat = max(repeat * 5, 15)
+    api_scales = [n for n in scale_list if n >= 100] or [max(scale_list)]
+    series = []
+    for n in api_scales:
+        storage = fresh_site(n)
+        registry = ViewRegistry(storage)
+        for view_name, query in views:
+            registry.register(view_name, query,
+                              cost_model=_NeverRecompute())
+
+        def direct_work():
+            anchor = persons(storage)[-1]
+            registry.apply_updates([
+                UpdateRequest.insert("site.xml", anchor, fragment, "after")
+                for fragment in fragments])
+            registry.apply_updates([
+                UpdateRequest.delete("site.xml", key)
+                for key in persons(storage)[n:]])
+
+        db = Database(storage=fresh_site(n))
+        for view_name, query in views:
+            db.create_view(view_name, query,
+                           cost_model=_NeverRecompute())
+
+        def api_work():
+            with db.batch():
+                for fragment in fragments:
+                    db.update("site.xml") \
+                        .at(f"/site/people/person[{n}]") \
+                        .insert(fragment, position="after")
+            with db.batch():
+                for i in range(API_BATCH):
+                    db.update("site.xml") \
+                        .at(f"/site/people/person[{n + 1 + i}]").delete()
+
+        direct_work()   # warm caches before timing, so neither side
+        api_work()      # pays setup in its best
+        # Time the two sides in adjacent pairs and take the *median of
+        # pairwise ratios*: host-level slow phases hit both units of a
+        # pair, so the ratio cancels drift that would dominate a
+        # min-of-N comparison of independently timed sides.  The order
+        # inside a pair alternates (periodic noise decorrelates) and the
+        # cyclic GC is paused so collection pauses triggered by one
+        # side's allocations don't land on the other's clock.
+        ratios = []
+        direct_times = []
+        api_times = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for index in range(repeat):
+                if index % 2:
+                    api_t = time_call(api_work, repeat=1)
+                    direct_t = time_call(direct_work, repeat=1)
+                else:
+                    direct_t = time_call(direct_work, repeat=1)
+                    api_t = time_call(api_work, repeat=1)
+                direct_times.append(direct_t)
+                api_times.append(api_t)
+                ratios.append(api_t / direct_t)
+                gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        registry.close()
+        db.close()
+        series.append({"persons": n, "batch": API_BATCH,
+                       "direct_seconds": statistics.median(direct_times),
+                       "api_seconds": statistics.median(api_times),
+                       "overhead": statistics.median(ratios) - 1.0})
+    return series
+
+
 def run_suite(scale_list, repeat: int = 3) -> dict:
+    # The facade comparison runs first: its paired ratios are the most
+    # noise-sensitive measurement in the suite, and the document sweeps
+    # below leave a large heap behind that skews small-unit timings.
+    api_series = measure_api_overhead(scale_list, repeat)
     nav_desc, ok_desc = measure_navigation(
         NAV_DESCENDANT_PATHS, NAV_DESCENDANT_TAGS, scale_list, repeat)
     nav_child, ok_child = measure_navigation(
@@ -219,12 +332,18 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
         {"name": "update_overhead",
          "style": "index upkeep: raw insert+delete batch",
          "series": measure_update_overhead(scale_list, repeat)},
+        {"name": "api_overhead",
+         "style": "session facade: Database.batch vs direct "
+                  "ViewRegistry.apply_updates",
+         "series": api_series},
     ]
     headline = nav_desc[-1]
+    max_overhead = max(entry["overhead"] for entry in api_series)
     return {
         "suite": "perf_suite",
         "description": "indexed StructuralIndex fast paths vs walk-based "
-                       "unindexed fallbacks across XMark scaling factors",
+                       "unindexed fallbacks across XMark scaling factors, "
+                       "plus the Database facade overhead",
         "scales": list(scale_list),
         "repeat": repeat,
         "consistency_ok": ok_desc and ok_child and ok_sel,
@@ -232,12 +351,24 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
         "headline": {"scenario": "navigation_descendant",
                      "persons": headline["persons"],
                      "speedup": headline["speedup"]},
+        "api_overhead": {"target": API_OVERHEAD_TARGET,
+                         "max_overhead": max_overhead,
+                         "ok": max_overhead < API_OVERHEAD_TARGET},
     }
 
 
 def print_suite(result: dict) -> None:
     for scenario in result["scenarios"]:
         rows = []
+        if scenario["name"] == "api_overhead":
+            for entry in scenario["series"]:
+                rows.append([entry["persons"], ms(entry["direct_seconds"]),
+                             ms(entry["api_seconds"]),
+                             f"{entry['overhead'] * 100:6.2f}%"])
+            print_table(
+                f"Perf suite: {scenario['name']} — {scenario['style']}",
+                ["scale", "direct (ms)", "database (ms)", "overhead"], rows)
+            continue
         for entry in scenario["series"]:
             label = entry.get("tag") or (
                 f"{entry['persons']} {entry['query']}"
@@ -252,6 +383,10 @@ def print_suite(result: dict) -> None:
     head = result["headline"]
     print(f"headline: {head['scenario']} at {head['persons']} persons — "
           f"{head['speedup']:.1f}x")
+    api = result["api_overhead"]
+    print(f"api_overhead: max {api['max_overhead'] * 100:.2f}% "
+          f"(target < {api['target'] * 100:.0f}%) — "
+          f"{'ok' if api['ok'] else 'OVER TARGET'}")
 
 
 def main(argv=None) -> dict:
@@ -302,9 +437,35 @@ def test_suite_emits_valid_json(tmp_path):
     assert loaded["suite"] == "perf_suite"
     assert loaded["consistency_ok"] is True
     assert {s["name"] for s in loaded["scenarios"]} >= {
-        "navigation_descendant", "selectivity", "view_maintenance_insert"}
+        "navigation_descendant", "selectivity", "view_maintenance_insert",
+        "api_overhead"}
     for scenario in loaded["scenarios"]:
         assert scenario["series"], scenario["name"]
+    assert "max_overhead" in loaded["api_overhead"]
+
+
+def test_api_batch_matches_direct_stream():
+    """The facade and the direct stream it is benchmarked against must
+    leave the view in identical states (else the overhead compares
+    different work)."""
+    n = 20
+    fragments = [xmark.new_person_xml(9000 + i, age=70) for i in range(3)]
+
+    storage = fresh_site(n)
+    registry = ViewRegistry(storage)
+    registry.register("seniors", xmark.SELECTION_QUERY)
+    anchor = persons(storage)[-1]
+    registry.apply_updates([
+        UpdateRequest.insert("site.xml", anchor, fragment, "after")
+        for fragment in fragments])
+
+    db = Database(storage=fresh_site(n))
+    db.create_view("seniors", xmark.SELECTION_QUERY)
+    with db.batch():
+        for fragment in fragments:
+            db.update("site.xml").at(f"/site/people/person[{n}]") \
+                .insert(fragment, position="after")
+    assert db.read("seniors") == registry.query("seniors")
 
 
 if __name__ == "__main__":

@@ -1,100 +1,102 @@
-"""Multi-view dashboard: five views, two workloads, one update stream.
+"""Multi-view dashboard: five views, two workloads, one update stream —
+through the unified :class:`repro.api.Database` session API.
 
-A :class:`repro.ViewRegistry` maintains five materialized views — two over
-the running-example bib/prices documents and three over an XMark-style
-site.xml — from one interleaved stream of inserts, deletes and modifies.
-Each view picks its own maintenance policy:
+One database maintains five materialized views — two over the
+running-example bib/prices documents and three over an XMark-style
+site.xml — from one transactional batch of path-addressed updates and
+XQuery-update strings.  Each view picks its own maintenance policy:
 
 * ``catalog`` / ``seniors`` / ``sales`` — immediate (refreshed at every
   batch boundary);
 * ``profiles`` — deferred (refreshed lazily, on read);
 * ``by-city`` — threshold(4) (refreshed once 4 update trees are pending).
 
-Every update is validated once by the shared router and propagated only
-to the views it can affect; after the stream, every view is checked
-against its full-recomputation oracle.
+Every statement in the batch is validated once by the shared router and
+propagated only to the views it can affect; subscriptions count the
+refreshes per view; after the stream, every view is checked against its
+full-recomputation oracle.
 
 Run:  python examples/multi_view_dashboard.py
 """
 
-from repro import StorageManager, UpdateRequest, ViewRegistry
-from repro.multiview import DEFERRED, threshold
+from collections import Counter
+
+from repro.api import Database
 from repro.workloads import bib as bibload
 from repro.workloads import xmark
 
+NUM_PERSONS = 25
+
 
 def main() -> None:
-    storage = StorageManager()
-    bibload.register_running_example(storage)
-    xmark.register_site(storage, num_persons=25)
+    with Database() as db:
+        db.load("bib.xml", bibload.BIB_XML) \
+          .load("prices.xml", bibload.PRICES_XML) \
+          .load("site.xml", xmark.generate_site(NUM_PERSONS))
 
-    registry = ViewRegistry(storage)
-    registry.register("catalog", bibload.YEAR_GROUP_QUERY)
-    registry.register("seniors", xmark.SELECTION_QUERY)
-    registry.register("sales", xmark.JOIN_QUERY)
-    registry.register("profiles", xmark.ORDER_QUERY_1, policy=DEFERRED)
-    registry.register("by-city", xmark.PERSONS_BY_CITY_QUERY,
-                      policy=threshold(4))
-    print(f"registered views: {', '.join(registry.names())}")
+        db.create_view("catalog", bibload.YEAR_GROUP_QUERY)
+        db.create_view("seniors", xmark.SELECTION_QUERY)
+        db.create_view("sales", xmark.JOIN_QUERY)
+        db.create_view("profiles", xmark.ORDER_QUERY_1, policy="deferred")
+        db.create_view("by-city", xmark.PERSONS_BY_CITY_QUERY, policy=4)
+        print(f"registered views: {', '.join(db.views())}")
 
-    books = storage.children(storage.root_key("bib.xml"), "book")
-    persons = storage.find_by_path(
-        "site.xml", [("child", "site"), ("child", "people"),
-                     ("child", "person")])
-    auctions = storage.find_by_path(
-        "site.xml", [("child", "site"), ("child", "closed_auctions"),
-                     ("child", "closed_auction")])
-    ages = storage.find_by_path(
-        "site.xml", [("child", "site"), ("child", "people"),
-                     ("child", "person"), ("child", "profile"),
-                     ("child", "age")])
+        refreshes = Counter()
+        for name in db.views():
+            db.subscribe(name, lambda event: refreshes.update([event.view]))
 
-    stream = [
-        UpdateRequest.insert("bib.xml", books[-1],
-                             bibload.NEW_BOOK_FRAGMENT, "after"),
-        UpdateRequest.insert("site.xml", persons[-1],
-                             xmark.new_person_xml(1, city="Cairo", age=67),
-                             "after"),
-        UpdateRequest.delete("site.xml", persons[0]),
-        # age feeds the seniors view's predicate: the router decomposes
-        # this modify into delete+insert of the person fragment for every
-        # affected view.
-        UpdateRequest.modify("site.xml", ages[5], "72"),
-        UpdateRequest.insert("site.xml", auctions[-1],
-                             xmark.new_closed_auction_xml(9, "person7"),
-                             "after"),
-        UpdateRequest.delete("bib.xml", books[0]),
-        UpdateRequest.insert("site.xml", persons[9],
-                             xmark.new_person_xml(2, city="Oslo", age=30),
-                             "before"),
-        UpdateRequest.delete("site.xml", auctions[3]),
-    ]
+        with db.batch() as batch:
+            db.update("bib.xml").at("/bib/book[2]") \
+                .insert(bibload.NEW_BOOK_FRAGMENT, position="after")
+            db.update("site.xml").at(f"/site/people/person[{NUM_PERSONS}]") \
+                .insert(xmark.new_person_xml(1, city="Cairo", age=67),
+                        position="after")
+            db.update("site.xml").at("/site/people/person[1]").delete()
+            # age feeds the seniors view's predicate: the router decomposes
+            # this modify into delete+insert of the person fragment for
+            # every affected view.
+            db.update("site.xml").at("/site/people/person[6]/profile/age") \
+                .replace_with("72")
+            db.execute(
+                f'for $a in document("site.xml")/site/closed_auctions'
+                f'/closed_auction[{NUM_PERSONS}] update $a '
+                f'insert {xmark.new_closed_auction_xml(9, "person7")} '
+                f'after $a')
+            db.execute('''for $b in document("bib.xml")/bib/book
+                          where $b/title = "TCP/IP Illustrated"
+                          update $b delete $b''')
+            db.update("site.xml").at("/site/people/person[10]") \
+                .insert(xmark.new_person_xml(2, city="Oslo", age=30),
+                        position="before")
+            db.update("site.xml") \
+                .at("/site/closed_auctions/closed_auction[4]").delete()
 
-    report = registry.apply_updates(stream)
-    print(f"\nstream: {report.updates} requests processed, "
-          f"{report.classifications} classifications (exactly one each), "
-          f"{report.routed} routed, "
-          f"{report.irrelevant_everywhere} irrelevant everywhere, "
-          f"{report.decomposed} decomposed")
+        report = batch.report
+        print(f"\nbatch: {len(batch)} statements, "
+              f"{report.updates} requests processed, "
+              f"{report.classifications} classifications "
+              f"(exactly one each), {report.routed} routed, "
+              f"{report.irrelevant_everywhere} irrelevant everywhere, "
+              f"{report.decomposed} decomposed")
 
-    print("\nper-view state after the stream:")
-    for name in registry.names():
-        view = registry.view(name)
-        print(f"  {name:10s} policy={view.policy.kind:9s} "
-              f"batches={view.report.batches} "
-              f"pending={view.pending_trees()} "
-              f"flushes={view.stats.flushes} "
-              f"recomputes={view.stats.recomputes}")
+        print("\nper-view state after the stream:")
+        for name in db.views():
+            view = db.view(name)
+            print(f"  {name:10s} policy={view.policy.kind:9s} "
+                  f"pending={view.pending_trees()} "
+                  f"refreshes={refreshes[name]} "
+                  f"flushes={view.stats.flushes} "
+                  f"recomputes={view.stats.recomputes}")
 
-    print("\nreading every view (deferred/threshold views flush now):")
-    for name in registry.names():
-        xml = registry.query(name)
-        oracle = registry.recompute_xml(name)
-        status = "consistent" if xml == oracle else "DIVERGED"
-        print(f"  {name:10s} {len(xml):6d} chars  {status}")
-        assert xml == oracle, name
+        print("\nreading every view (deferred/threshold views flush now):")
+        for name in db.views():
+            xml = db.read(name)
+            oracle = db.view(name).recompute()
+            status = "consistent" if xml == oracle else "DIVERGED"
+            print(f"  {name:10s} {len(xml):6d} chars  {status}")
+            assert xml == oracle, name
 
-    print("\nAll views match their recomputation oracles.")
+        print("\nAll views match their recomputation oracles.")
 
 
 if __name__ == "__main__":

@@ -1,55 +1,69 @@
-"""Quickstart: the paper's running example, end to end (Figs 1.1-1.4).
+"""Quickstart: the paper's running example, end to end (Figs 1.1-1.4),
+through the unified :class:`repro.api.Database` session API.
 
 Defines the year-grouping view of Fig 1.2 over bib.xml and prices.xml,
 materializes it, then applies the three source updates of Fig 1.3 — an
-insert, a delete, and a price replacement — incrementally.  After every
-update the refreshed extent is checked against full recomputation.
+insert via the fluent path-addressed builder, a delete and a price
+replacement via XQuery-update strings — incrementally.  A subscription
+reports every view refresh, and after every update the refreshed extent
+is checked against full recomputation.
+
+No raw FlexKeys, StorageManagers or UpdateRequests appear below: paths
+address nodes, and every write funnels through the shared validation
+router exactly once.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import MaterializedXQueryView, StorageManager, \
-    apply_xquery_update
-from repro.workloads.bib import (NEW_BOOK_FRAGMENT, YEAR_GROUP_QUERY,
-                                 register_running_example)
+from repro.api import Database
+from repro.workloads.bib import (BIB_XML, NEW_BOOK_FRAGMENT, PRICES_XML,
+                                 YEAR_GROUP_QUERY)
 
 
 def main() -> None:
-    storage = StorageManager()
-    register_running_example(storage)
+    with Database() as db:
+        db.load("bib.xml", BIB_XML).load("prices.xml", PRICES_XML)
 
-    view = MaterializedXQueryView(storage, YEAR_GROUP_QUERY)
-    print("== initial materialized view (Fig 1.2b) ==")
-    print(view.materialize())
+        view = db.create_view("by_year", YEAR_GROUP_QUERY)
+        print("== initial materialized view (Fig 1.2b) ==")
+        print(view.read())
 
-    updates = [
-        # Fig 1.3(a): insert a new 1994 book after the second book.
-        f'''for $book in document("bib.xml")/bib/book[2]
-            update $book
-            insert {NEW_BOOK_FRAGMENT} after $book''',
-        # Fig 1.3(b): delete "Data on the Web".
-        '''for $book in document("bib.xml")/bib/book
-           where $book/title = "Data on the Web"
-           update $book
-           delete $book''',
-        # Fig 1.3(c): replace the price of "TCP/IP Illustrated".
-        '''for $entry in document("prices.xml")/prices/entry
-           where $entry/b-title = "TCP/IP Illustrated"
-           update $entry
-           replace $entry/price/text() with "70"''',
-    ]
+        db.subscribe("by_year", lambda event: print(
+            f"  [refresh: {event.reason}, {event.trees} update tree(s)]"))
 
-    for i, statement in enumerate(updates, start=1):
-        requests = apply_xquery_update(statement, storage)
-        report = view.apply_updates(requests)
-        print(f"\n== after update {i} "
-              f"(accepted={report.accepted}, "
-              f"propagate={report.propagate_seconds * 1000:.2f}ms, "
-              f"apply={report.apply_seconds * 1000:.2f}ms) ==")
-        print(view.to_xml())
-        assert view.to_xml() == view.recompute_xml(), "extent diverged!"
+        # Fig 1.3(a): insert a new 1994 book after the second book —
+        # the fluent, path-addressed form.
+        db.update("bib.xml").at("/bib/book[2]") \
+            .insert(NEW_BOOK_FRAGMENT, position="after")
+        print("\n== after insert (Fig 1.3a) ==")
+        print(view.read())
+        assert view.read() == view.recompute(), "extent diverged!"
 
-    print("\nFinal extent equals Fig 1.4 and matches recomputation.")
+        # Fig 1.3(b): delete "Data on the Web" — the TIHW01 string form,
+        # unified with the programmatic path by db.execute.
+        db.execute('''for $book in document("bib.xml")/bib/book
+                      where $book/title = "Data on the Web"
+                      update $book
+                      delete $book''')
+        print("\n== after delete (Fig 1.3b) ==")
+        print(view.read())
+        assert view.read() == view.recompute(), "extent diverged!"
+
+        # Fig 1.3(c): replace the price of "TCP/IP Illustrated" —
+        # builder again, addressing through a value predicate.
+        db.update("prices.xml") \
+            .at('/prices/entry[b-title="TCP/IP Illustrated"]/price') \
+            .replace_with("70")
+        print("\n== after replace (Fig 1.3c) ==")
+        print(view.read())
+        assert view.read() == view.recompute(), "extent diverged!"
+
+        # Ad-hoc reads never need a view:
+        titles = db.query('<titles>{for $b in doc("bib.xml")/bib/book '
+                          'return $b/title}</titles>')
+        print(f"\nad-hoc query: {titles}")
+
+        print("\nFinal extent equals Fig 1.4 and matches recomputation.")
 
 
 if __name__ == "__main__":

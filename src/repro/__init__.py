@@ -5,40 +5,43 @@ version: WPI PhD dissertation, 2005): an XQuery engine over the XAT algebra
 with FlexKey order encoding and semantic identifiers, plus the V-P-A
 (Validate / Propagate / Apply) incremental view maintenance framework.
 
-Quickstart::
+Quickstart (the recommended session API — see :mod:`repro.api`)::
 
-    from repro import (MaterializedXQueryView, StorageManager, UpdateRequest,
-                       XmlDocument)
+    from repro import Database
 
-    storage = StorageManager()
-    storage.register(XmlDocument.from_string("bib.xml", "<bib>...</bib>"))
-    view = MaterializedXQueryView(storage, '<r>{for $b in '
-                                  'doc("bib.xml")/bib/book return $b}</r>')
-    print(view.materialize())
-    book = storage.find_by_path("bib.xml", [("child", "bib"),
-                                            ("child", "book")])[0]
-    view.apply_updates([UpdateRequest.delete("bib.xml", book)])
-    assert view.to_xml() == view.recompute_xml()
+    with Database() as db:
+        db.load("bib.xml", "<bib>...</bib>")
+        view = db.create_view("books", '<r>{for $b in '
+                              'doc("bib.xml")/bib/book return $b}</r>')
+        db.update("bib.xml").at("/bib/book[1]").delete()
+        assert view.read() == view.recompute()
+
+The per-layer surface (:class:`StorageManager`,
+:class:`MaterializedXQueryView`, :class:`ViewRegistry`, raw
+:class:`UpdateRequest`\\ s) stays available for engine-level work.
 """
 
+from .api import Batch, Database, Subscription, Update, View
 from .engine import Engine
 from .flexkeys import FlexKey
 from .multiview import (CostModel, MaintenancePolicy, MultiViewReport,
-                        ViewRegistry)
+                        RefreshEvent, ViewRegistry)
 from .storage import StorageManager
 from .translate import TranslationError, Translator, translate_query
-from .updates import Sapt, UpdateRequest, UpdateTree
+from .updates import Sapt, UpdateError, UpdateRequest, UpdateTree
 from .view import MaintenanceReport, MaterializedXQueryView
 from .xat import Profiler
 from .xmlmodel import XmlDocument, XmlNode, parse_document, parse_fragment, \
     serialize
 from .xquery import parse_query
-from .xquery.updates import apply_xquery_update, parse_update
+from .xquery.updates import apply_xquery_update, parse_update, resolve_path
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Batch",
     "CostModel",
+    "Database",
     "Engine",
     "FlexKey",
     "MaintenancePolicy",
@@ -46,12 +49,17 @@ __all__ = [
     "MaterializedXQueryView",
     "MultiViewReport",
     "Profiler",
+    "RefreshEvent",
     "Sapt",
     "StorageManager",
+    "Subscription",
     "TranslationError",
     "Translator",
+    "Update",
+    "UpdateError",
     "UpdateRequest",
     "UpdateTree",
+    "View",
     "ViewRegistry",
     "XmlDocument",
     "XmlNode",
@@ -60,6 +68,7 @@ __all__ = [
     "parse_fragment",
     "parse_query",
     "parse_update",
+    "resolve_path",
     "serialize",
     "translate_query",
 ]

@@ -18,8 +18,8 @@ views maintained from a single update stream:
 from .cost import CostModel
 from .pipeline import MaintenanceReport, ViewPipeline, run_maintenance
 from .policies import DEFERRED, IMMEDIATE, MaintenancePolicy, threshold
-from .registry import (MultiViewReport, RegisteredView, RoutedTree,
-                       ViewRegistry, ViewStats)
+from .registry import (MultiViewReport, RefreshEvent, RegisteredView,
+                       RoutedTree, ViewRegistry, ViewStats)
 from .router import RouterStats, RouteResult, SharedValidationRouter
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "MaintenancePolicy",
     "MaintenanceReport",
     "MultiViewReport",
+    "RefreshEvent",
     "RegisteredView",
     "RoutedTree",
     "RouteResult",

@@ -42,8 +42,7 @@ from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
 from .cost import CostModel
 from .pipeline import (MaintenanceReport, ViewPipeline, apply_insert,
                        decompose_modify, decomposition_anchor)
-from .policies import (DEFERRED_KIND, IMMEDIATE_KIND, THRESHOLD_KIND,
-                       MaintenancePolicy)
+from .policies import IMMEDIATE_KIND, THRESHOLD_KIND, MaintenancePolicy
 from .router import SharedValidationRouter
 
 
@@ -52,6 +51,21 @@ class RoutedTree(UpdateTree):
     """An update tree annotated with the names of the views it affects."""
 
     views: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class RefreshEvent:
+    """One view's extent just changed under maintenance.
+
+    ``reason`` is ``"propagate"`` (pending delta batches were propagated
+    into the extent) or ``"recompute"`` (the cost model or a min/max
+    eviction forced full recomputation).  ``trees`` counts the update
+    trees the refresh consumed.
+    """
+
+    view: str
+    reason: str
+    trees: int = 0
 
 
 @dataclass
@@ -109,6 +123,7 @@ class ViewRegistry:
         self.router = SharedValidationRouter()
         self._views: dict[str, RegisteredView] = {}
         self._storage_ops = 0
+        self._refresh_listeners: list = []
         storage.add_listener(self._count_storage_op)
 
     def _count_storage_op(self, op: str, key) -> None:
@@ -117,11 +132,40 @@ class ViewRegistry:
     def close(self) -> None:
         """Detach from the storage manager (idempotent).  A registry holds
         a mutation listener on its storage; call this when discarding a
-        registry whose StorageManager outlives it."""
+        registry whose StorageManager outlives it.  Refresh listeners are
+        dropped with it."""
+        self.storage.remove_listener(self._count_storage_op)
+        self._refresh_listeners.clear()
+
+    def __enter__(self) -> "ViewRegistry":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- refresh events ----------------------------------------------------------------
+
+    def add_refresh_listener(self, listener) -> None:
+        """Subscribe ``listener(event: RefreshEvent)`` to view refreshes —
+        fired whenever maintenance changes a view's extent (delta
+        propagation or full recomputation), whatever triggered the flush
+        (stream dispatch, a read of a deferred view, or an explicit
+        :meth:`flush`)."""
+        self._refresh_listeners.append(listener)
+
+    def remove_refresh_listener(self, listener) -> None:
+        """Unsubscribe (no-op when absent — discard semantics)."""
         try:
-            self.storage.remove_listener(self._count_storage_op)
+            self._refresh_listeners.remove(listener)
         except ValueError:
             pass
+
+    def _notify_refresh(self, name: str, reason: str, trees: int) -> None:
+        if not self._refresh_listeners:
+            return
+        event = RefreshEvent(name, reason, trees)
+        for listener in list(self._refresh_listeners):
+            listener(event)
 
     # -- registration ------------------------------------------------------------------
 
@@ -310,12 +354,13 @@ class ViewRegistry:
             recompute_after = []
             for view in affected:
                 self._enqueue(view, run)
-                if self._flush_view(view, defer_recompute=True):
-                    recompute_after.append(view)
+                deferred_trees = self._flush_view(view, defer_recompute=True)
+                if deferred_trees is not None:
+                    recompute_after.append((view, deferred_trees))
             for tree in run:
                 self.storage.delete_subtree(tree.root)
-            for view in recompute_after:
-                self._recompute(view)
+            for view, trees in recompute_after:
+                self._recompute(view, trees=trees)
             return
         for view in affected:
             self._enqueue(view, run)
@@ -358,20 +403,21 @@ class ViewRegistry:
             self._flush_view(view)
 
     def _flush_view(self, view: RegisteredView,
-                    defer_recompute: bool = False) -> bool:
-        """Flush one view's queue; returns True when the flush decided on
-        recomputation but must wait for pending storage deletes (the
-        caller recomputes after applying them)."""
+                    defer_recompute: bool = False) -> Optional[int]:
+        """Flush one view's queue; returns the pending tree count when
+        the flush decided on recomputation but must wait for pending
+        storage deletes (the caller recomputes after applying them,
+        passing the count through to the refresh event), else None."""
         if not view.pending:
-            return False
+            return None
         view.stats.flushes += 1
         trees = view.pending_trees()
         if view.cost.should_recompute(trees):
             view.pending.clear()
             if defer_recompute:
-                return True
-            self._recompute(view)
-            return False
+                return trees
+            self._recompute(view, trees=trees)
+            return None
         refreshes_before = len(view.report.fusion.aggregate_refreshes)
         started = time.perf_counter()
         for batch in view.pending:
@@ -384,15 +430,18 @@ class ViewRegistry:
         if len(view.report.fusion.aggregate_refreshes) > refreshes_before:
             # min/max eviction: fall back to recomputation (Section 7.6).
             if defer_recompute:
-                return True
-            self._recompute(view)
-        return False
+                return trees
+            self._recompute(view, trees=trees)
+            return None
+        self._notify_refresh(view.name, "propagate", trees)
+        return None
 
-    def _recompute(self, view: RegisteredView) -> None:
+    def _recompute(self, view: RegisteredView, trees: int = 0) -> None:
         started = time.perf_counter()
         view.pipeline.recompute()
         view.cost.observe_recompute(time.perf_counter() - started)
         view.report.recomputed = True
         view.stats.recomputes += 1
+        self._notify_refresh(view.name, "recompute", trees)
 
     _profiler: Optional[Profiler] = None

@@ -70,7 +70,12 @@ class StorageManager:
         self._listeners.append(listener)
 
     def remove_listener(self, listener) -> None:
-        self._listeners.remove(listener)
+        """Unsubscribe ``listener``; a no-op when it is not subscribed
+        (``discard`` semantics, so double-close is safe everywhere)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _notify(self, op: str, key: FlexKey) -> None:
         if self._notify_depth:
@@ -314,7 +319,8 @@ class StorageManager:
 
     # -- path evaluation helpers -------------------------------------------------------------
 
-    def find_by_path(self, name: str, steps: Iterable[tuple[str, str]]
+    def find_by_path(self, name: str, steps: Iterable[tuple[str, str]],
+                     start: Optional[list[FlexKey]] = None
                      ) -> list[FlexKey]:
         """Evaluate a simple location path (axis, nametest) from a doc root.
 
@@ -324,24 +330,33 @@ class StorageManager:
         between steps and kept in document order: overlapping descendant
         steps (an ancestor and its descendant both on the frontier) would
         otherwise multiply the same key into the result.
+
+        ``start`` continues evaluation from a previous frontier instead of
+        the document root (the path→key resolvers use this to interleave
+        predicate filtering between steps); the first-step document-node
+        convention only applies when starting from the root.
         """
-        return self._find_by_path(name, steps, self._index is not None)
+        return self._find_by_path(name, steps, self._index is not None,
+                                  start)
 
     def find_by_path_unindexed(self, name: str,
-                               steps: Iterable[tuple[str, str]]
+                               steps: Iterable[tuple[str, str]],
+                               start: Optional[list[FlexKey]] = None
                                ) -> list[FlexKey]:
         """Walk-based ``find_by_path`` (the indexed path's oracle)."""
-        return self._find_by_path(name, steps, False)
+        return self._find_by_path(name, steps, False, start)
 
     def _find_by_path(self, name: str, steps: Iterable[tuple[str, str]],
-                      indexed: bool) -> list[FlexKey]:
+                      indexed: bool,
+                      start: Optional[list[FlexKey]] = None
+                      ) -> list[FlexKey]:
         if indexed:
             children, descendants = self.children, self.descendants
         else:
             children = self.children_unindexed
             descendants = self.descendants_unindexed
-        current = [self.root_key(name)]
-        first = True
+        current = list(start) if start is not None else [self.root_key(name)]
+        first = start is None
         for axis, nametest in steps:
             matched: list[FlexKey] = []
             seen: set[str] = set()

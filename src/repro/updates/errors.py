@@ -1,0 +1,28 @@
+"""Typed errors for the update layer and the session API built on it.
+
+:class:`UpdateError` subclasses :class:`ValueError` so existing callers
+that catch the bare built-in keep working, while new code can catch the
+typed error and inspect *which* statement failed and how far a batch got
+before failing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class UpdateError(ValueError):
+    """A source update was malformed, unresolvable, or failed to apply.
+
+    ``statement`` carries the offending input when known — an
+    :class:`~repro.api.Update`, an XQuery-update string, or the raw
+    :class:`~repro.updates.UpdateRequest`.  ``applied`` counts the
+    requests that reached storage before the failure (0 when the batch
+    was rolled back before anything was applied).
+    """
+
+    def __init__(self, message: str, *, statement: Optional[Any] = None,
+                 applied: int = 0):
+        super().__init__(message)
+        self.statement = statement
+        self.applied = applied

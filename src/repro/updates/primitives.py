@@ -17,6 +17,7 @@ from typing import Optional
 from ..flexkeys import FlexKey
 from ..xat.base import DELETE, INSERT, MODIFY
 from ..xmlmodel import XmlNode, parse_fragment
+from .errors import UpdateError
 
 POSITIONS = ("after", "before", "into")
 
@@ -41,14 +42,17 @@ class UpdateRequest:
 
     def __post_init__(self):
         if self.kind not in (INSERT, DELETE, MODIFY):
-            raise ValueError(f"unknown update kind {self.kind!r}")
-        if self.kind == INSERT:
-            if self.fragment is None:
-                raise ValueError("insert requires a fragment")
-            if self.position not in POSITIONS:
-                raise ValueError(f"unknown position {self.position!r}")
+            raise UpdateError(f"unknown update kind {self.kind!r}")
+        if self.position not in POSITIONS:
+            # Validated for every kind: a bad position on a delete/modify
+            # is a caller bug even though those kinds never read it.
+            raise UpdateError(
+                f"unknown position {self.position!r} for {self.kind} "
+                f"(expected one of {', '.join(POSITIONS)})")
+        if self.kind == INSERT and self.fragment is None:
+            raise UpdateError("insert requires a fragment")
         if self.kind == MODIFY and self.new_value is None:
-            raise ValueError("modify requires new_value")
+            raise UpdateError("modify requires new_value")
 
     @classmethod
     def insert(cls, document: str, target: FlexKey,
@@ -57,7 +61,7 @@ class UpdateRequest:
         if isinstance(fragment, str):
             nodes = parse_fragment(fragment)
             if len(nodes) != 1:
-                raise ValueError("insert fragment must be a single element")
+                raise UpdateError("insert fragment must be a single element")
             fragment = nodes[0]
         return cls(INSERT, document, target, fragment=fragment,
                    position=position)

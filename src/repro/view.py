@@ -20,6 +20,12 @@ phase/count discipline of Chapter 6.
 The machinery itself lives in :mod:`repro.multiview.pipeline` and is
 shared with :class:`repro.multiview.ViewRegistry`, which maintains many
 views over one storage from a single update stream.
+
+This class is a thin engine-level shim kept for plan-in-hand and
+single-view work; application code should prefer the key-free session
+surface :class:`repro.api.Database` (``create_view`` / path-addressed
+``update`` / ``batch`` / ``subscribe``), which funnels every write
+through the shared validation router exactly once.
 """
 
 from __future__ import annotations
@@ -34,7 +40,6 @@ from .storage import StorageManager
 from .translate import translate_query
 from .updates.primitives import UpdateRequest
 from .xat import Profiler, XatOperator
-from .xmlmodel import XmlNode
 
 __all__ = ["MaintenanceReport", "MaterializedXQueryView"]
 

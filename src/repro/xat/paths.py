@@ -8,7 +8,7 @@ value tests ``@name`` and ``text()`` (which may only appear at the end).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from functools import lru_cache
 
 CHILD = "child"
 DESCENDANT = "descendant"
@@ -56,7 +56,15 @@ class Path:
 
     @classmethod
     def parse(cls, text: str) -> "Path":
-        """Parse ``"bib/book//title/text()"`` or ``"/bib/book"`` style."""
+        """Parse ``"bib/book//title/text()"`` or ``"/bib/book"`` style.
+
+        Memoized: paths are frozen and parsing is a pure function, and
+        the same path strings recur constantly (SAPT checks, update
+        resolution, the session API)."""
+        return _parse_path(text)
+
+    @classmethod
+    def _parse(cls, text: str) -> "Path":
         text = text.strip()
         if not text:
             return cls(())
@@ -120,3 +128,8 @@ class Path:
 
     def __len__(self) -> int:
         return len(self.steps)
+
+
+@lru_cache(maxsize=4096)
+def _parse_path(text: str) -> Path:
+    return Path._parse(text)

@@ -21,6 +21,7 @@ unlike query predicates).  Evaluation turns the statement into concrete
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from ..flexkeys import FlexKey
@@ -189,25 +190,112 @@ def evaluate_update(statement: UpdateStatement, storage: StorageManager
     return requests
 
 
+def parse_document_path(document: str, text: str) -> PathExpr:
+    """Parse a path-addressed target like ``/bib/book[2]/title`` into a
+    :class:`PathExpr` rooted at ``document``.
+
+    The grammar is the update-target path language: child ``/`` and
+    descendant ``//`` steps, ``@attr``/``text()`` value steps, positional
+    predicates ``[n]`` and value predicates ``[rel/path op literal]`` on
+    any step.  A leading slash is optional.  Parses are memoized — the
+    result is a pure function of the input and is never mutated
+    downstream, and sessions re-issue the same path strings constantly.
+    """
+    return _parse_document_path(document, text)
+
+
+@lru_cache(maxsize=4096)
+def _parse_document_path(document: str, text: str) -> PathExpr:
+    stripped = text.strip()
+    if not stripped:
+        raise XQueryParseError("empty path", 0)
+    if not stripped.startswith("/"):
+        stripped = "/" + stripped
+    parser = XQueryParser(stripped)
+    path, predicates = parser._parse_relative_path()
+    parser.skip_ws()
+    if not parser.at_end():
+        raise XQueryParseError(
+            f"trailing input after path: {parser.text[parser.pos:]!r}",
+            parser.pos)
+    return PathExpr(document, path, predicates)
+
+
+def resolve_path(storage: StorageManager, document: str,
+                 text: str) -> list[FlexKey]:
+    """Resolve a path-addressed target to concrete FlexKeys, in document
+    order — the session API's path→key entry point."""
+    return resolve_path_expr(storage, parse_document_path(document, text))
+
+
+def resolve_path_expr(storage: StorageManager, expr: PathExpr,
+                      cache: Optional[dict] = None) -> list[FlexKey]:
+    """Resolve a document-rooted :class:`PathExpr`, applying each step's
+    predicates before the following step navigates on.
+
+    ``cache`` memoizes navigation segments across resolutions *of the
+    same storage snapshot* (keyed by document, step prefix and the
+    predicates already applied) — a transactional batch resolves every
+    statement before applying any, so statements addressing siblings
+    (``person[1]``, ``person[2]``, …) share one navigation pass.  Never
+    reuse a cache across storage mutations.
+    """
+    if not expr.from_document:
+        raise ValueError("path must be rooted at a document")
+    pairs = Path.parse(expr.path).as_pairs()
+    frontier: Optional[list[FlexKey]] = None
+    consumed = 0
+    applied: tuple = ()   # signature of the predicates applied so far
+
+    def navigate(upto: int) -> list[FlexKey]:
+        if cache is None:
+            return storage.find_by_path(expr.source, pairs[consumed:upto],
+                                        start=frontier)
+        key = (expr.source, tuple(pairs[:upto]), applied)
+        hit = cache.get(key)
+        if hit is None:
+            hit = storage.find_by_path(expr.source, pairs[consumed:upto],
+                                       start=frontier)
+            cache[key] = hit
+        return hit
+
+    for step_index in sorted(expr.predicates):
+        frontier = navigate(step_index + 1)
+        consumed = step_index + 1
+        for predicate in expr.predicates[step_index]:
+            frontier = _apply_predicate(storage, frontier, predicate)
+            applied += ((step_index, predicate.path, predicate.op,
+                         predicate.literal),)
+    return navigate(len(pairs))
+
+
 def _resolve_binding(storage: StorageManager,
                      binding: PathExpr) -> list[FlexKey]:
-    path = Path.parse(binding.path)
-    keys = storage.find_by_path(binding.source, path.as_pairs())
-    for step_index, predicates in sorted(binding.predicates.items()):
-        for predicate in predicates:
-            keys = _apply_predicate(storage, keys, predicate,
-                                    step_index, path)
-    return keys
+    return resolve_path_expr(storage, binding)
 
 
-def _apply_predicate(storage, keys, predicate: PredicateExpr,
-                     step_index: int, path: Path) -> list[FlexKey]:
-    if step_index != len(path.steps) - 1:
-        raise ValueError(
-            "update-target predicates are only supported on the last step")
+def _apply_predicate(storage, keys, predicate: PredicateExpr
+                     ) -> list[FlexKey]:
     if predicate.path == "position()":
         position = int(predicate.literal)
-        return [keys[position - 1]] if 0 < position <= len(keys) else []
+        if position < 1:
+            raise ValueError(
+                f"positional predicate [{predicate.literal}] is invalid: "
+                "positions start at 1")
+        # XPath semantics: position counts within each parent's matches,
+        # so ``/bib/book/author[2]`` addresses every book's second
+        # author.  With a single parent on the frontier (the common
+        # ``person[7]`` case) this degenerates to plain list indexing.
+        kept = []
+        per_parent: dict[str, int] = {}
+        for key in keys:
+            parent = storage.parent_key(key)
+            parent_id = parent.value if parent is not None else ""
+            count = per_parent.get(parent_id, 0) + 1
+            per_parent[parent_id] = count
+            if count == position:
+                kept.append(key)
+        return kept
     kept = []
     for key in keys:
         if _where_matches(storage, key, predicate.path, predicate.op,
