@@ -59,10 +59,11 @@ class Database:
     """
 
     def __init__(self, storage: Optional[StorageManager] = None, *,
-                 indexed: bool = True):
+                 indexed: bool = True, operator_state: bool = True):
         self.storage = (storage if storage is not None
                         else StorageManager(indexed=indexed))
-        self.registry = ViewRegistry(self.storage)
+        self.registry = ViewRegistry(self.storage,
+                                     operator_state=operator_state)
         self._batch: Optional["Batch"] = None
         self._subscriptions: set = set()
         self._view_queries: dict[str, str] = {}

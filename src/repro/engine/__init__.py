@@ -1,5 +1,7 @@
-"""Query engine over XAT plans."""
+"""Query engine over XAT plans, plus persistent cross-run operator state."""
 
 from .executor import Engine
+from .opstate import OperatorStateStore, StoreStats, subplan_signature
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "OperatorStateStore", "StoreStats",
+           "subplan_signature"]

@@ -31,12 +31,17 @@ class Engine:
 
     def run(self, plan: XatOperator, mode: str = FULL,
             delta: Optional[DeltaSpec] = None,
-            profiler: Optional[Profiler] = None) -> XatTable:
-        """Execute a prepared plan and return the root operator's table."""
+            profiler: Optional[Profiler] = None, store=None) -> XatTable:
+        """Execute a prepared plan and return the root operator's table.
+
+        ``store`` (an :class:`~repro.engine.opstate.OperatorStateStore`)
+        plugs persistent cross-run operator state into the execution
+        context; delta runs then serve FULL/ANTI side evaluation from it.
+        """
         if plan.schema is None:
             raise RuntimeError("plan not prepared; call plan.prepare()")
         ctx = ExecutionContext(self.storage, mode=mode, delta=delta,
-                               profiler=profiler)
+                               profiler=profiler, store=store)
         return ctx.evaluate(plan)
 
     # -- result materialization -----------------------------------------------------
@@ -49,10 +54,11 @@ class Engine:
 
     def result_forest(self, plan: XatOperator, mode: str = FULL,
                       delta: Optional[DeltaSpec] = None,
-                      profiler: Optional[Profiler] = None
+                      profiler: Optional[Profiler] = None, store=None
                       ) -> list[ExtentNode]:
         """Execute and de-reference the exposed column into extent trees."""
-        table = self.run(plan, mode=mode, delta=delta, profiler=profiler)
+        table = self.run(plan, mode=mode, delta=delta, profiler=profiler,
+                         store=store)
         column = self.exposed_column(plan)
         prof = profiler if profiler is not None else Profiler()
         forest: list[ExtentNode] = []
@@ -71,7 +77,7 @@ class Engine:
 
     def propagate(self, plan: XatOperator, extent: Optional[ExtentNode],
                   spec: DeltaSpec, *, profiler: Optional[Profiler] = None,
-                  report=None, before_fuse=None
+                  report=None, before_fuse=None, store=None
                   ) -> tuple[ExtentNode, FusionReport]:
         """One V-P-A delta pass: execute ``plan`` in delta mode for ``spec``
         and fuse the resulting delta forest into ``extent``.
@@ -86,7 +92,12 @@ class Engine:
         """
         started = time.perf_counter()
         forest = self.result_forest(plan, mode=DELTA, delta=spec,
-                                    profiler=profiler)
+                                    profiler=profiler, store=store)
+        if store is not None:
+            # Patch (or, for deletes, stage) the batch's stale operator
+            # state while the update subtrees are still readable — before
+            # the deferred deletes below reach storage.
+            store.reconcile(spec)
         if before_fuse is not None:
             before_fuse()
         propagate_elapsed = time.perf_counter() - started

@@ -1,0 +1,741 @@
+"""Persistent per-view operator state (the Chapter 7 enable-cost escape).
+
+Without persistent state, every maintenance pass re-derives the *unchanged*
+side of the bilinear join expansion ``Δ(A ⋈ B) = ΔA ⋈ B_new ∪ A_old ⋈ ΔB``
+from scratch: the per-run :class:`~repro.xat.base.ExecutionContext` memo
+dies with the run, so FULL/ANTI-mode side evaluation re-scans the document
+and rebuilds its hash index on every batch — O(document) per batch, exactly
+the regime the paper's propagation equations promise to escape.
+
+:class:`OperatorStateStore` persists, from one maintenance run to the next,
+
+* **FULL-mode result tables** of stable (uncorrelated) subplans, keyed by a
+  canonical structural signature so views with structurally-equal subplans
+  share one entry (the registry hands every pipeline the same store, like
+  the shared validation router);
+* **hash-join side indexes** over those tables, keyed by the join's
+  existing equi-key columns and maintained alongside the table; and
+* **Distinct / Group By count state** — the cached tables of those
+  operators are patched through their value/group merge rules
+  (:meth:`~repro.xat.base.XatOperator.state_apply`) instead of being
+  re-executed.
+
+Cached tables always mirror *current storage* — the same state live
+FULL-mode execution reads.  They are kept current *incrementally*: the
+store listens to :class:`~repro.storage.StorageManager` mutations (with
+the pre-deletion tag path, so relevancy survives the key drop) and
+
+* **ignores** mutations irrelevant to an entry's own mini-SAPT (an
+  unrelated update stream leaves warm state warm);
+* **patches** an entry whose recorded stale mutations are exactly covered
+  by the batch being propagated, by applying the subplan's *own*
+  delta-mode output (O(batch), the Z-semantics merge of Chapter 6);
+* **invalidates** and lazily recomputes otherwise — the safe fallback
+  mirroring the cost model's incremental-vs-recompute discipline.
+
+ANTI mode ("current state minus the update roots") is served without
+re-execution wherever the subplan is *anti-projectable* (every output
+tuple carries the storage keys its existence depends on): the cached table
+is filtered by root coverage, and index probes filter per bucket.  Deletes
+propagate before they reach storage, so a delete-phase serve *stages* the
+patch and commits it when the deferred deletion events arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..updates.sapt import Sapt
+from ..xat.base import ANTI, DELETE, DELTA, FULL, DeltaSpec, XatOperator
+from ..xat.construction import (Expose, Map, Merge, Tagger, VariableBinding,
+                                XmlUnion, XmlUnique)
+from ..xat.grouping import Aggregate, Combine, GroupBy, TupleFunction
+from ..xat.navigation import NavigateCollection, NavigateUnnest, Source
+from ..xat.relational import (CartesianProduct, Distinct, Join,
+                              LeftOuterJoin, OrderBy, Rename, Select,
+                              _hash_key)
+from ..xat.table import AtomicItem, Item, NodeItem, XatTable, XatTuple
+
+__all__ = ["OperatorStateStore", "StoreStats", "subplan_signature"]
+
+
+# -- structural signatures ---------------------------------------------------------------
+#
+# Entries are keyed by a canonical description of the subplan, so two views
+# holding structurally-equal subplans (same operators, parameters and column
+# names — e.g. the same query registered twice) resolve to one shared entry.
+# Unknown operator types fall back to a per-instance key: still persistent
+# across runs of the owning view, never shared (safe by construction).
+
+def _sig_core(op: XatOperator) -> tuple:
+    if isinstance(op, Source):
+        return ("S", op.document, op.out)
+    if isinstance(op, NavigateUnnest):
+        return ("phi", op.col, str(op.path), op.out, op.keep_empty)
+    if isinstance(op, NavigateCollection):
+        return ("Phi", op.col, str(op.path), op.out)
+    if isinstance(op, Select):
+        return ("sigma", str(op.condition))
+    if isinstance(op, Rename):
+        return ("rho", op.col, op.out)
+    if isinstance(op, Join):
+        return ("join", str(op.condition))
+    if isinstance(op, LeftOuterJoin):
+        return ("loj", str(op.condition))
+    if isinstance(op, CartesianProduct):
+        return ("x",)
+    if isinstance(op, Distinct):
+        return ("distinct", op.col)
+    if isinstance(op, OrderBy):
+        return ("tau",) + op.cols
+    if isinstance(op, GroupBy):
+        return ("gamma", op.group_cols, op.combine_col, op.agg)
+    if isinstance(op, Aggregate):
+        return ("agg", op.kind, op.col, op.out)
+    if isinstance(op, TupleFunction):
+        return ("f", op.kind, op.col, op.out)
+    if isinstance(op, Combine):
+        return ("C", op.col)
+    if isinstance(op, Tagger):
+        return ("T", str(op.pattern), op.out)
+    if isinstance(op, XmlUnion):
+        return ("U", op.col1, op.col2, op.out)
+    if isinstance(op, XmlUnique):
+        return ("u", op.col, op.out)
+    if isinstance(op, Merge):
+        return ("M",)
+    if isinstance(op, Expose):
+        return ("eps", op.col)
+    return ("op", type(op).__name__, op.op_id)  # unshared fallback
+
+
+def subplan_signature(op: XatOperator) -> str:
+    """Canonical structural signature of a subplan (memoized per op)."""
+    cached = getattr(op, "_state_signature", None)
+    if cached is None:
+        parts = [repr(_sig_core(op))]
+        parts.extend(subplan_signature(child) for child in op.inputs)
+        cached = "(" + " ".join(parts) + ")"
+        op._state_signature = cached
+    return cached
+
+
+def _cacheable(op: XatOperator) -> bool:
+    """Only storage-determined subplans may persist (no correlation)."""
+    cached = getattr(op, "_state_cacheable", None)
+    if cached is None:
+        cached = (not isinstance(op, (Map, VariableBinding))
+                  and all(_cacheable(child) for child in op.inputs))
+        op._state_cacheable = cached
+    return cached
+
+
+def anti_projectable(op: XatOperator) -> bool:
+    """Whether ANTI mode equals root-coverage filtering of the FULL table.
+
+    Requires every operator of the subtree to be per-tuple linear: each
+    output tuple's cells carry all the storage keys its existence (and
+    content) depends on.  Distinct/GroupBy counts, outer-join dangling
+    tuples and constructed skeletons break that, so they fall back to
+    live ANTI execution.
+    """
+    cached = getattr(op, "_state_anti_projectable", None)
+    if cached is None:
+        own = op.anti_projectable
+        if isinstance(op, NavigateUnnest):
+            own = own and not op.keep_empty
+        cached = own and all(anti_projectable(child) for child in op.inputs)
+        op._state_anti_projectable = cached
+    return cached
+
+
+def _item_covered(item: Item, spec: DeltaSpec) -> bool:
+    """Is this item's storage provenance at/below one of the update roots?"""
+    if isinstance(item, NodeItem):
+        return spec.classify(item.key.without_override()) == "at"
+    if isinstance(item, AtomicItem) and item.source_key is not None:
+        return spec.classify(item.source_key.without_override()) == "at"
+    return False
+
+
+def _project_tuple(tup: XatTuple,
+                   spec: DeltaSpec) -> Optional[XatTuple]:
+    """One tuple's ANTI form: ``None`` when a scalar cell is covered by
+    an update root (the tuple would not exist), else the tuple with
+    root-covered members filtered out of its collection cells."""
+    new_cells = None
+    for col, cell in tup.cells.items():
+        if cell is None:
+            continue
+        if isinstance(cell, list):
+            kept = [item for item in cell
+                    if not _item_covered(item, spec)]
+            if len(kept) != len(cell):
+                if new_cells is None:
+                    new_cells = dict(tup.cells)
+                new_cells[col] = kept
+        elif _item_covered(cell, spec):
+            return None
+    if new_cells is None:
+        return tup
+    return XatTuple(new_cells, tup.count, tup.refresh, tup.touched)
+
+
+def project_anti(table: XatTable, spec: DeltaSpec, schema) -> XatTable:
+    """ANTI view of a current-state table: drop root-covered tuples and
+    filter root-covered members out of collection cells."""
+    out = XatTable(schema)
+    for tup in table.tuples:
+        projected = _project_tuple(tup, spec)
+        if projected is not None:
+            out.append(projected)
+    return out
+
+
+# The one equi-key hash definition: store index entries must stay
+# bit-compatible with the keys _BinaryJoinBase computes for its delta
+# tuples, so both sides share relational's implementation.
+_probe_key = _hash_key
+
+
+# -- patch plans -------------------------------------------------------------------------
+
+@dataclass
+class _PlannedOp:
+    verb: str                     # "insert" | "replace" | "remove"
+    fingerprint: tuple
+    new_tuple: Optional[XatTuple]
+    # per index-columns probe keys of the affected tuples, precomputed
+    # while storage is alive (delete patches commit after the deletion)
+    keys: dict = field(default_factory=dict)
+
+
+class _PatchPlan:
+    """A staged table patch: validated against the entry, committed later.
+
+    Two-phase so that a delete-phase serve can compute the post-delete
+    state *during* the run (while the doomed subtrees are still readable)
+    and commit it when the deferred storage deletions actually happen.
+    """
+
+    def __init__(self, spec: DeltaSpec, unstageable: bool = False):
+        self.spec = spec
+        self.root_values = frozenset(r.key.value for r in spec.roots)
+        self.ops: list[_PlannedOp] = []
+        self.applied = False
+        #: the delta could not be validated against the entry — the plan
+        #: is a tombstone that invalidates the entry when its deletions
+        #: arrive instead of patching it
+        self.unstageable = unstageable
+
+    def covers(self, key) -> bool:
+        return self.spec.classify(key) == "at"
+
+    def same_batch(self, spec: DeltaSpec) -> bool:
+        """Whether ``spec`` names the batch this plan was staged for —
+        compared by content, since every view's propagation pass builds
+        its own spec object for the same closed run."""
+        return (self.spec is spec
+                or (self.spec.document == spec.document
+                    and self.spec.phase == spec.phase
+                    and self.root_values
+                    == frozenset(r.key.value for r in spec.roots)))
+
+    def add_keys_for(self, cols, entry: "CachedEntry", ctx) -> None:
+        """Precompute probe keys for a newly-built index (storage alive)."""
+        for planned in self.ops:
+            if cols in planned.keys:
+                continue
+            old = entry.fingerprints.get(planned.fingerprint)
+            old_key = (_probe_key(old, cols, ctx)
+                       if old is not None else None)
+            new_key = (_probe_key(planned.new_tuple, cols, ctx)
+                       if planned.new_tuple is not None else None)
+            planned.keys[cols] = (old_key, new_key)
+
+
+# -- one cached subplan ------------------------------------------------------------------
+
+class CachedEntry:
+    """One persisted FULL-mode table (plus side indexes) of a subplan."""
+
+    #: stale-mutation backlog beyond which we stop tracking and invalidate
+    MAX_STALE = 64
+
+    def __init__(self, signature: str, op: XatOperator):
+        self.signature = signature
+        self.op = op
+        self.docs = op.source_documents()
+        self.sapt = Sapt.from_plan(op)
+        self.schema = op.schema
+        self.table: Optional[XatTable] = None
+        self.fingerprints: dict = {}           # fingerprint -> tuple
+        self._fp_of: dict = {}                 # id(tuple) -> fingerprint
+        self._pos: dict = {}                   # id(tuple) -> table position
+        self.indexes: dict = {}                # cols -> {probe key: [tuples]}
+        self.stale: list = []                  # [(kind, FlexKey)]
+        self.valid = False
+        self.prepared: Optional[_PatchPlan] = None
+
+    # -- population ----------------------------------------------------------------------
+
+    def populate(self, table: XatTable, ctx) -> bool:
+        """Adopt a freshly-computed FULL table (fingerprint-folded copy).
+
+        Value-identical tuples fold into one tuple with summed counts —
+        the semantic-id discipline already treats them as one derivation
+        group, and folding is what makes later count patches exact.
+        """
+        self.table = XatTable(self.schema)
+        self.fingerprints.clear()
+        self._fp_of.clear()
+        self._pos.clear()
+        self.indexes.clear()
+        self.stale.clear()
+        self.prepared = None
+        op = self.op
+        for tup in table.tuples:
+            fp = op.state_merge_key(tup, ctx)
+            existing = self.fingerprints.get(fp)
+            if existing is None:
+                self._add(fp, XatTuple(dict(tup.cells), tup.count,
+                                       False, False))
+            else:
+                existing.count += tup.count
+        self.valid = True
+        return True
+
+    # -- table/index primitives ----------------------------------------------------------
+
+    def _add(self, fp, tup: XatTuple, keys: Optional[dict] = None,
+             ctx=None) -> None:
+        self.fingerprints[fp] = tup
+        self._fp_of[id(tup)] = fp
+        self._pos[id(tup)] = len(self.table.tuples)
+        self.table.tuples.append(tup)
+        for cols, index in self.indexes.items():
+            key = self._key_for(tup, cols, keys, ctx, new=True)
+            if key is not None:
+                index.setdefault(key, []).append(tup)
+
+    def _remove(self, fp, keys: Optional[dict] = None, ctx=None) -> None:
+        tup = self.fingerprints.pop(fp)
+        self._fp_of.pop(id(tup))
+        pos = self._pos.pop(id(tup))
+        tuples = self.table.tuples
+        last = tuples.pop()
+        if last is not tup:           # swap-remove: tables are bags
+            tuples[pos] = last
+            self._pos[id(last)] = pos
+        for cols, index in self.indexes.items():
+            key = self._key_for(tup, cols, keys, ctx, new=False)
+            if key is not None:
+                bucket = index.get(key)
+                if bucket is not None:
+                    try:
+                        bucket.remove(tup)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del index[key]
+
+    def _replace(self, fp, new_tup: XatTuple,
+                 keys: Optional[dict] = None, ctx=None) -> None:
+        self._remove(fp, keys, ctx)
+        self._add(fp, new_tup, keys, ctx)
+
+    def _key_for(self, tup, cols, keys, ctx, new: bool):
+        if keys is not None and cols in keys:
+            old_key, new_key = keys[cols]
+            return new_key if new else old_key
+        if ctx is None:
+            return None
+        return _probe_key(tup, cols, ctx)
+
+    def index_for(self, cols: tuple, ctx) -> dict:
+        """The persistent equi-key index over the cached table."""
+        index = self.indexes.get(cols)
+        if index is None:
+            index = {}
+            for tup in self.table.tuples:
+                key = _probe_key(tup, cols, ctx)
+                if key is not None:
+                    index.setdefault(key, []).append(tup)
+            self.indexes[cols] = index
+            if self.prepared is not None:
+                # A staged delete patch must learn this index's keys while
+                # the doomed subtrees are still readable.
+                self.prepared.add_keys_for(cols, self, ctx)
+        return index
+
+    def fingerprint_of(self, tup: XatTuple):
+        return self._fp_of.get(id(tup))
+
+    # -- delta patching ------------------------------------------------------------------
+
+    def stage(self, delta: XatTable, spec: DeltaSpec,
+              ctx) -> Optional[_PatchPlan]:
+        """Validate a delta against the entry; None when it cannot apply.
+
+        The plan is computed against an overlay (pending verbs win over
+        committed state) so several delta tuples hitting one fingerprint
+        compose; nothing is mutated until :meth:`commit`.
+        """
+        plan = _PatchPlan(spec)
+        pending: dict = {}
+        op = self.op
+        cols_list = list(self.indexes)
+        for dt in delta.tuples:
+            if dt.count == 0 and not dt.refresh:
+                continue
+            fp = op.state_merge_key(dt, ctx)
+            planned = pending.get(fp)
+            if planned is not None and planned.verb != "remove":
+                existing = planned.new_tuple
+            elif planned is not None:
+                existing = None
+            else:
+                existing = self.fingerprints.get(fp)
+            verb, new_tup = op.state_apply(existing, dt, ctx)
+            if verb == "fail":
+                return None
+            if verb == "noop":
+                continue
+            base_exists = fp in self.fingerprints
+            if planned is None:
+                planned = _PlannedOp(verb, fp, new_tup)
+                pending[fp] = planned
+                plan.ops.append(planned)
+            else:
+                planned.new_tuple = new_tup
+                planned.verb = verb
+            # Normalize the verb against the *committed* state.
+            if planned.verb == "insert" and base_exists:
+                planned.verb = "replace"
+            elif planned.verb == "replace" and not base_exists:
+                planned.verb = "insert"
+            elif planned.verb == "remove" and not base_exists:
+                planned.verb = "drop"   # inserted and removed within plan
+        plan.ops = [p for p in plan.ops if p.verb != "drop"]
+        for cols in cols_list:
+            plan.add_keys_for(cols, self, ctx)
+        return plan
+
+    def commit(self, plan: _PatchPlan, ctx=None) -> None:
+        for planned in plan.ops:
+            if planned.verb == "insert":
+                self._add(planned.fingerprint, planned.new_tuple,
+                          planned.keys, ctx)
+            elif planned.verb == "replace":
+                self._replace(planned.fingerprint, planned.new_tuple,
+                              planned.keys, ctx)
+            else:  # remove
+                self._remove(planned.fingerprint, planned.keys, ctx)
+        plan.applied = True
+
+    # -- invalidation --------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.table = None
+        self.fingerprints.clear()
+        self._fp_of.clear()
+        self._pos.clear()
+        self.indexes.clear()
+        self.stale.clear()
+        self.prepared = None
+
+    def stale_covered_by(self, spec: DeltaSpec) -> bool:
+        return all(kind == spec.phase and spec.classify(key) == "at"
+                   for kind, key in self.stale)
+
+    def drop_stale_prepared(self, spec: DeltaSpec) -> None:
+        """Expire a staged delete patch belonging to an earlier batch.
+
+        Unapplied means its deletions never arrived — storage is
+        unchanged and the table still mirrors it; applied means it is
+        spent.  Either way it must not keep absorbing deletion events
+        (a reclaimed sibling atom may coincide with an old root key).
+        Batch identity is by content, not object: each view's pass
+        builds its own DeltaSpec for the same run, and re-staging a
+        shared entry once per view would cost O(views) delta passes.
+        """
+        if self.prepared is not None \
+                and not self.prepared.same_batch(spec):
+            self.prepared = None
+
+    def on_mutation(self, kind: str, key, tags: tuple,
+                    document: str) -> None:
+        """One storage mutation on a document this entry sources."""
+        if not self.valid:
+            return
+        if self.prepared is not None and kind == DELETE \
+                and self.prepared.covers(key):
+            # The deferred deletions this entry's staged patch was
+            # computed for: commit once, absorb the remaining events.
+            if self.prepared.unstageable:
+                self.invalidate()
+            elif not self.prepared.applied:
+                self.commit(self.prepared)
+            return
+        if not self.sapt.relevant_for_tags(document, tags):
+            return  # unrelated traffic leaves warm state warm
+        if kind == DELETE or len(self.stale) >= self.MAX_STALE:
+            # Deletion events arrive after the subtree is gone — too late
+            # to derive a delta.  Recompute lazily on next use.
+            self.invalidate()
+            return
+        self.stale.append((kind, key))
+
+
+# -- probe handles -----------------------------------------------------------------------
+
+class StoredSideHandle:
+    """Probe/scan access to a join side served from the persistent store."""
+
+    def __init__(self, store: "OperatorStateStore", entry: CachedEntry,
+                 ctx, mode: str, cols: Optional[tuple]):
+        self._store = store
+        self._entry = entry
+        self._ctx = ctx
+        self._mode = mode
+        self.cols = cols
+        self._anti_table: Optional[XatTable] = None
+        # id(cached tuple) -> its ANTI projection, memoized so repeated
+        # probes hand back the *same* object per underlying tuple —
+        # consumers (the LOJ dangling corrections) dedupe matches by
+        # identity, and re-projecting per probe would defeat that.
+        self._projections: dict[int, Optional[XatTuple]] = {}
+
+    def probe(self, key) -> list:
+        if key is None:
+            return []
+        bucket = self._entry.index_for(self.cols, self._ctx).get(key)
+        if not bucket:
+            return []
+        if self._mode != ANTI:
+            return list(bucket)
+        # Same transform as project_anti, per bucket tuple: a covered
+        # scalar cell drops the tuple, covered collection *members* are
+        # filtered out — and when the filtering touched an equi-key cell
+        # the tuple no longer hashes here, so it cannot match.
+        spec = self._ctx.delta
+        kept = []
+        for tup in bucket:
+            marker = id(tup)
+            if marker in self._projections:
+                projected = self._projections[marker]
+            else:
+                projected = _project_tuple(tup, spec)
+                if projected is not None and projected is not tup \
+                        and _probe_key(projected, self.cols,
+                                       self._ctx) != key:
+                    projected = None
+                self._projections[marker] = projected
+            if projected is not None:
+                kept.append(projected)
+        return kept
+
+    def table(self) -> XatTable:
+        if self._mode == FULL:
+            return self._entry.table
+        if self._anti_table is None:
+            self._anti_table = project_anti(self._entry.table,
+                                            self._ctx.delta,
+                                            self._entry.schema)
+        return self._anti_table
+
+
+# -- the store ---------------------------------------------------------------------------
+
+@dataclass
+class StoreStats:
+    """Cumulative serve/patch activity of one store."""
+
+    hits: int = 0          # serves satisfied from cached state
+    misses: int = 0        # serves that had to (re)compute the table
+    patches: int = 0       # cached tables patched from a batch delta
+    invalidations: int = 0  # entries dropped by the listener / fallback
+
+    def snapshot(self) -> tuple:
+        return (self.hits, self.misses, self.patches, self.invalidations)
+
+
+class OperatorStateStore:
+    """Cross-run operator state for the V-P-A pipeline (see module doc)."""
+
+    def __init__(self, storage):
+        self.storage = storage
+        self.stats = StoreStats()
+        self._entries: dict[str, CachedEntry] = {}
+        self._by_doc: dict[str, list[CachedEntry]] = {}
+        self._attached = False
+        storage.add_mutation_listener(self._on_mutation)
+        self._attached = True
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the storage manager (idempotent)."""
+        if self._attached:
+            self.storage.remove_mutation_listener(self._on_mutation)
+            self._attached = False
+
+    def __enter__(self) -> "OperatorStateStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def invalidate_all(self) -> None:
+        """Drop every cached table (they rebuild lazily on next use)."""
+        for entry in self._entries.values():
+            if entry.valid:
+                entry.invalidate()
+                self.stats.invalidations += 1
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def entries(self):
+        return list(self._entries.values())
+
+    # -- the mutation listener -----------------------------------------------------------
+
+    def _on_mutation(self, kind: str, key, tags: tuple) -> None:
+        try:
+            document = self.storage.document_of_key(key)
+        except KeyError:
+            return
+        for entry in self._by_doc.get(document, ()):
+            was_valid = entry.valid
+            entry.on_mutation(kind, key, tags, document)
+            if was_valid and not entry.valid:
+                self.stats.invalidations += 1
+
+    # -- serving -------------------------------------------------------------------------
+
+    def serve(self, ctx, op: XatOperator, mode: str) -> Optional[XatTable]:
+        """A FULL/ANTI table for ``op`` under ``ctx``'s delta run, served
+        from persistent state; None when the store cannot serve it."""
+        if mode == ANTI and not anti_projectable(op):
+            return None
+        entry = self._ensure_current(ctx, op)
+        if entry is None:
+            return None
+        if mode == FULL:
+            return entry.table
+        return project_anti(entry.table, ctx.delta, entry.schema)
+
+    def join_side(self, ctx, op: XatOperator, mode: str,
+                  cols: Optional[tuple]) -> Optional[StoredSideHandle]:
+        """A probe handle over a join side; None → caller falls back."""
+        if cols is None:
+            return None
+        if mode == ANTI and not anti_projectable(op):
+            return None
+        entry = self._ensure_current(ctx, op)
+        if entry is None:
+            return None
+        return StoredSideHandle(self, entry, ctx, mode, tuple(cols))
+
+    def _ensure_current(self, ctx, op: XatOperator
+                        ) -> Optional[CachedEntry]:
+        if not _cacheable(op):
+            return None
+        spec = ctx.delta
+        signature = subplan_signature(op)
+        entry = self._entries.get(signature)
+        if entry is None:
+            entry = CachedEntry(signature, op)
+            self._entries[signature] = entry
+            for document in entry.docs:
+                self._by_doc.setdefault(document, []).append(entry)
+        entry.drop_stale_prepared(spec)
+        if not entry.valid:
+            self._recompute(ctx, op, entry)
+        elif entry.stale:
+            if entry.stale_covered_by(spec):
+                delta = ctx.evaluate(op, DELTA)
+                plan = entry.stage(delta, spec, ctx)
+                if plan is not None:
+                    entry.commit(plan, ctx)
+                    entry.stale.clear()
+                    self.stats.patches += 1
+                    self.stats.hits += 1
+                else:
+                    entry.invalidate()
+                    self.stats.invalidations += 1
+                    self._recompute(ctx, op, entry)
+            else:
+                entry.invalidate()
+                self.stats.invalidations += 1
+                self._recompute(ctx, op, entry)
+        else:
+            self.stats.hits += 1
+        if spec.phase == DELETE and spec.document in entry.docs \
+                and entry.prepared is None:
+            # Deletes reach storage only after propagation: stage the
+            # post-delete state now, commit when the events arrive.
+            delta = ctx.evaluate(op, DELTA)
+            plan = entry.stage(delta, spec, ctx)
+            if plan is None:
+                # Unstageable: the deletion events invalidate the entry
+                # instead of patching it (safe recompute fallback).
+                plan = _PatchPlan(spec, unstageable=True)
+            entry.prepared = plan
+        return entry
+
+    def _recompute(self, ctx, op: XatOperator, entry: CachedEntry) -> None:
+        table = ctx.evaluate(op, FULL)
+        entry.populate(table, ctx)
+        self.stats.misses += 1
+
+    # -- end-of-pass reconciliation ------------------------------------------------------
+
+    def reconcile(self, spec: DeltaSpec) -> None:
+        """Bring every entry this batch touched current, served or not.
+
+        A one-sided batch only *serves* the untouched side (the delta
+        side's own entry never gets a FULL/ANTI request), so its stale
+        entries would otherwise linger until an unrelated later batch
+        finds them uncoverable and recomputes.  Called by the engine at
+        the end of each delta pass — and, for delete batches, *before*
+        the deferred deletions reach storage, so unserved entries can
+        still stage their post-delete patch from the live subtrees.
+        """
+        from ..xat.base import ExecutionContext
+
+        ctx = None
+        for entry in list(self._by_doc.get(spec.document, ())):
+            if not entry.valid:
+                continue
+            entry.drop_stale_prepared(spec)
+            if spec.phase == DELETE:
+                if entry.prepared is not None:
+                    continue
+                if not any(entry.sapt.relevant_for_tags(
+                        spec.document, self.storage.tag_path(root.key))
+                        for root in spec.roots):
+                    continue  # the deletion events will be ignored anyway
+                if ctx is None:
+                    ctx = ExecutionContext(self.storage, mode=DELTA,
+                                           delta=spec, store=self)
+                delta = ctx.evaluate(entry.op, DELTA)
+                plan = entry.stage(delta, spec, ctx)
+                entry.prepared = (plan if plan is not None
+                                  else _PatchPlan(spec, unstageable=True))
+            elif entry.stale and entry.stale_covered_by(spec):
+                if ctx is None:
+                    ctx = ExecutionContext(self.storage, mode=DELTA,
+                                           delta=spec, store=self)
+                delta = ctx.evaluate(entry.op, DELTA)
+                plan = entry.stage(delta, spec, ctx)
+                if plan is not None:
+                    entry.commit(plan, ctx)
+                    entry.stale.clear()
+                    self.stats.patches += 1
+                else:
+                    entry.invalidate()
+                    self.stats.invalidations += 1

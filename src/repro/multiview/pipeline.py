@@ -27,6 +27,7 @@ from typing import Optional
 
 from ..apply import ExtentNode, FusionReport
 from ..engine import Engine
+from ..engine.opstate import OperatorStateStore
 from ..updates.batch import RunBatcher, spec_for_run
 from ..updates.primitives import UpdateRequest, UpdateTree
 from ..updates.sapt import Sapt
@@ -37,7 +38,13 @@ from ..xmlmodel import XmlNode
 
 @dataclass
 class MaintenanceReport:
-    """What one maintenance pass did, with timing per V-P-A phase."""
+    """What one maintenance pass did, with timing per V-P-A phase.
+
+    ``state_hits`` / ``state_misses`` / ``state_patches`` expose the
+    operator-state store's activity during this view's propagation:
+    side tables served from persistent state, side tables that had to be
+    (re)computed, and cached tables patched from batch deltas.
+    """
 
     accepted: int = 0
     irrelevant: int = 0
@@ -48,6 +55,9 @@ class MaintenanceReport:
     apply_seconds: float = 0.0
     recomputed: bool = False
     fusion: FusionReport = field(default_factory=FusionReport)
+    state_hits: int = 0
+    state_misses: int = 0
+    state_patches: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -175,14 +185,26 @@ def validate_one(storage: StorageManager, sapt: Sapt,
 # -- the maintainable state of one view ------------------------------------------------
 
 
+#: sentinel: "create a store of your own" (None means "disabled")
+_OWN_STORE = object()
+
+
 class ViewPipeline:
     """Plan, SAPT and extent of one materialized view, plus its P-A step.
 
     This is the view-side state the registry manages per registered view
-    and the facade wraps for the single-view API."""
+    and the facade wraps for the single-view API.
+
+    ``state_store`` is the persistent operator-state store used by the
+    Propagate step: by default the pipeline owns a fresh one; the registry
+    passes one *shared* store so structurally-equal subplans across views
+    resolve to the same cached tables; ``None`` disables persistent state
+    (every run re-derives its side tables, the pre-store behaviour).
+    """
 
     def __init__(self, engine: Engine, plan: XatOperator,
-                 sapt: Optional[Sapt] = None, validate_updates: bool = True):
+                 sapt: Optional[Sapt] = None, validate_updates: bool = True,
+                 state_store=_OWN_STORE):
         self.engine = engine
         self.storage = engine.storage
         self.plan = plan if plan.schema is not None else plan.prepare()
@@ -190,6 +212,17 @@ class ViewPipeline:
         self.validate_updates = validate_updates
         self.extent: Optional[ExtentNode] = None
         self.materialized = False
+        if state_store is _OWN_STORE:
+            self.state_store = OperatorStateStore(self.storage)
+            self._owns_store = True
+        else:
+            self.state_store = state_store
+            self._owns_store = False
+
+    def close(self) -> None:
+        """Detach pipeline-owned resources from storage (idempotent)."""
+        if self._owns_store and self.state_store is not None:
+            self.state_store.close()
 
     def materialize(self, profiler: Optional[Profiler] = None) -> None:
         self.extent, _report = self.engine.materialize(self.plan,
@@ -219,9 +252,16 @@ class ViewPipeline:
         """Propagate one closed run (one batch update tree) and fuse the
         delta into the extent."""
         report.batches += 1
+        store = self.state_store
+        before = store.stats.snapshot() if store is not None else None
         self.extent, _fusion = self.engine.propagate(
             self.plan, self.extent, spec_for_run(run), profiler=profiler,
-            report=report, before_fuse=before_fuse)
+            report=report, before_fuse=before_fuse, store=store)
+        if store is not None:
+            hits, misses, patches, _inv = store.stats.snapshot()
+            report.state_hits += hits - before[0]
+            report.state_misses += misses - before[1]
+            report.state_patches += patches - before[2]
 
 
 # -- the single-view V-P-A driver ------------------------------------------------------

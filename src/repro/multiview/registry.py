@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..engine import Engine
+from ..engine.opstate import OperatorStateStore
 from ..storage import StorageManager
 from ..translate import translate_query
 from ..updates.batch import RunBatcher
@@ -115,12 +116,25 @@ class RegisteredView:
 
 
 class ViewRegistry:
-    """Manages N materialized views over one :class:`StorageManager`."""
+    """Manages N materialized views over one :class:`StorageManager`.
 
-    def __init__(self, storage: StorageManager):
+    ``operator_state`` controls the persistent per-operator state of the
+    Propagate phase: by default the registry owns one shared
+    :class:`~repro.engine.opstate.OperatorStateStore`, handed to every
+    registered view's pipeline so structurally-equal subplans across
+    views (same signature) resolve to the *same* cached side tables and
+    hash indexes — the cross-view analogue of the shared validation
+    router.  Pass ``operator_state=False`` to disable (every maintenance
+    run then re-derives its side tables from storage).
+    """
+
+    def __init__(self, storage: StorageManager,
+                 operator_state: bool = True):
         self.storage = storage
         self.engine = Engine(storage)
         self.router = SharedValidationRouter()
+        self.state_store = (OperatorStateStore(storage)
+                            if operator_state else None)
         self._views: dict[str, RegisteredView] = {}
         self._storage_ops = 0
         self._refresh_listeners: list = []
@@ -135,6 +149,8 @@ class ViewRegistry:
         registry whose StorageManager outlives it.  Refresh listeners are
         dropped with it."""
         self.storage.remove_listener(self._count_storage_op)
+        if self.state_store is not None:
+            self.state_store.close()
         self._refresh_listeners.clear()
 
     def __enter__(self) -> "ViewRegistry":
@@ -178,7 +194,9 @@ class ViewRegistry:
             raise ValueError(f"view {name!r} already registered")
         plan = (translate_query(query) if isinstance(query, str)
                 else query)
-        view = RegisteredView(name, ViewPipeline(self.engine, plan),
+        view = RegisteredView(name,
+                              ViewPipeline(self.engine, plan,
+                                           state_store=self.state_store),
                               MaintenancePolicy.parse(policy),
                               cost_model if cost_model is not None
                               else CostModel())

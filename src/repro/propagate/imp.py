@@ -49,11 +49,20 @@ class IncrementalMaintenancePlan:
     delta: DeltaSpec
 
     def execute(self, storage: StorageManager,
-                profiler: Optional[Profiler] = None) -> list[ExtentNode]:
-        """Run the IMP; returns the delta update trees (Chapter 7 output)."""
-        engine = Engine(storage)
+                profiler: Optional[Profiler] = None, *,
+                engine: Optional[Engine] = None,
+                store=None) -> list[ExtentNode]:
+        """Run the IMP; returns the delta update trees (Chapter 7 output).
+
+        Callers holding a long-lived :class:`Engine` (and an
+        operator-state ``store``) pass them in so successive IMPs reuse
+        persistent per-operator state instead of paying a cold start —
+        a throwaway engine is only built for one-shot use.
+        """
+        if engine is None:
+            engine = Engine(storage)
         return engine.result_forest(self.plan, mode=DELTA, delta=self.delta,
-                                    profiler=profiler)
+                                    profiler=profiler, store=store)
 
     def describe(self) -> str:
         """The IMP in algebraic form, with delta annotations per operator.

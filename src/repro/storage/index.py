@@ -43,7 +43,8 @@ _RANGE_END = chr(ord(LEVEL_SEP) + 1)
 class StructuralIndex:
     """Sorted-key-range index maintained alongside a ``StorageManager``."""
 
-    __slots__ = ("_tag_lists", "_all_lists", "_interned", "_tag_paths")
+    __slots__ = ("_tag_lists", "_all_lists", "_interned", "_tag_paths",
+                 "_path_interner")
 
     def __init__(self):
         # (document, tag) -> sorted list of element key strings
@@ -54,6 +55,9 @@ class StructuralIndex:
         self._interned: dict[str, FlexKey] = {}
         # key string -> root-to-node element tag path
         self._tag_paths: dict[str, tuple[str, ...]] = {}
+        # tag path -> the one interned tuple: stored paths are canonical
+        # instances, so path equality checks collapse to identity tests
+        self._path_interner: dict[tuple[str, ...], tuple[str, ...]] = {}
 
     # -- incremental maintenance ---------------------------------------------------
 
@@ -69,6 +73,7 @@ class StructuralIndex:
         self._interned[value] = key
         if node.is_element:
             tags = parent_tags + (node.tag,)
+            tags = self._path_interner.setdefault(tags, tags)
             insort(self._all_lists.setdefault(document, []), value)
             insort(self._tag_lists.setdefault((document, node.tag), []),
                    value)
@@ -134,6 +139,28 @@ class StructuralIndex:
         interned = self._interned
         return [interned[v] for v in keys[lo:hi]
                 if v.count(LEVEL_SEP) == child_seps]
+
+    def path_nodes(self, document: str,
+                   tags: tuple[str, ...]) -> list[FlexKey]:
+        """Elements whose root-to-node tag path equals ``tags`` exactly —
+        the answer to a child-step-only location path in one pass.
+
+        Walk-based child navigation touches every frontier node's child
+        list level by level; here the final tag's sorted key list is
+        filtered by the cached (interned) tag path, so each candidate
+        costs one dict lookup plus one identity test, and an unseen path
+        is answered negatively without touching any node at all.
+        """
+        interned_path = self._path_interner.get(tags)
+        if interned_path is None:
+            return []  # no live node has this path
+        keys = self._tag_lists.get((document, tags[-1]))
+        if not keys:
+            return []
+        tag_paths = self._tag_paths
+        interned = self._interned
+        return [interned[value] for value in keys
+                if tag_paths[value] is interned_path]
 
     # -- caches ------------------------------------------------------------------------
 

@@ -43,6 +43,7 @@ class StorageManager:
         self._nodes: dict[FlexKey, XmlNode] = {}
         self._doc_of_root_atom: dict[str, str] = {}
         self._listeners: list = []
+        self._mutation_listeners: list = []
         self._notify_depth = 0
         self._index: Optional[StructuralIndex] = (
             StructuralIndex() if indexed else None)
@@ -77,11 +78,35 @@ class StorageManager:
         except ValueError:
             pass
 
-    def _notify(self, op: str, key: FlexKey) -> None:
+    def add_mutation_listener(self, listener) -> None:
+        """Subscribe ``listener(op, key, tag_path)`` to storage mutations.
+
+        The richer sibling of :meth:`add_listener`: each notification also
+        carries the mutated node's root-to-node element tag path, captured
+        *before* deletions drop the subtree's keys — so invalidation
+        machinery (the operator-state store) can still classify a deletion
+        against its access paths after the nodes are gone.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        """Unsubscribe (no-op when absent — discard semantics)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, op: str, key: FlexKey,
+                tags: Optional[tuple] = None) -> None:
         if self._notify_depth:
             return
         for listener in self._listeners:
             listener(op, key)
+        if self._mutation_listeners:
+            if tags is None:
+                tags = self.tag_path(key)
+            for listener in list(self._mutation_listeners):
+                listener(op, key, tags)
 
     # -- registration --------------------------------------------------------------
 
@@ -276,6 +301,11 @@ class StorageManager:
         node = self.node(key)
         if node.parent is None:
             raise StorageError("cannot delete a document root")
+        # Captured before the keys drop: deletion listeners still need to
+        # classify the doomed subtree against their access paths.
+        tags = (self.tag_path(key)
+                if self._mutation_listeners and not self._notify_depth
+                else None)
         index = self._index
         document = self.document_of_key(key) if index is not None else ""
         for sub in node.iter_subtree():
@@ -283,7 +313,7 @@ class StorageManager:
             if index is not None:
                 index.remove_node(document, sub.key, sub)
         node.detach()
-        self._notify("delete", key)
+        self._notify("delete", key, tags)
         return node
 
     def replace_text(self, key: FlexKey, new_value: str) -> None:
@@ -350,6 +380,22 @@ class StorageManager:
                       indexed: bool,
                       start: Optional[list[FlexKey]] = None
                       ) -> list[FlexKey]:
+        steps = list(steps)
+        if indexed and start is None and steps \
+                and all(axis == "child" for axis, _ in steps):
+            # Child-step-only path from the document node: the result is
+            # exactly the elements whose cached root-to-node tag path
+            # equals the step tags — one filtered pass over the final
+            # tag's sorted key list instead of a level-by-level frontier
+            # walk (the walk was marginally *faster* than per-level index
+            # range scans; this slice is the form in which the index
+            # wins).  The first-step document-node convention holds: a
+            # node matches the full path only if the document element
+            # matches the first tag.
+            if name not in self._documents:
+                raise StorageError(f"unknown document {name!r}")
+            return self._index.path_nodes(
+                name, tuple(test for _axis, test in steps))
         if indexed:
             children, descendants = self.children, self.descendants
         else:

@@ -49,7 +49,8 @@ class MaterializedXQueryView:
 
     def __init__(self, storage: StorageManager,
                  query: Union[str, XatOperator],
-                 validate_updates: bool = True):
+                 validate_updates: bool = True,
+                 operator_state: bool = True):
         self.storage = storage
         self.engine = Engine(storage)
         if isinstance(query, str):
@@ -58,8 +59,10 @@ class MaterializedXQueryView:
         else:
             self.query_text = None
             plan = query
+        extra = {} if operator_state else {"state_store": None}
         self._pipeline = ViewPipeline(self.engine, plan,
-                                      validate_updates=validate_updates)
+                                      validate_updates=validate_updates,
+                                      **extra)
 
     # -- pipeline state (kept as attributes for API compatibility) -----------------------
 
@@ -90,6 +93,28 @@ class MaterializedXQueryView:
     @property
     def _materialized(self) -> bool:
         return self._pipeline.materialized
+
+    @property
+    def state_store(self):
+        """The pipeline's persistent operator-state store (None when
+        disabled via ``operator_state=False``)."""
+        return self._pipeline.state_store
+
+    def close(self) -> None:
+        """Detach view-owned storage listeners (idempotent).
+
+        A view with operator state owns a mutation listener on its
+        storage manager; call this (or use the view as a context
+        manager) when discarding a view whose StorageManager outlives
+        it, like :meth:`ViewRegistry.close`.
+        """
+        self._pipeline.close()
+
+    def __enter__(self) -> "MaterializedXQueryView":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- materialization ---------------------------------------------------------------
 

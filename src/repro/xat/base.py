@@ -125,29 +125,39 @@ class _Timer:
 
 
 class ExecutionContext:
-    """Everything an operator needs at run time."""
+    """Everything an operator needs at run time.
+
+    ``store`` is the pluggable persistent cache layer (an
+    :class:`~repro.engine.opstate.OperatorStateStore` or anything with its
+    ``serve``/``join_side`` surface): during delta runs, FULL/ANTI-mode
+    side evaluation is answered from cross-run operator state instead of
+    re-executing the subplan.  The per-run ``_cache`` memo below still
+    dedupes within one run; the store is what survives between runs.
+    """
 
     def __init__(self, storage: StorageManager,
                  skeletons: Optional[SkeletonStore] = None,
                  mode: str = FULL,
                  delta: Optional[DeltaSpec] = None,
                  profiler: Optional[Profiler] = None,
-                 track_semantic_ids: bool = True):
+                 track_semantic_ids: bool = True,
+                 store=None):
         self.storage = storage
         self.skeletons = skeletons if skeletons is not None else SkeletonStore()
         self.mode = mode
         self.delta = delta
         self.profiler = profiler if profiler is not None else Profiler()
         self.track_semantic_ids = track_semantic_ids
+        self.store = store
         self.bindings: list[XatTuple] = []      # Map-operator correlation stack
-        self._cache: dict[tuple[int, str, int], XatTable] = {}
+        self._cache: dict[tuple[int, str], XatTable] = {}
 
     # -- mode management ------------------------------------------------------------
 
     def with_mode(self, mode: str) -> "ExecutionContext":
         clone = ExecutionContext(self.storage, self.skeletons, mode,
                                  self.delta, self.profiler,
-                                 self.track_semantic_ids)
+                                 self.track_semantic_ids, self.store)
         clone.bindings = self.bindings
         clone._cache = self._cache
         return clone
@@ -200,10 +210,14 @@ class ExecutionContext:
     def evaluate(self, op: "XatOperator", mode: Optional[str] = None
                  ) -> XatTable:
         ctx = self if mode is None or mode == self.mode else self.with_mode(mode)
-        cache_key = (id(op), ctx.mode, len(ctx.bindings))
         if ctx.bindings:
             # Correlated (Map) evaluation cannot be cached safely.
             return op.execute(ctx)
+        # Uncorrelated from here on — the cache key needs no binding-stack
+        # discriminator (Map evaluates its RHS directly, never through
+        # this memo, so a cached table is always binding-independent).
+        assert not ctx.bindings
+        cache_key = (id(op), ctx.mode)
         cached = self._cache.get(cache_key)
         if cached is not None:
             return cached
@@ -215,18 +229,77 @@ class ExecutionContext:
         self._cache[cache_key] = result
         return result
 
+    def evaluate_stable(self, op: "XatOperator",
+                        mode: Optional[str] = None) -> XatTable:
+        """FULL/ANTI evaluation of a stable side subplan during a delta
+        run, answered from the persistent operator-state store when one is
+        attached (falling back to plain evaluation otherwise)."""
+        mode = self.mode if mode is None else mode
+        if (self.store is not None and self.delta is not None
+                and not self.bindings and mode in (FULL, ANTI)):
+            table = self.store.serve(self, op, mode)
+            if table is not None:
+                return table
+        return self.evaluate(op, mode)
+
 
 _op_ids = itertools.count(1)
+
+
+def item_fingerprint(item) -> tuple:
+    """Identity of one cell item for cached-table patch matching.
+
+    Node items match by key (overriding orders included — they are
+    derivation-deterministic); atomic items match by value, mirroring the
+    semantic-id discipline under which value-identical derivations fuse.
+    """
+    key = getattr(item, "key", None)
+    if key is not None:  # NodeItem
+        override = key.override
+        return ("n", key.value, override.value if override else "")
+    return ("a", item.value, item.order_value or "")
+
+
+def tuple_fingerprint(tup: XatTuple, columns) -> tuple:
+    """Default whole-tuple identity used to merge delta rows into cached
+    FULL tables (collection cells compare as sorted item multisets)."""
+    parts = []
+    for col in columns:
+        cell = tup.cells.get(col)
+        if cell is None:
+            parts.append(None)
+        elif isinstance(cell, list):
+            parts.append(tuple(sorted(item_fingerprint(i) for i in cell)))
+        else:
+            parts.append(item_fingerprint(cell))
+    return tuple(parts)
+
+
+def cached_tuple(tup: XatTuple, count: Optional[int] = None) -> XatTuple:
+    """A copy of a delta tuple normalized for residence in a cached FULL
+    table (delta-only annotations stripped)."""
+    return XatTuple(dict(tup.cells),
+                    tup.count if count is None else count, False, False)
 
 
 class XatOperator:
     """Base class of every XAT operator.
 
     Subclasses implement ``_build_schema`` (Order Schema + Context Schema
-    rules, Tables 3.1 / 4.1) and ``execute``.
+    rules, Tables 3.1 / 4.1) and ``execute``.  The ``state_*`` hooks and
+    ``anti_projectable`` flag drive the persistent operator-state store
+    (:mod:`repro.engine.opstate`): they describe how a cached FULL-mode
+    result table of this operator is patched by the operator's own
+    delta-mode output instead of being re-executed.
     """
 
     symbol = "op"
+
+    #: ANTI mode ("state minus update roots") equals filtering this
+    #: operator's FULL table by root coverage.  Only true for per-tuple
+    #: linear operators whose output tuples carry all their storage
+    #: provenance (see :func:`repro.engine.opstate.anti_projectable`).
+    anti_projectable = False
 
     def __init__(self, inputs: Sequence["XatOperator"] = ()):
         self.inputs: list[XatOperator] = list(inputs)
@@ -267,6 +340,39 @@ class XatOperator:
 
     def _own_documents(self) -> Sequence[str]:
         return ()
+
+    # -- persistent-state hooks ---------------------------------------------------------
+
+    def state_merge_key(self, tup: XatTuple, ctx) -> tuple:
+        """Identity under which delta rows merge into the cached table."""
+        return tuple_fingerprint(tup, self.schema.columns)
+
+    def state_apply(self, existing: Optional[XatTuple], dt: XatTuple,
+                    ctx) -> tuple:
+        """Patch one delta row against the matching cached tuple.
+
+        Returns ``(verb, tuple)`` with verb one of ``insert`` / ``replace``
+        / ``remove`` / ``noop`` / ``fail``; ``fail`` aborts the patch and
+        falls back to recomputation (the safe path).  The default is the
+        Z-semantics count merge that makes linear operators maintainable
+        (Chapter 6); refresh rows are count-neutral re-derivations and
+        replace content in place.
+        """
+        if dt.refresh:
+            if existing is None:
+                return ("fail", None)
+            return ("replace", cached_tuple(dt, count=existing.count))
+        if existing is None:
+            if dt.count > 0:
+                return ("insert", cached_tuple(dt))
+            return ("fail", None)
+        count = existing.count + dt.count
+        if count == 0:
+            return ("remove", None)
+        if count < 0:
+            return ("fail", None)
+        return ("replace", XatTuple(existing.cells, count,
+                                    existing.refresh, False))
 
     # -- utilities --------------------------------------------------------------------
 

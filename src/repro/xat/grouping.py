@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..flexkeys import COMPOSE_SEP, FlexKey
-from .base import ExecutionContext, XatOperator
+from .base import ExecutionContext, XatOperator, cached_tuple, \
+    item_fingerprint
 from .conditions import item_value
 from .relational import group_key
 from .table import (AtomicItem, ContextSpec, Item, NodeItem, TableSchema,
@@ -131,6 +132,47 @@ def compute_aggregate(kind: str, tuples: Sequence[XatTuple], col: str,
     return state
 
 
+def _copied_item(item: Item, count: int) -> Item:
+    """A cached-table copy of one group member (refresh flag stripped)."""
+    if isinstance(item, NodeItem):
+        return NodeItem(item.key, count, False, item.skeleton)
+    assert isinstance(item, AtomicItem)
+    return AtomicItem(item.value, item.source_key, count, False,
+                      item.order_value, item.agg)
+
+
+def merge_member_items(existing: Sequence[Item],
+                       delta: Sequence[Item]) -> Optional[list[Item]]:
+    """Patch a cached group's member list with its delta members.
+
+    Members match by item identity (key / value, overriding orders
+    included); counts merge under Z-semantics, refresh members replace in
+    place.  ``None`` when the delta cannot be reconciled (the caller
+    falls back to recomputation).
+    """
+    merged: dict[tuple, Item] = {}
+    for item in existing:
+        merged[item_fingerprint(item)] = item
+    for item in delta:
+        key = item_fingerprint(item)
+        current = merged.get(key)
+        if item.refresh:
+            if current is None:
+                return None
+            merged[key] = _copied_item(item, current.count)
+        elif current is None:
+            if item.count <= 0:
+                return None
+            merged[key] = _copied_item(item, item.count)
+        else:
+            count = current.count + item.count
+            if count <= 0:
+                del merged[key]
+            else:
+                merged[key] = _copied_item(current, count)
+    return list(merged.values())
+
+
 def assign_overriding_orders(tuples: Sequence[XatTuple], col: str,
                              order_schema: Sequence[str],
                              ctx: ExecutionContext) -> list[Item]:
@@ -204,6 +246,21 @@ class Combine(XatOperator):
         table = XatTable(self.schema)
         table.append(XatTuple({self.col: items}))
         return table
+
+    # Persistent state: the single all-tuple's item list merges by member.
+
+    def state_merge_key(self, tup: XatTuple, ctx) -> tuple:
+        return ("combine",)
+
+    def state_apply(self, existing, dt, ctx):
+        if existing is None:
+            return ("insert", cached_tuple(dt))
+        merged = merge_member_items(items_of(existing[self.col]),
+                                    items_of(dt[self.col]))
+        if merged is None:
+            return ("fail", None)
+        return ("replace", XatTuple({self.col: merged}, existing.count,
+                                    False, False))
 
     def describe(self) -> str:
         return f"Combine {self.col}"
@@ -291,6 +348,48 @@ class GroupBy(XatOperator):
             table.append(XatTuple(cells, count, refresh))
         return table
 
+    # Persistent count state (Section 7.6): cached group tuples merge by
+    # group key; aggregate cells merge per-member contribution state,
+    # Combine cells merge member item lists.
+
+    def state_merge_key(self, tup: XatTuple, ctx) -> tuple:
+        return ("group", group_key(tup, self.group_cols, ctx))
+
+    def state_apply(self, existing, dt, ctx):
+        result_col = self._result_col()
+        if existing is None:
+            if dt.refresh or dt.count < 0:
+                return ("fail", None)
+            return ("insert", cached_tuple(dt))
+        count = existing.count + (0 if dt.refresh else dt.count)
+        if self.agg is not None:
+            e_item = single_item(existing[result_col])
+            d_item = single_item(dt[result_col])
+            if (e_item is None or d_item is None or e_item.agg is None
+                    or d_item.agg is None):
+                return ("fail", None)
+            merged_state = e_item.agg.merge(d_item.agg)
+            if not merged_state.contribs:
+                return ("remove", None)
+            if count <= 0:
+                # Count bookkeeping and contribution state disagree (a
+                # refresh-mixed batch can do this): recompute instead of
+                # serving a fabricated group count.
+                return ("fail", None)
+            cells = dict(existing.cells)
+            cells[result_col] = AtomicItem(merged_state.value(),
+                                           agg=merged_state)
+            return ("replace", XatTuple(cells, count, False, False))
+        merged = merge_member_items(items_of(existing[result_col]),
+                                    items_of(dt[result_col]))
+        if merged is None:
+            return ("fail", None)
+        if count <= 0 and not merged:
+            return ("remove", None)
+        cells = dict(existing.cells)
+        cells[result_col] = merged
+        return ("replace", XatTuple(cells, count, False, False))
+
     def describe(self) -> str:
         func = (f"Combine {self.combine_col}" if self.combine_col
                 else f"{self.agg[0]}({self.agg[1]})")
@@ -322,6 +421,24 @@ class Aggregate(XatOperator):
         table.append(XatTuple({self.out: AtomicItem(state.value(),
                                                     agg=state)}))
         return table
+
+    # Persistent state: the one output tuple's contribution state merges.
+
+    def state_merge_key(self, tup: XatTuple, ctx) -> tuple:
+        return ("aggregate",)
+
+    def state_apply(self, existing, dt, ctx):
+        if existing is None:
+            return ("insert", cached_tuple(dt))
+        e_item = single_item(existing[self.out])
+        d_item = single_item(dt[self.out])
+        if (e_item is None or d_item is None or e_item.agg is None
+                or d_item.agg is None):
+            return ("fail", None)
+        merged = e_item.agg.merge(d_item.agg)
+        return ("replace", XatTuple(
+            {self.out: AtomicItem(merged.value(), agg=merged)},
+            existing.count, False, False))
 
     def describe(self) -> str:
         return f"Aggregate {self.kind}({self.col}) -> {self.out}"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..flexkeys import FlexKey
+from ..flexkeys import LEVEL_SEP, FlexKey
 from ..xmlmodel import XmlNode
 from .base import DELTA, ExecutionContext, XatOperator
 from .paths import CHILD, Path, Step
@@ -35,6 +35,7 @@ class Source(XatOperator):
     """``S_xmlDoc -> col``: one tuple referencing the document root."""
 
     symbol = "S"
+    anti_projectable = True
 
     def __init__(self, document: str, out: str):
         super().__init__()
@@ -88,6 +89,65 @@ def _element_targets(ctx: ExecutionContext, entry_key: FlexKey,
         return storage.children(entry_key, step.test)
     targets.extend(storage.descendants(entry_key, step.test))
     return targets
+
+
+def _related_targets(ctx: ExecutionContext, entry_key: FlexKey,
+                     step: Step, is_first: bool) -> list[FlexKey]:
+    """Delta-mode seek: the step's targets *related to an update root*,
+    derived from the roots themselves instead of scanning the full target
+    set — this is what makes propagation cost scale with the batch, not
+    the document.
+
+    Only called for an untouched frontier key outside every root subtree
+    (classification ``None`` or ``"ancestor"``): the seek rule keeps
+    exactly the related targets there, and when none exist the kept-all
+    targets would only produce untouched tuples that the unnest drops —
+    so related-only enumeration is exact.  A related target is either an
+    ancestor of a root on the path down from ``entry_key`` (one key per
+    root per level, read off the root's own atoms) or a matching node
+    inside a root's subtree (an index range scan, delta-sized).
+    """
+    storage = ctx.storage
+    results: dict[str, FlexKey] = {}
+    if is_first and storage.is_document_root(entry_key):
+        # Document-node convention: the first step names (or, for
+        # descendant, includes) the document element itself.
+        if storage.node(entry_key).tag == step.test:
+            results[entry_key.value] = entry_key
+        if step.axis == CHILD:
+            return list(results.values())
+    entry_atoms = entry_key.atoms
+    entry_depth = len(entry_atoms)
+    for root in ctx.delta.roots:
+        root_atoms = root.key.atoms
+        if (len(root_atoms) <= entry_depth
+                or root_atoms[:entry_depth] != entry_atoms):
+            continue  # root not below this frontier key
+        if step.axis == CHILD:
+            candidates = [FlexKey(
+                LEVEL_SEP.join(root_atoms[:entry_depth + 1]))]
+        else:
+            candidates = [FlexKey(LEVEL_SEP.join(root_atoms[:depth]))
+                          for depth in range(entry_depth + 1,
+                                             len(root_atoms) + 1)]
+            candidates.extend(storage.descendants(root.key, step.test))
+        for candidate in candidates:
+            value = candidate.value
+            if value in results or not storage.has_node(candidate):
+                continue
+            node = storage.node(candidate)
+            if node.is_element and node.tag == step.test:
+                results[value] = candidate
+    ordered = list(results.values())
+    ordered.sort(key=lambda key: key.value)
+    return ordered
+
+
+def _seeks_roots(ctx: ExecutionContext, key: FlexKey,
+                 status: Optional[str]) -> bool:
+    """Whether delta navigation from ``key`` may seek the roots directly."""
+    return (status != _AT
+            and ctx.storage.document_of_key(key) == ctx.delta.document)
 
 
 def _filter_targets(ctx: ExecutionContext, entry_status: Optional[str],
@@ -155,6 +215,11 @@ class NavigateUnnest(XatOperator):
     per reached node/value)."""
 
     symbol = "phi"
+    # Every output tuple carries its reached node/value provenance, so
+    # ANTI == root-coverage filtering — except under keep_empty, whose
+    # outer-join semantics resurrect emptied tuples (checked in
+    # :func:`repro.engine.opstate.anti_projectable`).
+    anti_projectable = True
 
     def __init__(self, child: XatOperator, col: str, path: Path, out: str,
                  keep_empty: bool = False):
@@ -204,11 +269,21 @@ class NavigateUnnest(XatOperator):
                 frontier: list[tuple[FlexKey, int, bool, Optional[str]]] = [
                     (entry_key, 1, False, entry_status)]
                 is_first = ctx.storage.is_document_root(entry_key)
+                seeking = (ctx.mode == DELTA and ctx.delta is not None
+                           and not tup.touched)
                 for index, step in enumerate(element_steps):
                     is_last = index == len(element_steps) - 1
                     next_frontier = []
                     for key, mult, refresh, status in frontier:
-                        targets = _element_targets(ctx, key, step, is_first)
+                        if seeking and _seeks_roots(ctx, key, status):
+                            # Root-driven seek: enumerate only the
+                            # related targets instead of scanning and
+                            # classifying the step's whole target set.
+                            targets = _related_targets(ctx, key, step,
+                                                       is_first)
+                        else:
+                            targets = _element_targets(ctx, key, step,
+                                                       is_first)
                         for tgt, m2, r2 in _filter_targets(
                                 ctx, status, targets, seek=True,
                                 is_last=is_last):
@@ -260,6 +335,9 @@ class NavigateCollection(XatOperator):
     tuple per input tuple, the cell holding the reached collection."""
 
     symbol = "Phi"
+    # ANTI drops root-covered *members* from the collection cell while the
+    # tuple itself survives — exactly what collection-cell projection does.
+    anti_projectable = True
 
     def __init__(self, child: XatOperator, col: str, path: Path, out: str):
         super().__init__([child])

@@ -17,6 +17,54 @@ from .table import (AtomicItem, ContextSpec, NodeItem, TableSchema, XatTable,
                     XatTuple, items_of, single_item)
 
 
+class TransientSideHandle:
+    """Probe/scan access to a join side, built for one run.
+
+    The store-backed twin (:class:`repro.engine.opstate.StoredSideHandle`)
+    persists its table and index across runs; this one lives and dies with
+    the run, which is exactly the old behaviour (the table itself is still
+    served through ``evaluate_stable``, so a persistent store answers the
+    table even when probing has to be transient).
+    """
+
+    def __init__(self, ctx: ExecutionContext, op: XatOperator, mode: str,
+                 cols):
+        self._ctx = ctx
+        self._op = op
+        self._mode = mode
+        self.cols = cols
+        self._table = None
+        self._index = None
+
+    def table(self) -> XatTable:
+        if self._table is None:
+            self._table = self._ctx.evaluate_stable(self._op, self._mode)
+        return self._table
+
+    def probe(self, key) -> list:
+        if key is None:
+            return []
+        if self._index is None:
+            self._index = {}
+            for tup in self.table():
+                tup_key = _hash_key(tup, self.cols, self._ctx)
+                if tup_key is not None:
+                    self._index.setdefault(tup_key, []).append(tup)
+        return self._index.get(key, [])
+
+
+def side_handle(ctx: ExecutionContext, op: XatOperator, mode: str,
+                cols) -> "TransientSideHandle":
+    """A probe handle over a join side, persistent-store-backed when the
+    run carries an operator-state store (falls back transparently)."""
+    if ctx.store is not None and ctx.delta is not None and not ctx.bindings:
+        handle = ctx.store.join_side(ctx, op, mode,
+                                     tuple(cols) if cols else None)
+        if handle is not None:
+            return handle
+    return TransientSideHandle(ctx, op, mode, cols)
+
+
 class Select(XatOperator):
     """``sigma_c(T)``: filter tuples by a predicate (Category I / X)."""
 
@@ -45,6 +93,7 @@ class Rename(XatOperator):
     """``rho_{col,col'}(T)``: column renaming (Category II of Table 4.1)."""
 
     symbol = "rho"
+    anti_projectable = True
 
     def __init__(self, child: XatOperator, col: str, out: str):
         super().__init__([child])
@@ -167,22 +216,29 @@ class _BinaryJoinBase(XatOperator):
 
     def execute(self, ctx: ExecutionContext) -> XatTable:
         if ctx.mode == DELTA and ctx.delta is not None:
+            # The two-term expansion, delta side first: a term whose delta
+            # is empty is skipped outright, so the untouched side of a
+            # one-sided batch is never evaluated at all — and when it is
+            # needed, it is probed (persistent index or transient build)
+            # by the delta tuples instead of being iterated.
             doc = ctx.delta.document
-            left_has = doc in self.inputs[0].source_documents()
-            right_has = doc in self.inputs[1].source_documents()
+            equi = self._equi_key_columns()
+            lcols, rcols = equi if equi is not None else (None, None)
             table = XatTable(self.schema)
-            if left_has:
-                self._combine_into(
-                    table, ctx,
-                    ctx.evaluate(self.inputs[0], DELTA),
-                    ctx.evaluate(self.inputs[1], ctx.mode_for_new),
-                    delta_side="left")
-            if right_has:
-                self._combine_into(
-                    table, ctx,
-                    ctx.evaluate(self.inputs[0], ctx.mode_for_old),
-                    ctx.evaluate(self.inputs[1], DELTA),
-                    delta_side="right")
+            if doc in self.inputs[0].source_documents():
+                ldelta = ctx.evaluate(self.inputs[0], DELTA)
+                if ldelta.tuples:
+                    other = side_handle(ctx, self.inputs[1],
+                                        ctx.mode_for_new, rcols)
+                    self._combine_delta(table, ctx, ldelta, lcols, other,
+                                        delta_side="left")
+            if doc in self.inputs[1].source_documents():
+                rdelta = ctx.evaluate(self.inputs[1], DELTA)
+                if rdelta.tuples:
+                    other = side_handle(ctx, self.inputs[0],
+                                        ctx.mode_for_old, lcols)
+                    self._combine_delta(table, ctx, rdelta, rcols, other,
+                                        delta_side="right")
             return table
         table = XatTable(self.schema)
         self._combine_into(table, ctx,
@@ -195,6 +251,29 @@ class _BinaryJoinBase(XatOperator):
                       left: XatTable, right: XatTable,
                       delta_side: Optional[str]) -> None:
         raise NotImplementedError
+
+    def _delta_matches(self, ctx: ExecutionContext, dt: XatTuple,
+                       delta_cols, other) -> list[XatTuple]:
+        """Tuples of the non-delta side matching one delta tuple."""
+        if delta_cols is not None:
+            return other.probe(_hash_key(dt, delta_cols, ctx))
+        matches = []
+        for ot in other.table():
+            merged = dt.merged(ot)
+            if self.condition is None or self.condition.evaluate(merged,
+                                                                 ctx):
+                matches.append(ot)
+        return matches
+
+    def _combine_delta(self, table: XatTable, ctx: ExecutionContext,
+                       delta: XatTable, delta_cols, other,
+                       delta_side: str) -> None:
+        """Default (inner-join) delta term: iterate the delta tuples and
+        probe the other side, emitting left-cells-first merges."""
+        for dt in delta:
+            for ot in self._delta_matches(ctx, dt, delta_cols, other):
+                table.append(dt.merged(ot) if delta_side == "left"
+                             else ot.merged(dt))
 
 
 def _hash_key(tup: XatTuple, cols: Sequence[str], ctx) -> Optional[tuple]:
@@ -211,6 +290,7 @@ class CartesianProduct(_BinaryJoinBase):
     """``x(T1, T2)``."""
 
     symbol = "x"
+    anti_projectable = True
 
     def __init__(self, left: XatOperator, right: XatOperator):
         super().__init__(left, right, condition=None)
@@ -225,6 +305,7 @@ class Join(_BinaryJoinBase):
     """Theta join ``|><|_c (T1, T2)``; hash-based for equality conditions."""
 
     symbol = "join"
+    anti_projectable = True
 
     def _combine_into(self, table, ctx, left, right, delta_side):
         for lt, matches in self._match_pairs(ctx, left, right):
@@ -240,6 +321,47 @@ class LeftOuterJoin(_BinaryJoinBase):
     of Chapter 7.4."""
 
     symbol = "loj"
+    anti_projectable = False  # dangling tuples break coverage filtering
+
+    def _combine_delta(self, table, ctx, delta, delta_cols, other,
+                       delta_side):
+        if delta_side == "left":
+            # Plain LOJ semantics over (ΔA, B_new).
+            for dt in delta:
+                matches = self._delta_matches(ctx, dt, delta_cols, other)
+                if matches:
+                    for ot in matches:
+                        table.append(dt.merged(ot))
+                else:
+                    table.append(self._null_padded(dt, dt.count))
+            return
+        # Inner join of old-left with the delta, plus corrections that
+        # retract (inserts) or restore (deletes) null-padded results for
+        # left tuples whose dangling status flips (Fig 7.3).
+        equi = self._equi_key_columns()
+        lcols = equi[0] if equi is not None else None
+        matched_lefts: dict[int, XatTuple] = {}
+        for dt in delta:
+            for lt in self._delta_matches(ctx, dt, delta_cols, other):
+                table.append(lt.merged(dt))
+                matched_lefts.setdefault(id(lt), lt)
+        if not matched_lefts or ctx.delta.phase == "modify":
+            return
+        check_mode = (ctx.mode_for_old if ctx.delta.phase == "insert"
+                      else ctx.mode_for_new)
+        rcols = equi[1] if equi is not None else None
+        check = side_handle(ctx, self.inputs[1], check_mode, rcols)
+        for lt in matched_lefts.values():
+            if lcols is not None:
+                has = bool(check.probe(_hash_key(lt, lcols, ctx)))
+            else:
+                has = self._has_match(ctx, lt, check.table())
+            if has:
+                continue
+            if ctx.delta.phase == "insert":
+                table.append(self._null_padded(lt, -lt.count))
+            else:  # delete
+                table.append(self._null_padded(lt, lt.count))
 
     def _null_padded(self, lt: XatTuple, count: int) -> XatTuple:
         cells = dict(lt.cells)
@@ -349,6 +471,21 @@ class Distinct(XatOperator):
                 table.append(tup)
         return table
 
+    # Persistent count state (Chapter 6): delta rows merge by *value*, so
+    # a re-derivation of an existing distinct value adjusts its duplicate
+    # count instead of appearing as a second tuple.
+
+    def state_merge_key(self, tup: XatTuple, ctx) -> tuple:
+        return ("distinct", group_key(tup, (self.col,), ctx))
+
+    def state_apply(self, existing, dt, ctx):
+        if dt.refresh:
+            # Count-neutral content refresh of a value group: the cached
+            # representative item stays valid (values are equal by key).
+            return ("noop", None) if existing is not None else ("fail",
+                                                                None)
+        return super().state_apply(existing, dt, ctx)
+
     def describe(self) -> str:
         return f"Distinct({self.col})"
 
@@ -362,6 +499,7 @@ class OrderBy(XatOperator):
     """
 
     symbol = "tau"
+    anti_projectable = True  # pure reorder; order lives in order_value
 
     def __init__(self, child: XatOperator, cols: Sequence[str]):
         super().__init__([child])

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
 
-from ..flexkeys import FlexKey
+from ..flexkeys import LEVEL_SEP, FlexKey
 from ..storage import StorageManager
 from ..updates.primitives import UpdateRequest
 from ..xat.paths import Path
@@ -263,7 +263,10 @@ def resolve_path_expr(storage: StorageManager, expr: PathExpr,
         frontier = navigate(step_index + 1)
         consumed = step_index + 1
         for predicate in expr.predicates[step_index]:
-            frontier = _apply_predicate(storage, frontier, predicate)
+            frontier_key = ((expr.source, tuple(pairs[:consumed]), applied)
+                            if cache is not None else None)
+            frontier = _apply_predicate(storage, frontier, predicate,
+                                        cache, frontier_key)
             applied += ((step_index, predicate.path, predicate.op,
                          predicate.literal),)
     return navigate(len(pairs))
@@ -274,8 +277,9 @@ def _resolve_binding(storage: StorageManager,
     return resolve_path_expr(storage, binding)
 
 
-def _apply_predicate(storage, keys, predicate: PredicateExpr
-                     ) -> list[FlexKey]:
+def _apply_predicate(storage, keys, predicate: PredicateExpr,
+                     cache: Optional[dict] = None,
+                     frontier_key=None) -> list[FlexKey]:
     if predicate.path == "position()":
         position = int(predicate.literal)
         if position < 1:
@@ -284,18 +288,27 @@ def _apply_predicate(storage, keys, predicate: PredicateExpr
                 "positions start at 1")
         # XPath semantics: position counts within each parent's matches,
         # so ``/bib/book/author[2]`` addresses every book's second
-        # author.  With a single parent on the frontier (the common
-        # ``person[7]`` case) this degenerates to plain list indexing.
-        kept = []
-        per_parent: dict[str, int] = {}
-        for key in keys:
-            parent = storage.parent_key(key)
-            parent_id = parent.value if parent is not None else ""
-            count = per_parent.get(parent_id, 0) + 1
-            per_parent[parent_id] = count
-            if count == position:
-                kept.append(key)
-        return kept
+        # author.  The per-parent grouping depends only on the frontier,
+        # not the position, so a batch addressing siblings (person[1],
+        # person[2], …) shares one grouping pass through the navigation
+        # cache; parents are derived lexically from the FlexKeys (storage
+        # keys never compose), avoiding a node resolution per candidate.
+        groups = None
+        groups_key = None
+        if cache is not None and frontier_key is not None:
+            groups_key = ("position-groups", frontier_key)
+            groups = cache.get(groups_key)
+        if groups is None:
+            groups = {}
+            for key in keys:
+                value = key.value
+                sep = value.rfind(LEVEL_SEP)
+                groups.setdefault(value[:sep] if sep >= 0 else "",
+                                  []).append(key)
+            if groups_key is not None:
+                cache[groups_key] = groups
+        return [members[position - 1] for members in groups.values()
+                if len(members) >= position]
     kept = []
     for key in keys:
         if _where_matches(storage, key, predicate.path, predicate.op,

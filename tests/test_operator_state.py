@@ -1,0 +1,377 @@
+"""Persistent operator-state correctness (the cross-run cache layer).
+
+The store must be *observationally invisible*: a view maintained with
+persistent per-operator state enabled produces byte-identical extents to
+full recomputation (the paper's correctness oracle) and to the same view
+maintained stateless — under randomized mixed insert/delete/modify
+streams, after forced invalidation, and across the shared registry.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (MaterializedXQueryView, StorageManager, UpdateRequest,
+                   ViewRegistry)
+from repro.engine.opstate import subplan_signature
+from repro.workloads import xmark
+from repro.xat import AtomicItem, GroupBy, NavigateUnnest, Path, Source, \
+    XatTuple
+from repro.xat.grouping import compute_aggregate, merge_member_items
+
+from .helpers import assert_consistent, closed_auctions_of, persons_of
+
+
+def fresh_view(query: str, n: int = 30, operator_state: bool = True,
+               seed: int = 42):
+    storage = StorageManager()
+    xmark.register_site(storage, n, seed=seed)
+    view = MaterializedXQueryView(storage, query,
+                                  operator_state=operator_state)
+    view.materialize()
+    return storage, view
+
+
+def random_update(rng: random.Random, storage: StorageManager,
+                  step: int) -> UpdateRequest:
+    """One randomized insert / delete / modify against site.xml."""
+    persons = persons_of(storage)
+    auctions = closed_auctions_of(storage)
+    roll = rng.random()
+    if roll < 0.25:
+        return UpdateRequest.insert(
+            "site.xml", rng.choice(persons),
+            xmark.new_person_xml(1000 + step,
+                                 city=rng.choice(xmark.CITIES)), "after")
+    if roll < 0.45:
+        return UpdateRequest.insert(
+            "site.xml", rng.choice(auctions),
+            xmark.new_closed_auction_xml(step, f"person{step % 20}"),
+            "after")
+    if roll < 0.6 and len(persons) > 8:
+        return UpdateRequest.delete("site.xml", rng.choice(persons))
+    if roll < 0.75 and len(auctions) > 5:
+        return UpdateRequest.delete("site.xml", rng.choice(auctions))
+    names = storage.find_by_path(
+        "site.xml", [("child", "site"), ("child", "people"),
+                     ("child", "person"), ("child", "name")])
+    return UpdateRequest.modify("site.xml", rng.choice(names),
+                                f"Renamed {step}")
+
+
+MAINTAINED_QUERIES = [("join", xmark.JOIN_QUERY),
+                      ("group-by-city", xmark.PERSONS_BY_CITY_QUERY)]
+
+
+class TestRandomizedOracle:
+    """Maintained extent == recompute_xml() under mixed random streams."""
+
+    @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
+    def test_single_updates(self, name, query):
+        rng = random.Random(101)
+        storage, view = fresh_view(query)
+        for step in range(30):
+            view.apply_updates([random_update(rng, storage, step)])
+            assert_consistent(view)
+
+    @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
+    def test_batched_updates(self, name, query):
+        rng = random.Random(202)
+        storage, view = fresh_view(query)
+        for step in range(10):
+            batch = [random_update(rng, storage, step * 10 + i)
+                     for i in range(rng.randrange(1, 5))]
+            view.apply_updates(batch)
+            assert_consistent(view)
+
+    @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
+    def test_forced_invalidation(self, name, query):
+        """Dropping every cached table mid-stream must be harmless: the
+        store rebuilds lazily and the extent never diverges."""
+        rng = random.Random(303)
+        storage, view = fresh_view(query)
+        for step in range(20):
+            if step % 5 == 3:
+                view.state_store.invalidate_all()
+            view.apply_updates([random_update(rng, storage, step)])
+            assert_consistent(view)
+        assert view.state_store.stats.invalidations >= 3
+
+    @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
+    def test_matches_stateless_maintenance(self, name, query):
+        """Store on vs store off: byte-identical maintained extents."""
+        rng_a, rng_b = random.Random(404), random.Random(404)
+        storage_a, with_store = fresh_view(query, operator_state=True)
+        storage_b, without = fresh_view(query, operator_state=False)
+        assert with_store.state_store is not None
+        assert without.state_store is None
+        for step in range(15):
+            with_store.apply_updates(
+                [random_update(rng_a, storage_a, step)])
+            without.apply_updates([random_update(rng_b, storage_b, step)])
+            assert with_store.to_xml() == without.to_xml()
+
+
+class TestStoreActivity:
+
+    def test_join_sides_served_and_patched(self):
+        """Alternating person/auction inserts keep both side entries warm:
+        the untouched side serves from cache, the touched side patches."""
+        storage, view = fresh_view(xmark.JOIN_QUERY)
+        for step in range(6):
+            anchor = (persons_of(storage)[-1] if step % 2 == 0
+                      else closed_auctions_of(storage)[-1])
+            fragment = (xmark.new_person_xml(step) if step % 2 == 0
+                        else xmark.new_closed_auction_xml(step, "person1"))
+            report = view.apply_updates(
+                [UpdateRequest.insert("site.xml", anchor, fragment,
+                                      "after")])
+            assert_consistent(view)
+        stats = view.state_store.stats
+        assert stats.hits > 0
+        assert stats.patches > 0
+        assert report.state_hits > 0  # surfaced per maintenance pass
+
+    def test_flat_maintenance_cost_counters(self):
+        """Steady state serves without recomputation: after warm-up, a
+        batch costs hits/patches, never misses."""
+        storage, view = fresh_view(xmark.JOIN_QUERY)
+        anchor = persons_of(storage)[-1]
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", anchor, xmark.new_person_xml(0), "after")])
+        misses_before = view.state_store.stats.misses
+        for step in range(1, 5):
+            view.apply_updates([UpdateRequest.insert(
+                "site.xml", anchor, xmark.new_person_xml(step), "after")])
+        assert view.state_store.stats.misses == misses_before
+        assert_consistent(view)
+
+    def test_direct_storage_mutation_invalidates(self):
+        """A mutation outside maintenance (no delta run to patch from)
+        must not leave a stale serve behind.
+
+        Bypassing the V-P-A pipeline never updates the extent — stateless
+        maintenance diverges from the recompute oracle identically — but
+        the *next* maintenance pass must read current storage, so the
+        store-enabled view has to stay byte-identical to a stateless twin
+        across the out-of-band write.
+        """
+        from repro.xmlmodel import parse_fragment
+
+        views = {}
+        for label, enabled in (("stateful", True), ("stateless", False)):
+            storage, view = fresh_view(xmark.JOIN_QUERY,
+                                       operator_state=enabled)
+            anchor = persons_of(storage)[-1]
+            view.apply_updates([UpdateRequest.insert(
+                "site.xml", anchor, xmark.new_person_xml(0), "after")])
+            auctions_parent = storage.parent_key(
+                closed_auctions_of(storage)[-1])
+            storage.insert_fragment(
+                auctions_parent,
+                parse_fragment(
+                    xmark.new_closed_auction_xml(99, "person2"))[0])
+            view.apply_updates([UpdateRequest.insert(
+                "site.xml", anchor, xmark.new_person_xml(1), "after")])
+            views[label] = view
+        assert views["stateful"].to_xml() == views["stateless"].to_xml()
+        # The out-of-band auction insert invalidated the cached side.
+        assert views["stateful"].state_store.stats.invalidations >= 1
+
+
+def assert_no_dead_keys(view) -> None:
+    """No cached tuple may reference a key that left storage — a stale
+    reference would crash (or silently corrupt) a later probe."""
+    storage = view.storage
+    for entry in view.state_store.entries():
+        if not entry.valid or entry.table is None:
+            continue
+        for tup in entry.table.tuples:
+            for cell in tup.cells.values():
+                items = (cell if isinstance(cell, list)
+                         else [cell] if cell is not None else [])
+                for item in items:
+                    key = (getattr(item, "key", None)
+                           or getattr(item, "source_key", None))
+                    assert key is None or storage.has_node(key), (
+                        f"dead key {key} cached in {entry.signature[:60]}")
+
+
+class TestCacheLiveness:
+
+    def test_no_dead_keys_after_mixed_stream(self):
+        """Delete staging/commit must purge every reference to the
+        deleted subtrees from the persisted tables and indexes."""
+        rng = random.Random(606)
+        storage, view = fresh_view(xmark.JOIN_QUERY)
+        for step in range(25):
+            batch = [random_update(rng, storage, step * 30 + i)
+                     for i in range(rng.randrange(1, 4))]
+            view.apply_updates(batch)
+            assert_consistent(view)
+            assert_no_dead_keys(view)
+
+
+class TestRegistrySharing:
+
+    def test_structurally_equal_views_share_entries(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 30)
+        with ViewRegistry(storage) as registry:
+            registry.register("a", xmark.JOIN_QUERY)
+            registry.register("b", xmark.JOIN_QUERY)
+            anchor = persons_of(storage)[-1]
+            registry.apply_updates([UpdateRequest.insert(
+                "site.xml", anchor, xmark.new_person_xml(0), "after")])
+            registry.apply_updates([UpdateRequest.insert(
+                "site.xml", anchor, xmark.new_person_xml(1), "after")])
+            # Both views' auction sides resolve to one shared entry.
+            assert registry.state_store.entry_count() == 1
+            assert registry.query("a") == registry.recompute_xml("a")
+            assert registry.query("b") == registry.recompute_xml("b")
+
+    def test_mixed_policies_over_shared_store(self):
+        rng = random.Random(505)
+        storage = StorageManager()
+        xmark.register_site(storage, 30)
+        with ViewRegistry(storage) as registry:
+            registry.register("now", xmark.JOIN_QUERY)
+            registry.register("later", xmark.PERSONS_BY_CITY_QUERY,
+                              policy="deferred")
+            for step in range(15):
+                registry.apply_updates(
+                    [random_update(rng, storage, step)])
+                assert registry.query("now") == \
+                    registry.recompute_xml("now")
+                assert registry.query("later") == \
+                    registry.recompute_xml("later")
+
+    def test_disabled_store(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 20)
+        with ViewRegistry(storage, operator_state=False) as registry:
+            registry.register("v", xmark.JOIN_QUERY)
+            assert registry.state_store is None
+            anchor = persons_of(storage)[-1]
+            registry.apply_updates([UpdateRequest.insert(
+                "site.xml", anchor, xmark.new_person_xml(0), "after")])
+            assert registry.query("v") == registry.recompute_xml("v")
+
+    def test_close_detaches_listener(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 10)
+        registry = ViewRegistry(storage)
+        registry.register("v", xmark.JOIN_QUERY)
+        store = registry.state_store
+        registry.close()
+        registry.close()  # idempotent
+        assert store._attached is False
+
+
+class TestSignatures:
+
+    def test_same_query_same_signature(self):
+        from repro.translate import translate_query
+        a = translate_query(xmark.JOIN_QUERY).prepare()
+        b = translate_query(xmark.JOIN_QUERY).prepare()
+        assert subplan_signature(a) == subplan_signature(b)
+
+    def test_different_queries_differ(self):
+        from repro.translate import translate_query
+        a = translate_query(xmark.JOIN_QUERY).prepare()
+        b = translate_query(xmark.SELECTION_QUERY).prepare()
+        assert subplan_signature(a) != subplan_signature(b)
+
+
+class TestAntiProjection:
+    """ANTI ("state minus roots") = scalar coverage drops the tuple,
+    collection coverage filters members — probe and table must agree."""
+
+    def _spec(self, storage, root_key):
+        from repro.xat import DeltaSpec
+        from repro.xat.base import DeltaRoot
+        return DeltaSpec("site.xml", (DeltaRoot(root_key, "insert"),),
+                         "insert")
+
+    def test_project_tuple_filters_collection_members(self):
+        from repro.engine.opstate import _project_tuple
+        storage = StorageManager()
+        xmark.register_site(storage, 3)
+        person = persons_of(storage)[0]
+        other = persons_of(storage)[1]
+        spec = self._spec(storage, person)
+        from repro.xat.table import NodeItem
+        tup = XatTuple({"$p": NodeItem(other),
+                        "$c": [NodeItem(person), NodeItem(other)]})
+        projected = _project_tuple(tup, spec)
+        assert projected is not None  # scalar cell not covered
+        kept = projected["$c"]
+        assert [i.key for i in kept] == [other]
+
+    def test_project_tuple_drops_on_scalar_coverage(self):
+        from repro.engine.opstate import _project_tuple
+        storage = StorageManager()
+        xmark.register_site(storage, 3)
+        person = persons_of(storage)[0]
+        spec = self._spec(storage, person)
+        from repro.xat.table import NodeItem
+        tup = XatTuple({"$p": NodeItem(person)})
+        assert _project_tuple(tup, spec) is None
+
+
+class TestStateHooks:
+    """Unit coverage of the per-operator patch rules."""
+
+    def test_merge_member_items_counts(self):
+        a = AtomicItem("x", count=1)
+        b = AtomicItem("y", count=1)
+        merged = merge_member_items([a, b], [AtomicItem("y", count=-1),
+                                             AtomicItem("z", count=2)])
+        values = {item.value: item.count for item in merged}
+        assert values == {"x": 1, "z": 2}
+
+    def test_merge_member_items_rejects_unmatched_negative(self):
+        assert merge_member_items([], [AtomicItem("x", count=-1)]) is None
+
+    def test_groupby_agg_state_apply(self):
+        plan = GroupBy(
+            NavigateUnnest(Source("d.xml", "$S"), "$S",
+                           Path.parse("/r/i"), "$i"),
+            ("$g",), agg=("sum", "$v", "$out"))
+        plan.prepare()
+        old = compute_aggregate("sum", [XatTuple(
+            {"$v": AtomicItem("10", count=1)})], "$v", None)
+        existing = XatTuple({"$g": AtomicItem("k"),
+                             "$out": AtomicItem(old.value(), agg=old)})
+        delta_state = compute_aggregate("sum", [XatTuple(
+            {"$v": AtomicItem("5", count=1)})], "$v", None)
+        dt = XatTuple({"$g": AtomicItem("k"),
+                       "$out": AtomicItem(delta_state.value(),
+                                          agg=delta_state)})
+        verb, merged = plan.state_apply(existing, dt, None)
+        assert verb == "replace"
+        out = merged["$out"]
+        assert out.value == "15"
+
+    def test_groupby_agg_removes_emptied_group(self):
+        plan = GroupBy(
+            NavigateUnnest(Source("d.xml", "$S"), "$S",
+                           Path.parse("/r/i"), "$i"),
+            ("$g",), agg=("count", "$v", "$out"))
+        plan.prepare()
+        old = compute_aggregate("count", [XatTuple(
+            {"$v": AtomicItem("10", source_key=None, count=1)})],
+            "$v", None)
+        existing = XatTuple({"$g": AtomicItem("k"),
+                             "$out": AtomicItem(old.value(), agg=old)},
+                            count=1)
+        gone = compute_aggregate("count", [XatTuple(
+            {"$v": AtomicItem("10", source_key=None, count=1)},
+            count=-1)], "$v", None)
+        dt = XatTuple({"$g": AtomicItem("k"),
+                       "$out": AtomicItem(gone.value(), agg=gone)},
+                      count=-1)
+        verb, _merged = plan.state_apply(existing, dt, None)
+        assert verb == "remove"
