@@ -20,6 +20,12 @@ walk-based unindexed fallbacks — and emits one machine-readable
   persistent series must stay flat in document size while the cold one
   grows, and both extents must match the recomputation oracle
   (``join_maintenance.ok`` in the JSON gates CI);
+* **modify_heavy**: modify-dominated batches of predicate-feeding city
+  modifies through the persons-by-city view — first-class retract/assert
+  pairs vs the legacy delete+reinsert decomposition
+  (``modify_decomposition=True``); the gate (``modify_heavy.ok``)
+  requires the first-class extent to match the recompute oracle at every
+  scale and its per-batch cost to stay no worse than the legacy path;
 * **update_overhead**: the honest cost of index upkeep — raw
   insert+delete batches against indexed vs unindexed storage;
 * **api_overhead**: the cost of the :class:`repro.api.Database` facade —
@@ -296,6 +302,81 @@ def join_maintenance_gate(series: list[dict]) -> dict:
             "ok": ok}
 
 
+MODIFY_HEAVY_BATCH = 6
+
+#: first-class per-batch cost must stay no worse than the legacy
+#: delete+reinsert decomposition (min-of-N timings; the margin observed
+#: on the sweep is large, so the gate tolerates no regression)
+MODIFY_HEAVY_TARGET = 1.0
+
+
+def measure_modify_heavy(scale_list, repeat: int) -> list[dict]:
+    """Modify-dominated batches: first-class pairs vs legacy decomposition.
+
+    One measured unit is a batch of ``MODIFY_HEAVY_BATCH`` city-text
+    modifies — each feeds ``distinct-values``/``order by`` and the
+    persons-by-city join condition, so every one is an *insufficient*
+    modify.  The first-class path propagates retract/assert pairs; the
+    legacy path (``modify_decomposition=True``) deep-copies and
+    delete+reinserts each enclosing person fragment.  Cities rotate per
+    round so every batch genuinely moves groups.  Both extents are
+    checked against the recompute oracle after the timed rounds
+    (first-class consistency gates CI; the legacy result is recorded).
+    """
+    city_path = [("child", "site"), ("child", "people"),
+                 ("child", "person"), ("child", "address"),
+                 ("child", "city")]
+    series = []
+    for n in scale_list:
+        entry = {"persons": n, "batch": MODIFY_HEAVY_BATCH}
+        for label, legacy in (("first_class", False), ("legacy", True)):
+            storage = fresh_site(n)
+            view = MaterializedXQueryView(
+                storage, xmark.PERSONS_BY_CITY_QUERY,
+                modify_decomposition=legacy)
+            view.materialize()
+            targets = storage.find_by_path(
+                "site.xml", city_path)[:MODIFY_HEAVY_BATCH]
+
+            def modify_batch(round_index: int):
+                return [UpdateRequest.modify(
+                    "site.xml", key,
+                    xmark.CITIES[(round_index + i) % len(xmark.CITIES)])
+                    for i, key in enumerate(targets)]
+
+            view.apply_updates(modify_batch(0))   # warm-up
+            best = float("inf")
+            for round_index in range(1, max(repeat * 2, 6)):
+                batch = modify_batch(round_index)
+                started = time.perf_counter()
+                view.apply_updates(batch)
+                best = min(best, time.perf_counter() - started)
+            entry[f"{label}_seconds"] = best
+            entry[f"{label}_consistent"] = (view.to_xml()
+                                            == view.recompute_xml())
+            view.close()
+        # A zero legacy measurement would be a broken timer; inf keeps
+        # the gate comparison and the table printable — and failing.
+        entry["ratio"] = (entry["first_class_seconds"]
+                          / entry["legacy_seconds"]
+                          if entry["legacy_seconds"] > 0 else float("inf"))
+        series.append(entry)
+    return series
+
+
+def modify_heavy_gate(series: list[dict]) -> dict:
+    """CI gate: the first-class path must match the oracle at every
+    scale and cost no more per batch than the legacy decomposition."""
+    consistency = all(entry["first_class_consistent"] for entry in series)
+    worst_ratio = max(entry["ratio"] for entry in series)
+    return {"worst_ratio": worst_ratio,
+            "target": MODIFY_HEAVY_TARGET,
+            "consistency_ok": consistency,
+            "legacy_consistent": all(entry["legacy_consistent"]
+                                     for entry in series),
+            "ok": consistency and worst_ratio <= MODIFY_HEAVY_TARGET}
+
+
 def measure_update_overhead(scale_list, repeat: int) -> list[dict]:
     """Index upkeep cost: an insert+delete batch returns storage to its
     initial state, so the same manager is timed repeatedly."""
@@ -433,6 +514,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
     # below leave a large heap behind that skews small-unit timings.
     api_series = measure_api_overhead(scale_list, repeat)
     join_series = measure_join_maintenance(scale_list, repeat)
+    modify_series = measure_modify_heavy(scale_list, repeat)
     nav_desc, ok_desc = measure_navigation(
         NAV_DESCENDANT_PATHS, NAV_DESCENDANT_TAGS, scale_list, repeat)
     nav_child, ok_child = measure_navigation(
@@ -455,6 +537,10 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
          "style": "operator state: join-view batch maintenance, "
                   "persistent vs cold",
          "series": join_series},
+        {"name": "modify_heavy",
+         "style": "first-class modify pairs vs legacy delete+reinsert "
+                  "decomposition, modify-dominated batches",
+         "series": modify_series},
         {"name": "update_overhead",
          "style": "index upkeep: raw insert+delete batch",
          "series": measure_update_overhead(scale_list, repeat)},
@@ -468,6 +554,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
     max_per_statement = max(entry["per_statement_seconds"]
                             for entry in api_series)
     join_gate = join_maintenance_gate(join_series)
+    modify_gate = modify_heavy_gate(modify_series)
     return {
         "suite": "perf_suite",
         "description": "indexed StructuralIndex fast paths vs walk-based "
@@ -477,7 +564,8 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
         "scales": list(scale_list),
         "repeat": repeat,
         "consistency_ok": (ok_desc and ok_child and ok_sel
-                           and join_gate["consistency_ok"]),
+                           and join_gate["consistency_ok"]
+                           and modify_gate["consistency_ok"]),
         "scenarios": scenarios,
         "headline": {"scenario": "navigation_descendant",
                      "persons": headline["persons"],
@@ -492,6 +580,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
                                 or max_per_statement
                                 < API_STATEMENT_OVERHEAD_TARGET)},
         "join_maintenance": join_gate,
+        "modify_heavy": modify_gate,
     }
 
 
@@ -518,6 +607,19 @@ def print_suite(result: dict) -> None:
             print_table(
                 f"Perf suite: {scenario['name']} — {scenario['style']}",
                 ["scale", "persistent (ms)", "cold (ms)", "speedup",
+                 "consistency"], rows)
+            continue
+        if scenario["name"] == "modify_heavy":
+            for entry in scenario["series"]:
+                rows.append([entry["persons"],
+                             ms(entry["first_class_seconds"]),
+                             ms(entry["legacy_seconds"]),
+                             f"{entry['ratio']:6.2f}x",
+                             "ok" if entry["first_class_consistent"]
+                             else "MISMATCH"])
+            print_table(
+                f"Perf suite: {scenario['name']} — {scenario['style']}",
+                ["scale", "first-class (ms)", "legacy (ms)", "ratio",
                  "consistency"], rows)
             continue
         for entry in scenario["series"]:
@@ -547,6 +649,12 @@ def print_suite(result: dict) -> None:
           f"{join['flat_ratio']:.2f}x over a {join['scale_ratio']:.0f}x "
           f"document sweep ({target_txt}) — "
           f"{'ok' if join['ok'] else 'SUPERLINEAR OR INCONSISTENT'}")
+    modify = result["modify_heavy"]
+    print(f"modify_heavy: first-class per-batch cost at worst "
+          f"{modify['worst_ratio']:.2f}x of the legacy decomposition "
+          f"(target <= {modify['target']:.1f}x), first-class "
+          f"consistency {'ok' if modify['consistency_ok'] else 'BROKEN'}"
+          f" — {'ok' if modify['ok'] else 'OVER TARGET OR INCONSISTENT'}")
 
 
 def main(argv=None) -> dict:
@@ -598,11 +706,22 @@ def test_suite_emits_valid_json(tmp_path):
     assert loaded["consistency_ok"] is True
     assert {s["name"] for s in loaded["scenarios"]} >= {
         "navigation_descendant", "selectivity", "view_maintenance_insert",
-        "join_maintenance", "api_overhead"}
+        "join_maintenance", "modify_heavy", "api_overhead"}
     for scenario in loaded["scenarios"]:
         assert scenario["series"], scenario["name"]
     assert "max_overhead" in loaded["api_overhead"]
     assert loaded["join_maintenance"]["consistency_ok"] is True
+    assert loaded["modify_heavy"]["consistency_ok"] is True
+
+
+def test_modify_heavy_first_class_wins_and_is_consistent():
+    series = measure_modify_heavy([30], repeat=1)
+    entry = series[0]
+    assert entry["first_class_consistent"] is True
+    assert entry["first_class_seconds"] > 0
+    gate = modify_heavy_gate(series)
+    assert gate["consistency_ok"] is True
+    assert gate["ok"] is True, gate
 
 
 def test_join_maintenance_consistent_and_sane():

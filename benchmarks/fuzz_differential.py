@@ -1,0 +1,94 @@
+"""Time-budgeted differential fuzz for CI (and local smoke runs).
+
+Drives the shared randomized harness (:func:`tests.helpers.run_differential`)
+over every mutator kind — person/auction churn, join-key collection growth
+(second ``<city>`` cells, nested same-tag person inserts) and city/name
+text modifies — against the views that historically diverged, with the
+operator-state store enabled and disabled.  Every batch is checked
+against the recompute oracle, so a future divergence fails the build
+instead of landing in ROADMAP as an open item.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/fuzz_differential.py \
+        --seeds 1,2,3 --steps 30 --budget 300
+
+The budget is a soft wall-clock cap: the sweep stops scheduling new legs
+once it is exhausted (already-running legs finish), printing how much was
+covered — CI stays bounded even on slow runners, while at least the
+first legs always run to completion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tests.helpers import ALL_MUTATORS, run_differential  # noqa: E402
+from repro.workloads import xmark  # noqa: E402
+
+#: the views the fuzz sweeps: the two historical ROADMAP divergences,
+#: the join and selection views (predicate re-routing through Select),
+#: and the per-group aggregate view (pair re-routing through AggState).
+FUZZ_VIEWS = {
+    "order-query-2": xmark.ORDER_QUERY_2,
+    "persons-by-city": xmark.PERSONS_BY_CITY_QUERY,
+    "join": xmark.JOIN_QUERY,
+    "selection": xmark.SELECTION_QUERY,
+    "city-headcount": xmark.CITY_HEADCOUNT_QUERY,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", default="1,2,3",
+                        help="comma-separated rng seeds (default 1,2,3)")
+    parser.add_argument("--steps", type=int, default=30,
+                        help="mixed batches per leg (default 30)")
+    parser.add_argument("--persons", type=int, default=20)
+    parser.add_argument("--budget", type=float, default=300.0,
+                        help="soft wall-clock budget in seconds")
+    parser.add_argument("--views", default=None,
+                        help="comma-separated view names "
+                             f"(default: all of {', '.join(FUZZ_VIEWS)})")
+    args = parser.parse_args(argv)
+    seeds = [int(part) for part in args.seeds.split(",") if part]
+    names = ([name for name in args.views.split(",") if name]
+             if args.views else list(FUZZ_VIEWS))
+
+    started = time.monotonic()
+    legs_run = 0
+    legs_skipped = 0
+    updates = 0
+    for seed in seeds:
+        for name in names:
+            for operator_state in (True, False):
+                if time.monotonic() - started > args.budget:
+                    legs_skipped += 1
+                    continue
+                updates += run_differential(
+                    seed, args.steps, ALL_MUTATORS, FUZZ_VIEWS[name],
+                    num_persons=args.persons, site_seed=1,
+                    operator_state=operator_state)
+                legs_run += 1
+                print(f"ok   seed={seed} view={name} "
+                      f"operator_state={operator_state}")
+    elapsed = time.monotonic() - started
+    print(f"\ndifferential fuzz: {legs_run} legs, {updates} updates, "
+          f"{elapsed:.1f}s"
+          + (f" ({legs_skipped} legs skipped over budget)"
+             if legs_skipped else ""))
+    if legs_run == 0:
+        print("budget exhausted before any leg ran", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,11 +59,13 @@ class Database:
     """
 
     def __init__(self, storage: Optional[StorageManager] = None, *,
-                 indexed: bool = True, operator_state: bool = True):
+                 indexed: bool = True, operator_state: bool = True,
+                 modify_decomposition: bool = False):
         self.storage = (storage if storage is not None
                         else StorageManager(indexed=indexed))
-        self.registry = ViewRegistry(self.storage,
-                                     operator_state=operator_state)
+        self.registry = ViewRegistry(
+            self.storage, operator_state=operator_state,
+            modify_decomposition=modify_decomposition)
         self._batch: Optional["Batch"] = None
         self._subscriptions: set = set()
         self._view_queries: dict[str, str] = {}

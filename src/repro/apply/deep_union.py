@@ -84,12 +84,52 @@ def deep_union(extent: Optional[ExtentNode], delta: ExtentNode,
 
 
 def _normalize_inserted(node: ExtentNode) -> None:
-    """Fresh inserts enter the extent with sane counts (refresh => 1)."""
+    """Fresh inserts enter the extent with sane counts (refresh => 1).
+
+    A freshly inserted subtree may carry same-identity siblings — the
+    retract/assert halves of a first-class modify re-derive one member
+    several times with signed counts.  They fuse first (Deep Union keeps
+    one node per identity under a parent), so net-zero derivations drop
+    out instead of materializing as duplicates when the enclosing
+    subtree enters the extent whole.
+    """
+    _fuse_duplicate_children(node)
     if node.count <= 0:
         node.count = 1
     node.refresh = False
     for child in node.children:
         _normalize_inserted(child)
+
+
+def _fuse_duplicate_children(node: ExtentNode) -> None:
+    """Fuse same-match-key children of one delta node (counts sum)."""
+    keys = set()
+    duplicates = False
+    for child in node.children:
+        key = child.match_key()
+        if key in keys:
+            duplicates = True
+            break
+        keys.add(key)
+    if not duplicates:
+        return
+    scratch = FusionReport()
+    first_of: dict[tuple, ExtentNode] = {}
+    merged: list[ExtentNode] = []
+    dead: set[int] = set()
+    for child in node.children:
+        key = child.match_key()
+        first = first_of.get(key)
+        if first is None:
+            first_of[key] = child
+            merged.append(child)
+        elif not _fuse(first, child, scratch):
+            dead.add(id(first))
+            del first_of[key]
+    node.clear_children()
+    for child in merged:
+        if id(child) not in dead:
+            node.insert_child(child)
 
 
 def _fuse(existing: ExtentNode, incoming: ExtentNode,
@@ -149,6 +189,15 @@ def _replace_text_children(existing: ExtentNode, incoming: ExtentNode,
     incoming_texts = [c for c in incoming.children if c.is_text]
     existing_texts = [c for c in existing.children if c.is_text]
     if not incoming_texts and not existing_texts:
+        return
+    if (len(incoming_texts) == 1 and len(existing_texts) == 1
+            and incoming_texts[0].agg is not None
+            and existing_texts[0].agg is not None):
+        # An aggregate-valued text node under a refresh parent merges its
+        # per-member contribution state — wholesale replacement would
+        # adopt the *delta* state (value-only contributions, count 0)
+        # and lose the derivation counts the next retraction needs.
+        _merge_aggregate(existing_texts[0], incoming_texts[0], report)
         return
     same = ([c.text for c in incoming_texts]
             == [c.text for c in existing_texts])

@@ -54,7 +54,7 @@ from ..xat.grouping import Aggregate, Combine, GroupBy, TupleFunction
 from ..xat.navigation import NavigateCollection, NavigateUnnest, Source
 from ..xat.relational import (CartesianProduct, Distinct, Join,
                               LeftOuterJoin, OrderBy, Rename, Select,
-                              _hash_key)
+                              _hash_keys)
 from ..xat.table import AtomicItem, Item, NodeItem, XatTable, XatTuple
 
 __all__ = ["OperatorStateStore", "StoreStats", "subplan_signature"]
@@ -195,8 +195,10 @@ def project_anti(table: XatTable, spec: DeltaSpec, schema) -> XatTable:
 
 # The one equi-key hash definition: store index entries must stay
 # bit-compatible with the keys _BinaryJoinBase computes for its delta
-# tuples, so both sides share relational's implementation.
-_probe_key = _hash_key
+# tuples, so both sides share relational's implementation.  A tuple
+# hashes under one key per distinct value of a multi-item key cell
+# (existential semantics), so it may live in several buckets at once.
+_probe_keys = _hash_keys
 
 
 # -- patch plans -------------------------------------------------------------------------
@@ -206,8 +208,9 @@ class _PlannedOp:
     verb: str                     # "insert" | "replace" | "remove"
     fingerprint: tuple
     new_tuple: Optional[XatTuple]
-    # per index-columns probe keys of the affected tuples, precomputed
-    # while storage is alive (delete patches commit after the deletion)
+    # per index-columns probe-key *lists* of the affected tuples,
+    # precomputed while storage is alive (delete patches commit after
+    # the deletion); multi-item key cells hash under several keys
     keys: dict = field(default_factory=dict)
 
 
@@ -248,11 +251,11 @@ class _PatchPlan:
             if cols in planned.keys:
                 continue
             old = entry.fingerprints.get(planned.fingerprint)
-            old_key = (_probe_key(old, cols, ctx)
-                       if old is not None else None)
-            new_key = (_probe_key(planned.new_tuple, cols, ctx)
-                       if planned.new_tuple is not None else None)
-            planned.keys[cols] = (old_key, new_key)
+            old_keys = (_probe_keys(old, cols, ctx)
+                        if old is not None else [])
+            new_keys = (_probe_keys(planned.new_tuple, cols, ctx)
+                        if planned.new_tuple is not None else [])
+            planned.keys[cols] = (old_keys, new_keys)
 
 
 # -- one cached subplan ------------------------------------------------------------------
@@ -274,6 +277,11 @@ class CachedEntry:
         self._fp_of: dict = {}                 # id(tuple) -> fingerprint
         self._pos: dict = {}                   # id(tuple) -> table position
         self.indexes: dict = {}                # cols -> {probe key: [tuples]}
+        # id(tuple) -> {cols: keys it is indexed under}.  Removal must use
+        # the keys recorded at insertion: recomputing them against current
+        # storage is wrong whenever the values changed since (a modify
+        # patch removes the old tuple *after* the text was replaced).
+        self._indexed_keys: dict = {}
         self.stale: list = []                  # [(kind, FlexKey)]
         self.valid = False
         self.prepared: Optional[_PatchPlan] = None
@@ -292,6 +300,7 @@ class CachedEntry:
         self._fp_of.clear()
         self._pos.clear()
         self.indexes.clear()
+        self._indexed_keys.clear()
         self.stale.clear()
         self.prepared = None
         op = self.op
@@ -315,8 +324,9 @@ class CachedEntry:
         self._pos[id(tup)] = len(self.table.tuples)
         self.table.tuples.append(tup)
         for cols, index in self.indexes.items():
-            key = self._key_for(tup, cols, keys, ctx, new=True)
-            if key is not None:
+            tup_keys = self._keys_for(tup, cols, keys, ctx, new=True)
+            self._indexed_keys.setdefault(id(tup), {})[cols] = tup_keys
+            for key in tup_keys:
                 index.setdefault(key, []).append(tup)
 
     def _remove(self, fp, keys: Optional[dict] = None, ctx=None) -> None:
@@ -328,9 +338,13 @@ class CachedEntry:
         if last is not tup:           # swap-remove: tables are bags
             tuples[pos] = last
             self._pos[id(last)] = pos
+        recorded = self._indexed_keys.pop(id(tup), None)
         for cols, index in self.indexes.items():
-            key = self._key_for(tup, cols, keys, ctx, new=False)
-            if key is not None:
+            if recorded is not None and cols in recorded:
+                tup_keys = recorded[cols]
+            else:
+                tup_keys = self._keys_for(tup, cols, keys, ctx, new=False)
+            for key in tup_keys:
                 bucket = index.get(key)
                 if bucket is not None:
                     try:
@@ -345,13 +359,13 @@ class CachedEntry:
         self._remove(fp, keys, ctx)
         self._add(fp, new_tup, keys, ctx)
 
-    def _key_for(self, tup, cols, keys, ctx, new: bool):
+    def _keys_for(self, tup, cols, keys, ctx, new: bool) -> list:
         if keys is not None and cols in keys:
-            old_key, new_key = keys[cols]
-            return new_key if new else old_key
+            old_keys, new_keys = keys[cols]
+            return new_keys if new else old_keys
         if ctx is None:
-            return None
-        return _probe_key(tup, cols, ctx)
+            return []
+        return _probe_keys(tup, cols, ctx)
 
     def index_for(self, cols: tuple, ctx) -> dict:
         """The persistent equi-key index over the cached table."""
@@ -359,8 +373,9 @@ class CachedEntry:
         if index is None:
             index = {}
             for tup in self.table.tuples:
-                key = _probe_key(tup, cols, ctx)
-                if key is not None:
+                tup_keys = _probe_keys(tup, cols, ctx)
+                self._indexed_keys.setdefault(id(tup), {})[cols] = tup_keys
+                for key in tup_keys:
                     index.setdefault(key, []).append(tup)
             self.indexes[cols] = index
             if self.prepared is not None:
@@ -443,6 +458,7 @@ class CachedEntry:
         self._fp_of.clear()
         self._pos.clear()
         self.indexes.clear()
+        self._indexed_keys.clear()
         self.stale.clear()
         self.prepared = None
 
@@ -502,11 +518,12 @@ class StoredSideHandle:
         self._mode = mode
         self.cols = cols
         self._anti_table: Optional[XatTable] = None
-        # id(cached tuple) -> its ANTI projection, memoized so repeated
-        # probes hand back the *same* object per underlying tuple —
-        # consumers (the LOJ dangling corrections) dedupe matches by
-        # identity, and re-projecting per probe would defeat that.
-        self._projections: dict[int, Optional[XatTuple]] = {}
+        # id(cached tuple) -> (projection, its probe keys), memoized so
+        # repeated probes hand back the *same* object per underlying
+        # tuple — consumers (the LOJ dangling corrections) dedupe
+        # matches by identity — and pay the projection plus its key
+        # computation once, not per probe.
+        self._projections: dict[int, tuple] = {}
 
     def probe(self, key) -> list:
         if key is None:
@@ -519,21 +536,21 @@ class StoredSideHandle:
         # Same transform as project_anti, per bucket tuple: a covered
         # scalar cell drops the tuple, covered collection *members* are
         # filtered out — and when the filtering touched an equi-key cell
-        # the tuple no longer hashes here, so it cannot match.
+        # the tuple no longer hashes under the probed key, so it cannot
+        # match there.
         spec = self._ctx.delta
         kept = []
         for tup in bucket:
             marker = id(tup)
-            if marker in self._projections:
-                projected = self._projections[marker]
-            else:
+            cached = self._projections.get(marker)
+            if cached is None:
                 projected = _project_tuple(tup, spec)
-                if projected is not None and projected is not tup \
-                        and _probe_key(projected, self.cols,
-                                       self._ctx) != key:
-                    projected = None
-                self._projections[marker] = projected
-            if projected is not None:
+                keys = (None if projected is None or projected is tup
+                        else _probe_keys(projected, self.cols, self._ctx))
+                cached = (projected, keys)
+                self._projections[marker] = cached
+            projected, keys = cached
+            if projected is not None and (keys is None or key in keys):
                 kept.append(projected)
         return kept
 

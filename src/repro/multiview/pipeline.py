@@ -7,8 +7,11 @@ Chapters 5-7, extracted from the original single-view facade so that both
 same code:
 
 * the **Validate** helpers — relevancy classification against a SAPT,
-  storage application of accepted primitives, and the delete+insert
-  decomposition of insufficient modifies (Section 5.2.2);
+  storage application of accepted primitives, and the first-class
+  treatment of insufficient modifies (Section 5.2.2): the replaced text
+  travels as an ``(old, new)`` pair on the update tree and propagates as
+  a retraction+assertion; the legacy delete+reinsert decomposition stays
+  available behind ``modify_decomposition=True``;
 * the **Propagate/Apply** step — :meth:`ViewPipeline.propagate_run` runs
   one batch update tree through the plan in delta mode and fuses the delta
   forest into the extent with the count-aware Deep Union;
@@ -140,15 +143,34 @@ def _copy_path_target(storage: StorageManager, anchor, target,
     return node_copy
 
 
+def direct_text(storage: StorageManager, key) -> str:
+    """The concatenated *direct* text children of the element at ``key``
+    — exactly what the modify primitive replaces (``storage.text`` would
+    concatenate the whole subtree)."""
+    return "".join(child.value or ""
+                   for child in storage.node(key).children
+                   if child.is_text)
+
+
 def validate_one(storage: StorageManager, sapt: Sapt,
                  request: UpdateRequest, report: MaintenanceReport,
-                 validate_updates: bool = True):
+                 validate_updates: bool = True,
+                 modify_decomposition: bool = False):
     """Single-view Validate: classify one request and apply its storage
     change at the right point of the pipeline.
 
     Returns ``(UpdateTree, deferred delete request | None)``, a list of
-    replacement requests (decomposition), or ``None`` (irrelevant — the
-    storage change has been applied, nothing propagates)."""
+    replacement requests (legacy decomposition), or ``None`` (irrelevant
+    — the storage change has been applied, nothing propagates).
+
+    An insufficient modify (the value feeds a predicate or sort key)
+    becomes a *first-class modify tree* carrying the ``(old, new)`` text
+    pair; the Propagate phase turns it into a retraction+assertion that
+    re-routes derivations in one pass.  ``modify_decomposition=True``
+    restores the previous treatment — delete+reinsert of the enclosing
+    binding fragment (Section 5.2.2) — as a one-release escape hatch so
+    the two paths can be differentially tested against each other.
+    """
     if request.kind == INSERT:
         key = apply_insert(storage, request)
         if validate_updates and not sapt.is_relevant(
@@ -174,9 +196,16 @@ def validate_one(storage: StorageManager, sapt: Sapt,
         return None
     if validate_updates and sapt.modify_hits_predicate(
             storage, request.document, request.target):
-        report.decomposed += 1
-        anchor = decomposition_anchor(storage, sapt, request)
-        return decompose_modify(storage, request, anchor)
+        if modify_decomposition:
+            report.decomposed += 1
+            anchor = decomposition_anchor(storage, sapt, request)
+            return decompose_modify(storage, request, anchor)
+        report.accepted += 1
+        old_value = direct_text(storage, request.target)
+        storage.replace_text(request.target, request.new_value)
+        return UpdateTree(request.document, request.target, MODIFY,
+                          old_value=old_value,
+                          new_value=request.new_value), None
     report.accepted += 1
     storage.replace_text(request.target, request.new_value)
     return UpdateTree(request.document, request.target, MODIFY), None
@@ -200,16 +229,21 @@ class ViewPipeline:
     passes one *shared* store so structurally-equal subplans across views
     resolve to the same cached tables; ``None`` disables persistent state
     (every run re-derives its side tables, the pre-store behaviour).
+
+    ``modify_decomposition`` restores the legacy delete+reinsert
+    treatment of insufficient modifies instead of first-class modify
+    pairs (kept for one release as a differential-testing escape hatch).
     """
 
     def __init__(self, engine: Engine, plan: XatOperator,
                  sapt: Optional[Sapt] = None, validate_updates: bool = True,
-                 state_store=_OWN_STORE):
+                 state_store=_OWN_STORE, modify_decomposition: bool = False):
         self.engine = engine
         self.storage = engine.storage
         self.plan = plan if plan.schema is not None else plan.prepare()
         self.sapt = sapt if sapt is not None else Sapt.from_plan(self.plan)
         self.validate_updates = validate_updates
+        self.modify_decomposition = modify_decomposition
         self.extent: Optional[ExtentNode] = None
         self.materialized = False
         if state_store is _OWN_STORE:
@@ -297,9 +331,18 @@ def run_maintenance(view: ViewPipeline, updates: list[UpdateRequest],
     while index < len(queue):
         request = queue[index]
         index += 1
+        # A kind/document boundary closes the pending run — flushed
+        # before validate_one applies this request's storage change
+        # (see RunBatcher.crosses; a leaked mutation would be seen by
+        # the closed batch's delta pass *and* by its own batch later,
+        # double-applying it).
+        if batcher.crosses(request.document, request.kind):
+            flush(batcher.close(), deferred_deletes)
+            deferred_deletes = []
         started = time.perf_counter()
         outcome = validate_one(storage, view.sapt, request, report,
-                               view.validate_updates)
+                               view.validate_updates,
+                               view.modify_decomposition)
         report.validate_seconds += time.perf_counter() - started
         if outcome is None:
             continue
@@ -308,9 +351,7 @@ def run_maintenance(view: ViewPipeline, updates: list[UpdateRequest],
             continue
         tree, deferred = outcome
         closed, accepted = batcher.push(tree)
-        if closed is not None:
-            flush(closed, deferred_deletes)
-            deferred_deletes = []
+        assert closed is None  # the boundary flush above closed the run
         if not accepted:
             continue  # already covered by an enclosing root in the run
         if deferred is not None:

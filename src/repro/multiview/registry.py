@@ -42,7 +42,7 @@ from ..updates.primitives import UpdateRequest, UpdateTree
 from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
 from .cost import CostModel
 from .pipeline import (MaintenanceReport, ViewPipeline, apply_insert,
-                       decompose_modify, decomposition_anchor)
+                       decompose_modify, decomposition_anchor, direct_text)
 from .policies import IMMEDIATE_KIND, THRESHOLD_KIND, MaintenancePolicy
 from .router import SharedValidationRouter
 
@@ -129,10 +129,12 @@ class ViewRegistry:
     """
 
     def __init__(self, storage: StorageManager,
-                 operator_state: bool = True):
+                 operator_state: bool = True,
+                 modify_decomposition: bool = False):
         self.storage = storage
         self.engine = Engine(storage)
         self.router = SharedValidationRouter()
+        self.modify_decomposition = modify_decomposition
         self.state_store = (OperatorStateStore(storage)
                             if operator_state else None)
         self._views: dict[str, RegisteredView] = {}
@@ -292,6 +294,12 @@ class ViewRegistry:
             request = queue[index]
             index += 1
             report.updates += 1
+            # A kind/document boundary closes the pending run before this
+            # request's storage change applies (see RunBatcher.crosses).
+            if batcher.crosses(request.document, request.kind):
+                closed = batcher.close()
+                if closed is not None:
+                    self._dispatch(closed)
             started = time.perf_counter()
             if request.kind == INSERT:
                 key = apply_insert(storage, request)
@@ -318,11 +326,12 @@ class ViewRegistry:
                     continue
                 hitters = self.router.predicate_hitters(
                     request.document, result.tags, result.views)
-                if hitters:
-                    # One view's insufficiency decomposes the modify for
-                    # everyone: delete+insert of the outermost binding
-                    # fragment is a storage-equivalent rewrite every view
-                    # handles correctly through re-routing.
+                if hitters and self.modify_decomposition:
+                    # Legacy escape hatch: one view's insufficiency
+                    # decomposes the modify for everyone — delete+insert
+                    # of the outermost binding fragment is a
+                    # storage-equivalent rewrite every view handles
+                    # through re-routing.
                     anchor = self._outermost_anchor(hitters, request)
                     report.decomposed += 1
                     replacements = decompose_modify(storage, request,
@@ -331,15 +340,26 @@ class ViewRegistry:
                                                 - started)
                     queue[index:index] = replacements
                     continue
-                storage.replace_text(request.target, request.new_value)
-                tree = RoutedTree(request.document, request.target, MODIFY,
-                                  views=result.views)
+                if hitters:
+                    # First-class modify: the pair re-routes derivations
+                    # in-flight for the views that need it; views that
+                    # read the value as content get an equivalent
+                    # retract/assert re-derivation.
+                    old_value = direct_text(storage, request.target)
+                    storage.replace_text(request.target, request.new_value)
+                    tree = RoutedTree(request.document, request.target,
+                                      MODIFY, old_value=old_value,
+                                      new_value=request.new_value,
+                                      views=result.views)
+                else:
+                    storage.replace_text(request.target, request.new_value)
+                    tree = RoutedTree(request.document, request.target,
+                                      MODIFY, views=result.views)
             report.validate_seconds += time.perf_counter() - started
             if request.kind == INSERT and not result.views:
                 continue  # fragment stored; nothing propagates
             closed, accepted = batcher.push(tree)
-            if closed is not None:
-                self._dispatch(closed)
+            assert closed is None  # the boundary flush above closed it
             if accepted:
                 for name in tree.views:
                     view = self._views.get(name)

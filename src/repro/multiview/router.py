@@ -26,7 +26,8 @@ from typing import Optional
 
 from ..flexkeys import FlexKey
 from ..storage import StorageManager
-from ..updates.sapt import PREDICATE, _SUBTREE_USAGES, Sapt
+from ..updates.sapt import (PREDICATE, _SUBTREE_USAGES, Sapt,
+                            modify_hits_steps)
 
 
 @dataclass
@@ -137,10 +138,16 @@ class SharedValidationRouter:
     def predicate_hitters(self, document: str, tags: tuple[str, ...],
                           candidates: frozenset) -> set:
         """Which of ``candidates`` see a modify at ``tags`` as
-        insufficient (feeding a predicate), requiring decomposition."""
+        insufficient (feeding a predicate or sort key) — those views
+        need the first-class retract/assert pair (or, on the legacy
+        path, a decomposition).  Path matching shares
+        :func:`repro.updates.sapt.modify_hits_steps` with the
+        single-view check, so the two classifiers cannot drift.
+        """
         hitters = set(self._predicate_wildcard.get(document, ())
                       ) & candidates
         for entry in self._index.get(document, ()):
-            if entry.steps == tags:
+            if entry.predicate_views and modify_hits_steps(entry.steps,
+                                                           tags):
                 hitters |= entry.predicate_views & candidates
         return hitters

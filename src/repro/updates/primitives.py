@@ -78,12 +78,29 @@ class UpdateRequest:
 
 @dataclass
 class UpdateTree:
-    """A validated update root: the unit the Propagate phase consumes."""
+    """A validated update root: the unit the Propagate phase consumes.
+
+    A *first-class modify* tree carries the replaced text as an
+    ``(old_value, new_value)`` pair: the Propagate phase then emits a
+    paired retraction (old value, count -1) and assertion (new value,
+    count +1) through the operator stack instead of a content refresh —
+    the treatment value changes need when they feed predicates, join
+    keys or sort keys (re-routing a derivation is not expressible as a
+    count-neutral refresh).  Sufficient modifies leave the pair unset
+    and propagate as refreshes, as before.
+    """
 
     document: str
     root: FlexKey
     kind: str
+    old_value: Optional[str] = None
+    new_value: Optional[str] = None
 
     @property
     def sign(self) -> int:
         return {INSERT: 1, DELETE: -1, MODIFY: 0}[self.kind]
+
+    @property
+    def has_pair(self) -> bool:
+        """Whether this is a first-class modify (retract/assert pair)."""
+        return self.kind == MODIFY and self.old_value is not None

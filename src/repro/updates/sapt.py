@@ -9,11 +9,14 @@ with how it is used (``binding`` for unnests, ``value`` for collections,
   path (is a prefix of one, equals one, or extends one) — irrelevant
   updates are applied to storage but never propagated (Section 5.2.1).
 * A modify update is **insufficient** when its target path feeds a
-  predicate (join/selection): replacing such a value can re-route tuples,
-  which a content-refresh cannot express.  The validator then *decomposes*
-  it into delete + insert of the nearest enclosing binding fragment
-  (Section 5.2.2's "annotate with missing information", realized against
-  the stored source).
+  predicate (join/selection/sort key): replacing such a value can
+  re-route tuples, which a content-refresh cannot express.  The
+  validator then turns it into a *first-class modify* — the update tree
+  carries the ``(old, new)`` text pair and propagates as a paired
+  retraction+assertion (Section 5.2.2's "annotate with missing
+  information", carried in-flight instead of decomposed into delete +
+  reinsert of the enclosing binding fragment; the legacy decomposition
+  remains behind ``modify_decomposition=True``).
 """
 
 from __future__ import annotations
@@ -174,8 +177,10 @@ class Sapt:
 
     def modify_hits_predicate_tags(self, document: str,
                                    tags: tuple[str, ...]) -> bool:
+        """True when replacing the *direct text* of the element at
+        ``tags`` changes a value some predicate/sort key reads."""
         for steps in self.predicate_paths(document):
-            if steps == tags:
+            if modify_hits_steps(steps, tags):
                 return True
         for access in self.paths.get(document, []):
             if access.has_descendant and PREDICATE in access.usages:
@@ -193,6 +198,25 @@ class Sapt:
                 return key
             key = storage.parent_key(key)
         return None
+
+
+def modify_hits_steps(steps: tuple[str, ...],
+                      tags: tuple[str, ...]) -> bool:
+    """Whether a text replace at the element path ``tags`` feeds the
+    recorded predicate access path ``steps``.
+
+    The one normalization rule shared by the single-view SAPT check and
+    the multi-view router: a path ending in ``text()`` reads exactly the
+    direct text of its element (strip the value step and compare element
+    paths); a path ending in ``@attr`` can never be hit (modifies replace
+    text, not attributes); an element-valued path compares by subtree
+    text, which the element's own direct text feeds.
+    """
+    if steps and steps[-1].startswith("@"):
+        return False
+    if steps and steps[-1] == "text()":
+        steps = steps[:-1]
+    return steps == tags
 
 
 def tag_path(storage: StorageManager, key: FlexKey) -> tuple[str, ...]:

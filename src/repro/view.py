@@ -50,7 +50,8 @@ class MaterializedXQueryView:
     def __init__(self, storage: StorageManager,
                  query: Union[str, XatOperator],
                  validate_updates: bool = True,
-                 operator_state: bool = True):
+                 operator_state: bool = True,
+                 modify_decomposition: bool = False):
         self.storage = storage
         self.engine = Engine(storage)
         if isinstance(query, str):
@@ -60,9 +61,9 @@ class MaterializedXQueryView:
             self.query_text = None
             plan = query
         extra = {} if operator_state else {"state_store": None}
-        self._pipeline = ViewPipeline(self.engine, plan,
-                                      validate_updates=validate_updates,
-                                      **extra)
+        self._pipeline = ViewPipeline(
+            self.engine, plan, validate_updates=validate_updates,
+            modify_decomposition=modify_decomposition, **extra)
 
     # -- pipeline state (kept as attributes for API compatibility) -----------------------
 
@@ -81,6 +82,16 @@ class MaterializedXQueryView:
     @validate_updates.setter
     def validate_updates(self, value: bool) -> None:
         self._pipeline.validate_updates = value
+
+    @property
+    def modify_decomposition(self) -> bool:
+        """Whether insufficient modifies use the legacy delete+reinsert
+        decomposition instead of first-class modify pairs."""
+        return self._pipeline.modify_decomposition
+
+    @modify_decomposition.setter
+    def modify_decomposition(self, value: bool) -> None:
+        self._pipeline.modify_decomposition = value
 
     @property
     def extent(self) -> Optional[ExtentNode]:

@@ -145,6 +145,19 @@ where $p/@id = $c/seller/@person
 return <sale><by>{$p/name}</by>{$c/date}</sale>
 }</result>"""
 
+#: Aggregate-per-group view: person head-count per city (Section 7.6's
+#: counting aggregates under the Chapter 9 grouping shape) — the city
+#: text feeds distinct-values, order by and the correlated predicate,
+#: so city modifies exercise first-class pairs through AggState.
+CITY_HEADCOUNT_QUERY = """<result>{
+for $c in distinct-values(doc("site.xml")/site/people/person/address/city)
+order by $c
+return <city-stat name="{$c}">{count(
+ for $p in doc("site.xml")/site/people/person
+ where $c = $p/address/city
+ return $p/name)}</city-stat>
+}</result>"""
+
 
 def new_person_xml(index: int, city: str = "Worcester",
                    age: int = 50) -> str:

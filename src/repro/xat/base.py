@@ -25,6 +25,7 @@ modify       full       full
 
 from __future__ import annotations
 
+import copy as _copy
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -51,14 +52,27 @@ class PlanError(RuntimeError):
 
 @dataclass(frozen=True)
 class DeltaRoot:
-    """One update root inside the batch update tree: a key plus its type."""
+    """One update root inside the batch update tree: a key plus its type.
+
+    A *first-class modify* root additionally carries the replaced text as
+    an ``(old_value, new_value)`` pair; delta navigation then emits a
+    paired retraction (old value, count -1) and assertion (new value,
+    count +1) instead of a count-neutral refresh.  Sufficient modifies
+    (values that feed no predicate/sort key) leave the pair unset.
+    """
 
     key: FlexKey
     kind: str  # INSERT / DELETE / MODIFY
+    old_value: Optional[str] = None
+    new_value: Optional[str] = None
 
     @property
     def sign(self) -> int:
         return _SIGNS[self.kind]
+
+    @property
+    def has_pair(self) -> bool:
+        return self.kind == MODIFY and self.old_value is not None
 
 
 @dataclass
@@ -90,6 +104,73 @@ class DeltaSpec:
             if root.key == bare or root.key.is_ancestor_of(bare):
                 return root.sign
         raise PlanError(f"{key} is not at/below an update root")
+
+    # -- first-class modify pairs -------------------------------------------------------
+
+    @property
+    def has_pairs(self) -> bool:
+        """Whether any root of this batch is a first-class modify."""
+        return self.phase == MODIFY and any(r.has_pair for r in self.roots)
+
+    def modify_pair(self, key: FlexKey) -> Optional[tuple[str, str]]:
+        """The ``(old, new)`` text pair when ``key`` *is* a pair root.
+
+        Only an exact match counts: a modify replaces the direct text of
+        its target element, so the text of a proper descendant (or
+        ancestor-without-the-target's-text) is untouched.
+        """
+        bare = key.without_override()
+        for root in self.roots:
+            if root.has_pair and root.key == bare:
+                return (root.old_value, root.new_value)
+        return None
+
+    def pair_roots_below(self, key: FlexKey) -> list[DeltaRoot]:
+        """Pair roots at or below ``key`` (whose old text ``key`` saw)."""
+        bare = key.without_override()
+        return [root for root in self.roots
+                if root.has_pair
+                and (root.key == bare or bare.is_ancestor_of(root.key))]
+
+    def old_text(self, storage, key: FlexKey) -> Optional[str]:
+        """The *pre-batch* concatenated text of the node at ``key``.
+
+        ``None`` when no pair root sits at/below ``key`` — the node's
+        text is the same in both states and the caller needs no
+        override.  Otherwise the current subtree text is reconstructed
+        with each pair root's direct text replaced by its old value
+        (the modify primitive replaces exactly the target's direct text
+        children, so this substitution is the whole difference).
+        """
+        affected = self.pair_roots_below(key)
+        if not affected:
+            return None
+        pairs = {root.key.value: root.old_value for root in affected}
+        parts: list[str] = []
+        _old_text_walk(storage.node(key.without_override()), pairs, parts)
+        return "".join(parts)
+
+
+def _old_text_walk(node, pairs: dict, parts: list) -> None:
+    """Collect subtree text with pair roots' direct text replaced by the
+    recorded old values (document order; a pair element contributes its
+    old text where its text children sit today)."""
+    if node.is_text:
+        if node.value:
+            parts.append(node.value)
+        return
+    replaced = node.key.value in pairs if node.key is not None else False
+    emitted = False
+    for child in node.children:
+        if replaced and child.is_text:
+            if not emitted:
+                parts.append(pairs[node.key.value])
+                emitted = True
+            continue
+        _old_text_walk(child, pairs, parts)
+    if replaced and not emitted:
+        # The new text is empty (no text child): old text still counted.
+        parts.append(pairs[node.key.value])
 
 
 class Profiler:
@@ -275,10 +356,33 @@ def tuple_fingerprint(tup: XatTuple, columns) -> tuple:
     return tuple(parts)
 
 
+def _cached_item(item):
+    """An item normalized for residence in a cached FULL table: the
+    delta-only ``refresh`` flag is stripped (a flagged item persisted in
+    the cache would leak count-neutral fusion into later deltas that
+    read the cached row)."""
+    if not item.refresh:
+        return item
+    stripped = _copy.copy(item)
+    stripped.refresh = False
+    return stripped
+
+
+def _cached_cell(cell):
+    if cell is None:
+        return None
+    if isinstance(cell, list):
+        if any(item.refresh for item in cell):
+            return [_cached_item(item) for item in cell]
+        return cell
+    return _cached_item(cell)
+
+
 def cached_tuple(tup: XatTuple, count: Optional[int] = None) -> XatTuple:
     """A copy of a delta tuple normalized for residence in a cached FULL
-    table (delta-only annotations stripped)."""
-    return XatTuple(dict(tup.cells),
+    table (delta-only annotations stripped, on the tuple and its items)."""
+    return XatTuple({col: _cached_cell(cell)
+                     for col, cell in tup.cells.items()},
                     tup.count if count is None else count, False, False)
 
 

@@ -42,10 +42,17 @@ _OPS = {
 
 
 def item_value(item: Item, ctx) -> str:
-    """The comparison value of one item (node items take their text)."""
+    """The comparison value of one item (node items take their text).
+
+    A node item carrying a ``text_override`` (the retraction half of a
+    first-class modify pair) answers with the materialized pre-update
+    text instead of current storage.
+    """
     if isinstance(item, AtomicItem):
         return item.value
     if isinstance(item, NodeItem):
+        if item.text_override is not None:
+            return item.text_override
         if item.is_constructed:
             raise ValueError("cannot compare constructed nodes by value")
         return ctx.storage.text(item.key)

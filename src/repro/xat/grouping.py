@@ -26,7 +26,14 @@ AGG_FUNCTIONS = ("count", "sum", "avg", "min", "max")
 
 @dataclass
 class AggContrib:
-    """One group member's contribution: value, derivation count, refresh."""
+    """One group member's contribution: value, derivation count, refresh.
+
+    ``refresh`` marks a contribution whose *value* was (re-)derived this
+    round — a count-neutral content refresh, or the assertion half of a
+    first-class modify pair.  Counts are pure Z-arithmetic: a member is
+    alive while its derivation count is positive; the flag only controls
+    whether a merge adopts the carried value.
+    """
 
     value: float
     count: int
@@ -51,27 +58,39 @@ class AggState:
             refresh: bool = False) -> None:
         existing = self.contribs.get(member_id)
         if existing is None:
-            self.contribs[member_id] = AggContrib(value, count, refresh)
+            self.contribs[member_id] = AggContrib(value, count,
+                                                  refresh or count > 0)
             return
         existing.count += count
-        if refresh:
+        if refresh or count > 0:
+            # An assertion (or content refresh) carries the member's
+            # current value: adopt it, and remember that this state
+            # re-derived the value so a later merge adopts it too —
+            # even when a retract/assert pair nets the count to zero
+            # (the member stays alive in the merged state, its value
+            # moves).
             existing.value = value
-            if existing.count <= 0:
-                existing.count = 1
+            existing.refresh = True
 
     def merge(self, other: "AggState") -> "AggState":
         merged = AggState(self.kind,
                           {k: AggContrib(c.value, c.count)
                            for k, c in self.contribs.items()})
         for member_id, contrib in other.contribs.items():
-            if contrib.refresh:
-                existing = merged.contribs.get(member_id)
-                if existing is None:
-                    merged.contribs[member_id] = AggContrib(contrib.value, 1)
-                else:
-                    existing.value = contrib.value
+            existing = merged.contribs.get(member_id)
+            if existing is None:
+                if contrib.count > 0:
+                    merged.contribs[member_id] = AggContrib(contrib.value,
+                                                            contrib.count)
+                elif contrib.refresh:
+                    # value-only re-derivation of a member this state
+                    # never saw: keep it alive with one derivation
+                    merged.contribs[member_id] = AggContrib(contrib.value,
+                                                            1)
                 continue
-            merged.add(member_id, contrib.value, contrib.count)
+            existing.count += contrib.count
+            if contrib.refresh:
+                existing.value = contrib.value
         merged.contribs = {k: c for k, c in merged.contribs.items()
                            if c.count > 0}
         return merged
@@ -124,6 +143,11 @@ def compute_aggregate(kind: str, tuples: Sequence[XatTuple], col: str,
         for item in items_of(tup[col]):
             weight = tup.count * item.count
             refresh = tup.refresh or item.refresh
+            if refresh:
+                # A content refresh is count-neutral: it re-derives the
+                # member's value but adds no derivation (its tuple count
+                # of 1 is not a delta).
+                weight = 0
             if weight == 0 and not refresh:
                 continue
             # count() aggregates nodes, whose text need not be numeric.
@@ -173,6 +197,80 @@ def merge_member_items(existing: Sequence[Item],
     return list(merged.values())
 
 
+def _resigned_item(item: Item, count: int, refresh: bool) -> Item:
+    """A copy of ``item`` carrying a merged count / refresh flag."""
+    if isinstance(item, NodeItem):
+        return NodeItem(item.key, count, refresh, item.skeleton,
+                        item.text_override)
+    assert isinstance(item, AtomicItem)
+    return AtomicItem(item.value, item.source_key, count, refresh,
+                      item.order_value, item.agg)
+
+
+def _merge_signed_items(combined: list[Item]) -> list[Item]:
+    """Collapse same-identity signed items to one net emission.
+
+    A delta pass may derive one member several times with signed counts
+    (the retract/assert halves of a first-class modify, plus the old-side
+    cross terms of the join expansion).  The Deep Union fuses a combine
+    list *sequentially*, so an interleaving whose running sum crosses
+    zero would remove the extent node mid-way and silently drop the
+    remaining retractions; netting per identity first makes the emission
+    order-free.  A pair netting to zero with a positive (new-state) half
+    becomes a count-neutral content refresh — the derivation survives,
+    its content is re-derived.
+    """
+    def identity(item: Item) -> tuple:
+        # The full emission identity: value/key fingerprint *plus* the
+        # order token — value-equal items at different positions are
+        # distinct result members and must not net against each other.
+        return (item_fingerprint(item), item.order_token())
+
+    seen: set = set()
+    duplicated = False
+    for item in combined:
+        if item.refresh:
+            continue
+        fingerprint = identity(item)
+        if fingerprint in seen:
+            duplicated = True
+            break
+        seen.add(fingerprint)
+    if not duplicated:
+        return combined
+    out: list = []
+    buckets: dict = {}
+    for item in combined:
+        if item.refresh:
+            out.append(item)
+            continue
+        fingerprint = identity(item)
+        bucket = buckets.get(fingerprint)
+        if bucket is None:
+            buckets[fingerprint] = bucket = [item]
+            out.append(bucket)
+        else:
+            bucket.append(item)
+    result: list[Item] = []
+    for entry in out:
+        if not isinstance(entry, list):
+            result.append(entry)
+            continue
+        if len(entry) == 1:
+            result.append(entry[0])
+            continue
+        net = sum(item.count for item in entry)
+        positive = next((item for item in reversed(entry)
+                         if item.count > 0), None)
+        if net == 0:
+            if positive is not None:
+                result.append(_resigned_item(positive, 1, True))
+            continue
+        representative = positive if positive is not None else entry[0]
+        result.append(_resigned_item(representative, net, False))
+    return result
+
+
 def assign_overriding_orders(tuples: Sequence[XatTuple], col: str,
                              order_schema: Sequence[str],
                              ctx: ExecutionContext) -> list[Item]:
@@ -204,7 +302,7 @@ def assign_overriding_orders(tuples: Sequence[XatTuple], col: str,
                     new_item = _annotated(
                         item, FlexKey(COMPOSE_SEP.join(tokens)), tup)
                 combined.append(new_item)
-        return combined
+        return _merge_signed_items(combined)
 
 
 def _annotated(item: Item, override: Optional[FlexKey],
@@ -321,32 +419,51 @@ class GroupBy(XatOperator):
         table = XatTable(self.schema)
         for key in order:
             members = groups[key]
-            count = sum(t.count for t in members)
-            refresh = any(t.refresh for t in members)
-            cells: dict = {}
-            for col in self.schema.columns:
-                if col == self._result_col():
-                    continue
-                value = members[0][col]
-                if value is None:
-                    for member in members[1:]:
-                        if member[col] is not None:
-                            value = member[col]
-                            break
-                cells[col] = value
-            if self.combine_col is not None:
-                cells[self.combine_col] = assign_overriding_orders(
-                    members, self.combine_col,
-                    source.schema.order_schema, ctx)
-            else:
-                kind, in_col, out_col = self.agg
-                state = compute_aggregate(kind, members, in_col, ctx)
-                cells[out_col] = AtomicItem(state.value(), agg=state)
-            if count == 0 and not refresh and self.combine_col is not None \
-                    and not cells[self.combine_col]:
+            # A delta group may mix count-carrying members (retractions,
+            # assertions, signed re-derivations) with count-neutral
+            # refresh members.  One merged tuple cannot express both —
+            # downstream, a refresh node fuses count-neutrally and would
+            # swallow the counts (and an aggregate cell would conflate
+            # value re-derivations with derivation-count deltas) — so
+            # the two parts emit separately: the signed part first, the
+            # content refresh after it.
+            refreshers = [t for t in members if t.refresh]
+            counted = [t for t in members if not t.refresh]
+            if refreshers and counted:
+                self._emit_group(table, counted, source, ctx)
+                self._emit_group(table, refreshers, source, ctx)
                 continue
-            table.append(XatTuple(cells, count, refresh))
+            self._emit_group(table, members, source, ctx)
         return table
+
+    def _emit_group(self, table: XatTable, members, source, ctx) -> None:
+        count = sum(t.count for t in members)
+        refresh = any(t.refresh for t in members)
+        eras = {t.era for t in members}
+        era = eras.pop() if len(eras) == 1 else None
+        cells: dict = {}
+        for col in self.schema.columns:
+            if col == self._result_col():
+                continue
+            value = members[0][col]
+            if value is None:
+                for member in members[1:]:
+                    if member[col] is not None:
+                        value = member[col]
+                        break
+            cells[col] = value
+        if self.combine_col is not None:
+            cells[self.combine_col] = assign_overriding_orders(
+                members, self.combine_col,
+                source.schema.order_schema, ctx)
+        else:
+            kind, in_col, out_col = self.agg
+            state = compute_aggregate(kind, members, in_col, ctx)
+            cells[out_col] = AtomicItem(state.value(), agg=state)
+        if count == 0 and not refresh and self.combine_col is not None \
+                and not cells[self.combine_col]:
+            return
+        table.append(XatTuple(cells, count, refresh, era=era))
 
     # Persistent count state (Section 7.6): cached group tuples merge by
     # group key; aggregate cells merge per-member contribution state,

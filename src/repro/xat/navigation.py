@@ -210,6 +210,66 @@ def _value_items(ctx: ExecutionContext, element_key: FlexKey,
             for child in node.children if child.is_text]
 
 
+def _pair_variants(ctx: ExecutionContext, key: FlexKey,
+                   value_steps: tuple[Step, ...]):
+    """``(old_items, new_items)`` when the cell produced at ``key`` reads
+    a value that a first-class modify of this batch changed, else None.
+
+    The two item lists carry the same *identity* (semantic ids, grouping
+    and order resolve from keys/values exactly as the old and new
+    derivations would) but the old list answers value reads with the
+    pre-update text — the retraction half of the pair must be routed by
+    the predicates/sort keys the way the original derivation was.
+    """
+    spec = ctx.delta
+    if (ctx.mode != DELTA or spec is None or spec.phase != "modify"
+            or not spec.has_pairs):
+        return None
+    if value_steps:
+        if value_steps[0].is_attribute:
+            return None  # modifies replace text, never attributes
+        pair = spec.modify_pair(key)
+        if pair is None:
+            return None
+        old_value, _new_value = pair
+        return ([AtomicItem(old_value, source_key=key)],
+                _value_items(ctx, key, value_steps))
+    old_text = spec.old_text(ctx.storage, key)
+    if old_text is None:
+        return None
+    return ([NodeItem(key, text_override=old_text)], [NodeItem(key)])
+
+
+def _emit_pair(table: XatTable, tup: XatTuple, out_col: str, variants,
+               count: int) -> int:
+    """Emit a first-class modify pair for one navigated tuple.
+
+    An era-neutral tuple splits into a retraction (old items, negated
+    count) followed by an assertion (new items, positive count); a tuple
+    that already is one half of a pair extends with the matching era's
+    items only.  Pair halves never carry ``refresh`` — the assertion is
+    a complete re-derivation, which subsumes any content refresh the
+    walk accumulated.
+    """
+    old_items, new_items = variants
+    produced = 0
+    if tup.era is not None:
+        for item in (old_items if tup.era == "old" else new_items):
+            table.append(tup.extended(out_col, item, count=count,
+                                      refresh=False, touched=True))
+            produced += 1
+        return produced
+    for item in old_items:
+        table.append(tup.extended(out_col, item, count=-count,
+                                  refresh=False, touched=True, era="old"))
+        produced += 1
+    for item in new_items:
+        table.append(tup.extended(out_col, item, count=count,
+                                  refresh=False, touched=True, era="new"))
+        produced += 1
+    return produced
+
+
 class NavigateUnnest(XatOperator):
     """``phi_{col,path} -> col'``: navigate then unnest (one output tuple
     per reached node/value)."""
@@ -259,6 +319,14 @@ class NavigateUnnest(XatOperator):
         table = XatTable(self.schema)
         element_steps = self.path.element_steps()
         value_steps = self.path.value_steps()
+        # A text modify can change neither attributes nor binding
+        # multiplicities, so an attribute-valued unnest is inert under a
+        # modify batch: crossing/stopping near a modify root must not mark
+        # refresh (a spurious group-level refresh would swallow the
+        # count-carrying halves of first-class pairs downstream).
+        attr_inert = (ctx.mode == DELTA and ctx.delta is not None
+                      and ctx.delta.phase == "modify" and value_steps
+                      and value_steps[0].is_attribute)
         for tup in source:
             for entry in items_of(tup[self.col]):
                 if not isinstance(entry, NodeItem):
@@ -295,6 +363,9 @@ class NavigateUnnest(XatOperator):
                     is_first = False
                 produced = 0
                 for key, mult, refresh, status in frontier:
+                    if attr_inert:
+                        refresh = False
+                        status = None
                     # A tuple is pinned to the delta when this navigation's
                     # final node relates to an update root, or when the
                     # tuple already was.  In delta mode, unpinned tuples are
@@ -304,6 +375,11 @@ class NavigateUnnest(XatOperator):
                                or status is not None
                                or entry_status == _AT)
                     if ctx.mode == DELTA and not touched:
+                        continue
+                    variants = _pair_variants(ctx, key, value_steps)
+                    if variants is not None:
+                        produced += _emit_pair(table, tup, self.out,
+                                               variants, tup.count * mult)
                         continue
                     if value_steps:
                         for item in _value_items(ctx, key, value_steps):
@@ -355,21 +431,55 @@ class NavigateCollection(XatOperator):
         context[self.out] = ContextSpec(order=in_spec.order, lineage=lineage)
         return TableSchema(columns, base.order_schema, context)
 
+    def _member_variants(self, ctx: ExecutionContext, key: FlexKey,
+                         items: list[Item], value_steps
+                         ) -> tuple[list[Item], list[Item], bool]:
+        """One final member's ``(old_items, new_items, changed)``.
+
+        Inserted members exist only in the new state, deleted members
+        only in the old one (the deferred-delete discipline keeps them
+        readable during propagation); a member whose text a first-class
+        modify changed appears in both states but the old variant reads
+        the pre-update value.  An unchanged member is shared.
+        """
+        spec = ctx.delta
+        cls = _classify(ctx, key)
+        if spec.phase == "insert" and cls == _AT:
+            return [], items, True
+        if spec.phase == "delete" and cls == _AT:
+            return items, [], True
+        if spec.phase == "modify" and spec.has_pairs:
+            if value_steps:
+                if not value_steps[0].is_attribute:
+                    pair = spec.modify_pair(key)
+                    if pair is not None:
+                        return ([AtomicItem(pair[0], source_key=key)],
+                                items, True)
+            else:
+                old_text = spec.old_text(ctx.storage, key)
+                if old_text is not None:
+                    return ([NodeItem(key, text_override=old_text)],
+                            items, True)
+        return items, items, False
+
     def execute(self, ctx: ExecutionContext) -> XatTable:
         source = ctx.evaluate(self.inputs[0])
         table = XatTable(self.schema)
         element_steps = self.path.element_steps()
         value_steps = self.path.value_steps()
+        delta_mode = ctx.mode == DELTA and ctx.delta is not None
         for tup in source:
-            collected: list[Item] = []
-            mult = 1
+            collected: list[Item] = []   # current-state members
+            old_members: list[Item] = []  # pre-batch members
+            new_members: list[Item] = []  # post-batch members
+            changed = False
             refresh = False
             for entry in items_of(tup[self.col]):
                 if not isinstance(entry, NodeItem):
                     continue
                 entry_key = entry.key.without_override()
                 entry_status = _classify(ctx, entry_key) \
-                    if ctx.mode == DELTA else None
+                    if delta_mode else None
                 frontier = [entry_key]
                 is_first = ctx.storage.is_document_root(entry_key)
                 for index, step in enumerate(element_steps):
@@ -388,12 +498,46 @@ class NavigateCollection(XatOperator):
                     frontier = next_frontier
                     is_first = False
                 for key in frontier:
-                    if value_steps:
-                        collected.extend(_value_items(ctx, key, value_steps))
-                    else:
-                        collected.append(NodeItem(key))
+                    items = (_value_items(ctx, key, value_steps)
+                             if value_steps else [NodeItem(key)])
+                    collected.extend(items)
+                    if not delta_mode:
+                        continue
+                    if entry_status == _AT:
+                        # The whole tuple is inside an update root: its
+                        # cells read one state (the sign was applied at
+                        # the unnest crossing), never a pair.
+                        old_members.extend(items)
+                        new_members.extend(items)
+                        continue
+                    olds, news, member_changed = self._member_variants(
+                        ctx, key, items, value_steps)
+                    old_members.extend(olds)
+                    new_members.extend(news)
+                    changed = changed or member_changed
+            if delta_mode and tup.era is not None:
+                # One half of an upstream pair: extend with the matching
+                # state's members (the count already carries the sign).
+                members = old_members if tup.era == "old" else new_members
+                table.append(tup.extended(self.out, members,
+                                          count=tup.count, refresh=False,
+                                          touched=True))
+                continue
+            if delta_mode and changed:
+                # The cell's content differs between the two states: a
+                # count-neutral refresh cannot re-route derivations that
+                # join/group/sort on this cell, so the tuple becomes a
+                # first-class retract/assert pair (Section 5.2.2 handled
+                # in-flight instead of by delete+reinsert decomposition).
+                table.append(tup.extended(self.out, old_members,
+                                          count=-tup.count, refresh=False,
+                                          touched=True, era="old"))
+                table.append(tup.extended(self.out, new_members,
+                                          count=tup.count, refresh=False,
+                                          touched=True, era="new"))
+                continue
             table.append(tup.extended(self.out, collected,
-                                      count=tup.count * mult,
+                                      count=tup.count,
                                       refresh=tup.refresh or refresh))
         return table
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..flexkeys import FlexKey, compose_values
-from .base import DELTA, ExecutionContext, PlanError, XatOperator
+from .base import DELTA, MODIFY, ExecutionContext, PlanError, XatOperator
 from .conditions import Comparison, Condition, conjuncts, item_value
 from .table import (AtomicItem, ContextSpec, NodeItem, TableSchema, XatTable,
                     XatTuple, items_of, single_item)
@@ -47,8 +47,7 @@ class TransientSideHandle:
         if self._index is None:
             self._index = {}
             for tup in self.table():
-                tup_key = _hash_key(tup, self.cols, self._ctx)
-                if tup_key is not None:
+                for tup_key in _hash_keys(tup, self.cols, self._ctx):
                     self._index.setdefault(tup_key, []).append(tup)
         return self._index.get(key, [])
 
@@ -63,6 +62,83 @@ def side_handle(ctx: ExecutionContext, op: XatOperator, mode: str,
         if handle is not None:
             return handle
     return TransientSideHandle(ctx, op, mode, cols)
+
+
+class DiffSideHandle:
+    """The *pre-batch* state of a join side under a modify batch.
+
+    Insert/delete phases realize the old/new side state by mode (ANTI
+    excludes the update roots); a modify batch changes no membership, so
+    the old state is the current FULL table minus the side's own delta —
+    the Z-semantics bag difference.  Negating the retract/assert pairs
+    restores exactly the old rows: the negated retraction (+count, old
+    values) is the row the old derivation joined on, the negated
+    assertion (-count, new values) cancels the post-update row the FULL
+    table already holds.
+    """
+
+    def __init__(self, base, delta_tuples: list, cols, ctx):
+        self._base = base
+        self._delta = delta_tuples
+        self._ctx = ctx
+        self.cols = cols
+        self._index = None
+        self._table = None
+        # id(delta tuple) -> its one negated copy: consumers dedupe
+        # probe results by tuple identity, so a row probed under several
+        # keys of a multi-item cell must come back as the same object.
+        self._negations: dict[int, XatTuple] = {}
+
+    def _negated(self, tup: XatTuple) -> XatTuple:
+        marker = id(tup)
+        negated = self._negations.get(marker)
+        if negated is None:
+            negated = XatTuple(tup.cells, -tup.count, tup.refresh,
+                               tup.touched, tup.era)
+            self._negations[marker] = negated
+        return negated
+
+    def probe(self, key) -> list:
+        if key is None:
+            return []
+        if self._index is None:
+            self._index = {}
+            for tup in self._delta:
+                for tup_key in _hash_keys(tup, self.cols, self._ctx):
+                    self._index.setdefault(tup_key, []).append(tup)
+        matches = list(self._base.probe(key))
+        matches.extend(self._negated(t) for t in self._index.get(key, ()))
+        return matches
+
+    def table(self) -> XatTable:
+        if self._table is None:
+            base = self._base.table()
+            self._table = XatTable(base.schema,
+                                   list(base.tuples)
+                                   + [self._negated(t)
+                                      for t in self._delta])
+        return self._table
+
+
+def old_side_handle(ctx: ExecutionContext, op: XatOperator, mode: str,
+                    cols):
+    """A handle realizing the pre-batch state of a join side.
+
+    For insert/delete phases ``mode`` (``ctx.mode_for_old``) already
+    does; under a modify batch the membership is unchanged and the old
+    state is FULL minus the side's own count-carrying delta (the
+    first-class retract/assert pairs).  Sides without such a delta —
+    untouched documents, refresh-only modifies — fall through to the
+    plain handle.
+    """
+    handle = side_handle(ctx, op, mode, cols)
+    if (ctx.delta is not None and ctx.delta.phase == MODIFY
+            and ctx.delta.document in op.source_documents()):
+        delta = ctx.evaluate(op, DELTA)
+        counted = [t for t in delta.tuples if t.count and not t.refresh]
+        if counted:
+            return DiffSideHandle(handle, counted, cols, ctx)
+    return handle
 
 
 class Select(XatOperator):
@@ -125,7 +201,8 @@ class Rename(XatOperator):
         for tup in source:
             cells = {(self.out if c == self.col else c): v
                      for c, v in tup.cells.items()}
-            table.append(XatTuple(cells, tup.count, tup.refresh))
+            table.append(XatTuple(cells, tup.count, tup.refresh,
+                                  tup.touched, tup.era))
         return table
 
 
@@ -196,12 +273,11 @@ class _BinaryJoinBase(XatOperator):
             lcols, rcols = equi
             index: dict[tuple, list[XatTuple]] = {}
             for rt in right:
-                key = _hash_key(rt, rcols, ctx)
-                if key is not None:
+                for key in _hash_keys(rt, rcols, ctx):
                     index.setdefault(key, []).append(rt)
             for lt in left:
-                key = _hash_key(lt, lcols, ctx)
-                yield lt, index.get(key, []) if key is not None else []
+                yield lt, _probe_union(lambda key: index.get(key, ()),
+                                       _hash_keys(lt, lcols, ctx))
         else:
             for lt in left:
                 matches = []
@@ -235,8 +311,11 @@ class _BinaryJoinBase(XatOperator):
             if doc in self.inputs[1].source_documents():
                 rdelta = ctx.evaluate(self.inputs[1], DELTA)
                 if rdelta.tuples:
-                    other = side_handle(ctx, self.inputs[0],
-                                        ctx.mode_for_old, lcols)
+                    # A_old: under a modify batch the mode alone cannot
+                    # realize the pre-update state — the diff handle
+                    # subtracts the left side's own retract/assert pairs.
+                    other = old_side_handle(ctx, self.inputs[0],
+                                            ctx.mode_for_old, lcols)
                     self._combine_delta(table, ctx, rdelta, rcols, other,
                                         delta_side="right")
             return table
@@ -254,9 +333,15 @@ class _BinaryJoinBase(XatOperator):
 
     def _delta_matches(self, ctx: ExecutionContext, dt: XatTuple,
                        delta_cols, other) -> list[XatTuple]:
-        """Tuples of the non-delta side matching one delta tuple."""
+        """Tuples of the non-delta side matching one delta tuple.
+
+        Multi-item key cells probe once per distinct item value
+        (existential semantics); a side tuple matching on several values
+        still matches once.
+        """
         if delta_cols is not None:
-            return other.probe(_hash_key(dt, delta_cols, ctx))
+            return _probe_union(other.probe,
+                                _hash_keys(dt, delta_cols, ctx))
         matches = []
         for ot in other.table():
             merged = dt.merged(ot)
@@ -276,14 +361,54 @@ class _BinaryJoinBase(XatOperator):
                              else ot.merged(dt))
 
 
-def _hash_key(tup: XatTuple, cols: Sequence[str], ctx) -> Optional[tuple]:
-    values = []
+def _hash_keys(tup: XatTuple, cols: Sequence[str], ctx) -> list[tuple]:
+    """Every equi-key a tuple hashes under (existential semantics).
+
+    A single-item key cell contributes its one value; a multi-item cell
+    contributes one key per *distinct* item value — the tuple is
+    indexed/probed once per value it could match on, which realizes
+    XPath's existential comparison for collection-valued keys (and is
+    what lets maintenance retract pairs whose key cells change arity).
+    An empty key cell hashes nowhere.
+    """
+    per_col: list[list[str]] = []
     for col in cols:
         items = items_of(tup[col])
-        if len(items) != 1:
-            return None  # fall back to existential semantics: no hash entry
-        values.append(item_value(items[0], ctx))
-    return tuple(values)
+        if not items:
+            return []
+        if len(items) == 1:
+            per_col.append([item_value(items[0], ctx)])
+            continue
+        seen: set[str] = set()
+        values: list[str] = []
+        for item in items:
+            value = item_value(item, ctx)
+            if value not in seen:
+                seen.add(value)
+                values.append(value)
+        per_col.append(values)
+    keys: list[tuple] = [()]
+    for values in per_col:
+        keys = [key + (value,) for key in keys for value in values]
+    return keys
+
+
+def _probe_union(probe, keys: list) -> list:
+    """Union of per-key probe results over a tuple's keys, deduplicated
+    by tuple identity (a side tuple matching on several of a multi-item
+    cell's values still matches once).  ``probe`` maps one key to its
+    bucket — an index lookup or a side handle's probe.
+    """
+    if len(keys) == 1:
+        return list(probe(keys[0]))
+    seen: set[int] = set()
+    matches: list = []
+    for key in keys:
+        for tup in probe(key):
+            if id(tup) not in seen:
+                seen.add(id(tup))
+                matches.append(tup)
+    return matches
 
 
 class CartesianProduct(_BinaryJoinBase):
@@ -323,37 +448,93 @@ class LeftOuterJoin(_BinaryJoinBase):
     symbol = "loj"
     anti_projectable = False  # dangling tuples break coverage filtering
 
+    def _handle_has_match(self, ctx, tup, cols, handle) -> bool:
+        """Whether ``tup`` matches anything in a side handle's state.
+
+        With negated diff rows in play (modify phase), matching is by
+        *net count*: a row present only as a cancelled pair (+c and -c)
+        is no match.
+        """
+        if cols is not None:
+            return sum(ot.count
+                       for ot in _probe_union(handle.probe,
+                                              _hash_keys(tup, cols, ctx))
+                       ) != 0
+        total = 0
+        for _lt, matches in self._match_pairs(ctx, _single_table(tup),
+                                              handle.table()):
+            total += sum(ot.count for ot in matches)
+        return total != 0
+
     def _combine_delta(self, table, ctx, delta, delta_cols, other,
                        delta_side):
+        equi = self._equi_key_columns()
+        modify = ctx.delta.phase == "modify"
         if delta_side == "left":
-            # Plain LOJ semantics over (ΔA, B_new).
+            # Inner term over (ΔA, B_new) with LOJ null-padding.  Under a
+            # modify batch every count-carrying ΔA row pads against the
+            # *old* right state — δ·[dangling_old]; together with the
+            # right-delta correction c_new·([dangling_new] -
+            # [dangling_old]) this sums to the exact pad delta
+            # c_new·[dangling_new] - c_old·[dangling_old] (a new row's
+            # vacuous old-dangling pad cancels against its own
+            # correction inside the group sum).
+            rcols = equi[1] if equi is not None else None
+            old_check = None
             for dt in delta:
                 matches = self._delta_matches(ctx, dt, delta_cols, other)
-                if matches:
-                    for ot in matches:
-                        table.append(dt.merged(ot))
-                else:
+                for ot in matches:
+                    table.append(dt.merged(ot))
+                if not modify or dt.refresh:
+                    if not matches:
+                        table.append(self._null_padded(dt, dt.count))
+                    continue
+                if old_check is None:
+                    old_check = old_side_handle(
+                        ctx, self.inputs[1], ctx.mode_for_old, rcols)
+                if not self._handle_has_match(ctx, dt, delta_cols,
+                                              old_check):
                     table.append(self._null_padded(dt, dt.count))
             return
         # Inner join of old-left with the delta, plus corrections that
         # retract (inserts) or restore (deletes) null-padded results for
         # left tuples whose dangling status flips (Fig 7.3).
-        equi = self._equi_key_columns()
         lcols = equi[0] if equi is not None else None
         matched_lefts: dict[int, XatTuple] = {}
         for dt in delta:
             for lt in self._delta_matches(ctx, dt, delta_cols, other):
                 table.append(lt.merged(dt))
                 matched_lefts.setdefault(id(lt), lt)
-        if not matched_lefts or ctx.delta.phase == "modify":
+        if not matched_lefts:
+            return
+        rcols = equi[1] if equi is not None else None
+        if modify:
+            # A first-class modify can flip dangling status both ways:
+            # compare each touched left row against the right side's old
+            # (diffed) and new (current) states.
+            if not ctx.delta.has_pairs:
+                return  # refresh-only modify: no re-routing possible
+            new_check = side_handle(ctx, self.inputs[1], ctx.mode_for_new,
+                                    rcols)
+            old_check = old_side_handle(ctx, self.inputs[1],
+                                        ctx.mode_for_old, rcols)
+            for lt in matched_lefts.values():
+                if lt.era is not None:
+                    continue  # synthetic diff row, not an extent left
+                has_new = self._handle_has_match(ctx, lt, lcols, new_check)
+                has_old = self._handle_has_match(ctx, lt, lcols, old_check)
+                if has_old and not has_new:
+                    table.append(self._null_padded(lt, lt.count))
+                elif has_new and not has_old:
+                    table.append(self._null_padded(lt, -lt.count))
             return
         check_mode = (ctx.mode_for_old if ctx.delta.phase == "insert"
                       else ctx.mode_for_new)
-        rcols = equi[1] if equi is not None else None
         check = side_handle(ctx, self.inputs[1], check_mode, rcols)
         for lt in matched_lefts.values():
             if lcols is not None:
-                has = bool(check.probe(_hash_key(lt, lcols, ctx)))
+                has = bool(_probe_union(check.probe,
+                                        _hash_keys(lt, lcols, ctx)))
             else:
                 has = self._has_match(ctx, lt, check.table())
             if has:
@@ -367,7 +548,7 @@ class LeftOuterJoin(_BinaryJoinBase):
         cells = dict(lt.cells)
         for col in self.inputs[1].schema.columns:
             cells[col] = None
-        return XatTuple(cells, count, lt.refresh, lt.touched)
+        return XatTuple(cells, count, lt.refresh, lt.touched, lt.era)
 
     def _combine_into(self, table, ctx, left, right, delta_side):
         if delta_side == "right":
@@ -459,12 +640,14 @@ class Distinct(XatOperator):
             existing = groups.get(key)
             if existing is None:
                 fresh = XatTuple({self.col: tup[self.col]},
-                                 tup.count, tup.refresh)
+                                 tup.count, tup.refresh, era=tup.era)
                 groups[key] = fresh
                 order.append(key)
             else:
                 existing.count += tup.count
                 existing.refresh = existing.refresh or tup.refresh
+                if existing.era != tup.era:
+                    existing.era = None  # mixed pair halves: era unusable
         for key in order:
             tup = groups[key]
             if tup.count != 0 or tup.refresh:
@@ -557,7 +740,7 @@ class OrderBy(XatOperator):
                     token = self.sortable(item_value(item, ctx))
                     cells[col] = item.with_override(FlexKey(token))
             table.append(XatTuple(cells, tup.count, tup.refresh,
-                                  tup.touched))
+                                  tup.touched, tup.era))
         return table
 
     def describe(self) -> str:

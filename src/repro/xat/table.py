@@ -42,15 +42,23 @@ class NodeItem(Item):
 
     Constructed nodes carry their :class:`~repro.storage.Skeleton` directly
     (``skeleton`` is None for base nodes).
+
+    ``text_override`` materializes a *pre-update* text value on the item:
+    the retraction half of a first-class modify pair references the same
+    stored node (identity — semantic ids, grouping, order — is the key
+    and must match the extent), but every value read must see the text
+    the old derivation was routed by.  ``None`` (the default) reads
+    current storage.
     """
 
-    __slots__ = ("key", "skeleton")
+    __slots__ = ("key", "skeleton", "text_override")
 
     def __init__(self, key: FlexKey, count: int = 1, refresh: bool = False,
-                 skeleton=None):
+                 skeleton=None, text_override: Optional[str] = None):
         super().__init__(count, refresh)
         self.key = key
         self.skeleton = skeleton
+        self.text_override = text_override
 
     @property
     def is_constructed(self) -> bool:
@@ -58,7 +66,7 @@ class NodeItem(Item):
 
     def with_override(self, override: Optional[FlexKey]) -> "NodeItem":
         return NodeItem(self.key.with_override(override), self.count,
-                        self.refresh, self.skeleton)
+                        self.refresh, self.skeleton, self.text_override)
 
     def order_token(self) -> str:
         return order_of(self.key)
@@ -133,17 +141,24 @@ class XatTuple:
     (some navigation reached a node at/below/above an update root); unnest
     chains drop untouched tuples so an unrelated branch of a self-join
     contributes an empty delta, not its full table.
+
+    ``era`` marks the halves of a first-class modify pair while the delta
+    flows through the plan: ``"old"`` is the retraction (reads pre-update
+    values, count < 0), ``"new"`` the assertion.  ``None`` everywhere
+    else; downstream navigations use it to resolve the matching state of
+    cells they add to the tuple.
     """
 
-    __slots__ = ("cells", "count", "refresh", "touched")
+    __slots__ = ("cells", "count", "refresh", "touched", "era")
 
     def __init__(self, cells: Optional[dict[str, CellValue]] = None,
                  count: int = 1, refresh: bool = False,
-                 touched: bool = False):
+                 touched: bool = False, era: Optional[str] = None):
         self.cells = cells if cells is not None else {}
         self.count = count
         self.refresh = refresh
         self.touched = touched
+        self.era = era
 
     def __getitem__(self, column: str) -> CellValue:
         return self.cells.get(column)
@@ -154,14 +169,16 @@ class XatTuple:
     def extended(self, column: str, value: CellValue,
                  count: Optional[int] = None,
                  refresh: Optional[bool] = None,
-                 touched: Optional[bool] = None) -> "XatTuple":
+                 touched: Optional[bool] = None,
+                 era: Optional[str] = None) -> "XatTuple":
         """A shallow copy with one extra/overwritten cell."""
         cells = dict(self.cells)
         cells[column] = value
         return XatTuple(cells,
                         self.count if count is None else count,
                         self.refresh if refresh is None else refresh,
-                        self.touched if touched is None else touched)
+                        self.touched if touched is None else touched,
+                        self.era if era is None else era)
 
     def merged(self, other: "XatTuple") -> "XatTuple":
         """Concatenation of two tuples (join output); counts multiply."""
@@ -169,11 +186,12 @@ class XatTuple:
         cells.update(other.cells)
         return XatTuple(cells, self.count * other.count,
                         self.refresh or other.refresh,
-                        self.touched or other.touched)
+                        self.touched or other.touched,
+                        self.era or other.era)
 
     def projected(self, columns: Iterable[str]) -> "XatTuple":
         return XatTuple({c: self.cells.get(c) for c in columns},
-                        self.count, self.refresh, self.touched)
+                        self.count, self.refresh, self.touched, self.era)
 
     def __repr__(self) -> str:
         flags = "" if self.count == 1 and not self.refresh else (

@@ -16,6 +16,12 @@ Covers the three primitives of Fig 1.3:
 allowed in update targets (they are evaluated directly against storage,
 unlike query predicates).  Evaluation turns the statement into concrete
 :class:`~repro.updates.UpdateRequest` objects against a storage manager.
+
+A ``replace`` statement resolves to a modify request; downstream, the
+Validate phase classifies it per view — irrelevant (storage only),
+sufficient (content refresh) or first-class (the replaced text travels
+as a retract/assert pair when it feeds predicates or sort keys; see
+:mod:`repro.updates.sapt`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,260 @@
+"""First-class modify pairs: the retract/assert treatment of
+insufficient modifies and the multi-item equi-key semantics.
+
+Pinned regressions for the two divergences recorded in ROADMAP.md before
+this change:
+
+* city-text modifies through ``distinct-values`` + ``order by``
+  (``ORDER_QUERY_2`` / ``PERSONS_BY_CITY_QUERY``) lost or duplicated a
+  group under the delete+reinsert decomposition — 25-person site, seed 1
+  mixed streams diverged around step 12-18;
+* multi-item join-key collections (a second ``<city>`` under an address,
+  nested same-tag person inserts) left stale maintained pairs because
+  ``_hash_key`` skipped multi-item cells.
+
+Both must now converge with the recompute oracle for >= 50 mixed steps,
+with the operator-state store enabled and disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MaterializedXQueryView, StorageManager, UpdateRequest
+from repro.updates.batch import RunBatcher, spec_for_run
+from repro.updates.primitives import UpdateTree
+from repro.workloads import xmark
+from repro.xat import DeltaSpec
+from repro.xat.base import DeltaRoot
+from repro.xat.table import AtomicItem, NodeItem, XatTuple
+
+from .helpers import assert_consistent, persons_of, run_differential
+
+#: the ROADMAP repro stream: mixed person churn plus city-text modifies
+CITY_MODIFY_MUTATORS = ("insert_person", "delete_person", "modify_city",
+                        "modify_name")
+
+#: the second repro: join-key collections growing/shrinking under churn
+MULTI_KEY_MUTATORS = ("insert_person", "insert_city",
+                      "insert_nested_person", "delete_person",
+                      "delete_auction")
+
+
+class TestPinnedRoadmapRepros:
+    """The exact divergences ROADMAP.md recorded, pinned at >= 50 steps."""
+
+    @pytest.mark.parametrize("operator_state", [True, False])
+    @pytest.mark.parametrize("query", [xmark.ORDER_QUERY_2,
+                                       xmark.PERSONS_BY_CITY_QUERY,
+                                       xmark.CITY_HEADCOUNT_QUERY],
+                             ids=["order-query-2", "persons-by-city",
+                                  "city-headcount"])
+    def test_city_modifies_converge(self, query, operator_state):
+        run_differential(1, 50, CITY_MODIFY_MUTATORS, query,
+                         num_persons=25, site_seed=1,
+                         operator_state=operator_state)
+
+    @pytest.mark.parametrize("operator_state", [True, False])
+    def test_multi_item_join_keys_converge(self, operator_state):
+        run_differential(3, 50, MULTI_KEY_MUTATORS,
+                         xmark.PERSONS_BY_CITY_QUERY,
+                         num_persons=15, site_seed=2,
+                         operator_state=operator_state)
+
+    def test_aggregate_group_moves_converge(self):
+        """A predicate-feeding modify that moves members between groups
+        must keep per-group aggregate state exact — including members
+        that moved into a group in an earlier round (the review-found
+        AggState regression, pinned deterministically)."""
+        from repro import XmlDocument
+
+        doc = ("<sales>"
+               "<sale><region>east</region><amount>10</amount></sale>"
+               "<sale><region>east</region><amount>20</amount></sale>"
+               "<sale><region>west</region><amount>30</amount></sale>"
+               "</sales>")
+        query = """<result>{
+        for $r in distinct-values(doc("sales.xml")/sales/sale/region)
+        order by $r
+        return <region name="{$r}">{sum(
+          for $s in doc("sales.xml")/sales/sale
+          where $r = $s/region
+          return $s/amount)}</region>
+        }</result>"""
+        for operator_state in (True, False):
+            storage = StorageManager()
+            storage.register(XmlDocument.from_string("sales.xml", doc))
+            view = MaterializedXQueryView(storage, query,
+                                          operator_state=operator_state)
+            view.materialize()
+            regions = storage.find_by_path(
+                "sales.xml", [("child", "sales"), ("child", "sale"),
+                              ("child", "region")])
+            amounts = storage.find_by_path(
+                "sales.xml", [("child", "sales"), ("child", "sale"),
+                              ("child", "amount")])
+            moves = [(regions[0], "west"), (regions[1], "north"),
+                     (regions[2], "east"), (amounts[0], "55"),
+                     (regions[0], "east"), (regions[2], "west")]
+            for target, value in moves:
+                view.apply_updates(
+                    [UpdateRequest.modify("sales.xml", target, value)])
+                assert_consistent(view)
+            view.close()
+
+    def test_selection_predicate_modifies_converge(self):
+        """Age modifies feed the selection predicate: first-class pairs
+        re-route rows through Select, not only through joins."""
+        storage = StorageManager()
+        xmark.register_site(storage, 12, seed=4)
+        view = MaterializedXQueryView(storage, xmark.SELECTION_QUERY)
+        view.materialize()
+        ages = storage.find_by_path(
+            "site.xml", [("child", "site"), ("child", "people"),
+                         ("child", "person"), ("child", "profile"),
+                         ("child", "age")])
+        for index, new_age in enumerate(["99", "12", "41", "40", "77"]):
+            view.apply_updates([UpdateRequest.modify(
+                "site.xml", ages[index % len(ages)], new_age)])
+            assert_consistent(view)
+
+
+class TestFirstClassVsLegacy:
+    """The two modify paths, differentially tested against each other on
+    a stream where both are correct (exposed-content modifies)."""
+
+    def test_name_modifies_identical_across_paths(self):
+        run_differential(7, 20, ("insert_person", "delete_person",
+                                 "modify_name"),
+                         xmark.PERSONS_BY_CITY_QUERY,
+                         num_persons=15,
+                         twin={"modify_decomposition": True})
+
+    def test_legacy_flag_still_decomposes(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 8, seed=3)
+        view = MaterializedXQueryView(storage, xmark.ORDER_QUERY_2,
+                                      modify_decomposition=True)
+        view.materialize()
+        city = storage.find_by_path(
+            "site.xml", [("child", "site"), ("child", "people"),
+                         ("child", "person"), ("child", "address"),
+                         ("child", "city")])[0]
+        report = view.apply_updates(
+            [UpdateRequest.modify("site.xml", city, "Montevideo")])
+        assert report.decomposed == 1
+
+
+class TestPairPlumbing:
+    """Unit coverage of the pair-carrying delta model."""
+
+    def _city(self, storage):
+        return storage.find_by_path(
+            "site.xml", [("child", "site"), ("child", "people"),
+                         ("child", "person"), ("child", "address"),
+                         ("child", "city")])[0]
+
+    def test_update_tree_pair(self):
+        from repro.flexkeys import FlexKey
+        tree = UpdateTree("site.xml", FlexKey("b.b"), "modify",
+                          old_value="Boston", new_value="Oslo")
+        assert tree.has_pair
+        assert UpdateTree("site.xml", FlexKey("b.b"), "modify").has_pair \
+            is False
+        spec = spec_for_run([tree])
+        assert spec.has_pairs
+        assert spec.modify_pair(FlexKey("b.b")) == ("Boston", "Oslo")
+        assert spec.modify_pair(FlexKey("b.d")) is None
+
+    def test_old_text_substitutes_pair_roots(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 3, seed=1)
+        city = self._city(storage)
+        old = storage.text(city)
+        address = storage.parent_key(city)
+        person = storage.parent_key(address)
+        old_person_text = storage.text(person)
+        storage.replace_text(city, "Elsewhere")
+        spec = DeltaSpec("site.xml",
+                         (DeltaRoot(city, "modify", old, "Elsewhere"),),
+                         "modify")
+        assert spec.old_text(storage, city) == old
+        # an ancestor's subtree text sees the substitution in place
+        assert spec.old_text(storage, person) == old_person_text
+        # a node with no pair root below reads as unchanged (None)
+        name = storage.children(person, "name")[0]
+        assert spec.old_text(storage, name) is None
+
+    def test_node_item_text_override_wins_value_reads(self):
+        from repro.xat.conditions import item_value
+        storage = StorageManager()
+        xmark.register_site(storage, 3, seed=1)
+        city = self._city(storage)
+
+        class Ctx:
+            pass
+
+        ctx = Ctx()
+        ctx.storage = storage
+        assert item_value(NodeItem(city), ctx) == storage.text(city)
+        assert item_value(NodeItem(city, text_override="Old"), ctx) == "Old"
+
+    def test_run_batcher_coalesces_same_root_modifies(self):
+        from repro.flexkeys import FlexKey
+        batcher = RunBatcher()
+        root = FlexKey("b.b.d")
+        batcher.push(UpdateTree("site.xml", root, "modify",
+                                old_value="A", new_value="B"))
+        closed, accepted = batcher.push(
+            UpdateTree("site.xml", root, "modify",
+                       old_value="B", new_value="C"))
+        assert closed is None and accepted is False
+        run = batcher.close()
+        assert len(run) == 1
+        assert (run[0].old_value, run[0].new_value) == ("A", "C")
+
+    def test_run_batcher_keeps_nested_modify_roots(self):
+        from repro.flexkeys import FlexKey
+        batcher = RunBatcher()
+        outer, inner = FlexKey("b.b"), FlexKey("b.b.d")
+        batcher.push(UpdateTree("site.xml", outer, "modify",
+                                old_value="x", new_value="y"))
+        _closed, accepted = batcher.push(
+            UpdateTree("site.xml", inner, "modify",
+                       old_value="p", new_value="q"))
+        assert accepted is True
+        assert len(batcher.close()) == 2
+
+
+class TestMultiItemHashKeys:
+    """Existential equi-key semantics for collection-valued key cells."""
+
+    def test_multi_item_cell_hashes_per_distinct_value(self):
+        from repro.xat.relational import _hash_keys
+        tup = XatTuple({"$k": [AtomicItem("a"), AtomicItem("b"),
+                               AtomicItem("a")]})
+        assert _hash_keys(tup, ["$k"], None) == [("a",), ("b",)]
+
+    def test_empty_cell_hashes_nowhere(self):
+        from repro.xat.relational import _hash_keys
+        assert _hash_keys(XatTuple({"$k": []}), ["$k"], None) == []
+
+    def test_second_city_joins_existentially(self):
+        """Growing a join-key collection must both create the new pairing
+        and keep the old one (the second ROADMAP item, deterministic)."""
+        storage = StorageManager()
+        xmark.register_site(storage, 6, seed=5)
+        view = MaterializedXQueryView(storage,
+                                      xmark.PERSONS_BY_CITY_QUERY)
+        view.materialize()
+        person = persons_of(storage)[0]
+        address = storage.children(person, "address")[0]
+        first_city = storage.text(storage.children(address, "city")[0])
+        other = next(c for c in xmark.CITIES if c != first_city)
+        view.apply_updates([UpdateRequest.insert(
+            "site.xml", address, f"<city>{other}</city>", "into")])
+        assert_consistent(view)
+        # ... and shrinking it retracts exactly the lost pairing
+        second = storage.children(address, "city")[1]
+        view.apply_updates([UpdateRequest.delete("site.xml", second)])
+        assert_consistent(view)

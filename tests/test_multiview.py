@@ -89,20 +89,43 @@ class TestInterleavedStream:
         assert report.decomposed == 0
         assert_all_consistent(registry)
 
-    def test_modify_stream_with_decomposition(self):
+    def test_predicate_modifies_first_class(self):
+        """Modifies that feed a predicate propagate as first-class
+        retract/assert pairs — nothing is decomposed."""
         storage, registry = standard_registry()
         ages = ages_of(storage)
         persons = persons_of(storage)
         updates = [
-            # age feeds the selection view's predicate -> decomposed
+            # age feeds the selection view's predicate
             UpdateRequest.modify("site.xml", ages[3], "77"),
             UpdateRequest.insert("site.xml", persons[-1],
                                  xmark.new_person_xml(5, age=50), "after"),
             UpdateRequest.modify("site.xml", ages[8], "12"),
         ]
         report = registry.apply_updates(updates)
-        assert report.decomposed == 2
+        assert report.decomposed == 0
         assert_all_consistent(registry)
+
+    def test_modify_stream_with_legacy_decomposition(self):
+        """The modify_decomposition escape hatch restores the
+        delete+reinsert treatment of Section 5.2.2."""
+        storage = multiview_storage()
+        with ViewRegistry(storage, modify_decomposition=True) as registry:
+            registry.register("seniors", xmark.SELECTION_QUERY)
+            registry.register("sales", xmark.JOIN_QUERY)
+            ages = ages_of(storage)
+            persons = persons_of(storage)
+            updates = [
+                # age feeds the selection view's predicate -> decomposed
+                UpdateRequest.modify("site.xml", ages[3], "77"),
+                UpdateRequest.insert("site.xml", persons[-1],
+                                     xmark.new_person_xml(5, age=50),
+                                     "after"),
+                UpdateRequest.modify("site.xml", ages[8], "12"),
+            ]
+            report = registry.apply_updates(updates)
+            assert report.decomposed == 2
+            assert_all_consistent(registry)
 
 
 class TestRouting:

@@ -21,7 +21,8 @@ from repro.xat import AtomicItem, GroupBy, NavigateUnnest, Path, Source, \
     XatTuple
 from repro.xat.grouping import compute_aggregate, merge_member_items
 
-from .helpers import assert_consistent, closed_auctions_of, persons_of
+from .helpers import (assert_consistent, closed_auctions_of, persons_of,
+                      random_batch, run_differential)
 
 
 def fresh_view(query: str, n: int = 30, operator_state: bool = True,
@@ -34,31 +35,21 @@ def fresh_view(query: str, n: int = 30, operator_state: bool = True,
     return storage, view
 
 
+#: the historical mixed-stream update space of this module, now expressed
+#: through the shared differential-harness mutators
+ORACLE_MUTATORS = ("insert_person", "insert_auction", "delete_person",
+                   "delete_auction", "modify_name")
+
+
 def random_update(rng: random.Random, storage: StorageManager,
                   step: int) -> UpdateRequest:
-    """One randomized insert / delete / modify against site.xml."""
-    persons = persons_of(storage)
-    auctions = closed_auctions_of(storage)
-    roll = rng.random()
-    if roll < 0.25:
-        return UpdateRequest.insert(
-            "site.xml", rng.choice(persons),
-            xmark.new_person_xml(1000 + step,
-                                 city=rng.choice(xmark.CITIES)), "after")
-    if roll < 0.45:
-        return UpdateRequest.insert(
-            "site.xml", rng.choice(auctions),
-            xmark.new_closed_auction_xml(step, f"person{step % 20}"),
-            "after")
-    if roll < 0.6 and len(persons) > 8:
-        return UpdateRequest.delete("site.xml", rng.choice(persons))
-    if roll < 0.75 and len(auctions) > 5:
-        return UpdateRequest.delete("site.xml", rng.choice(auctions))
-    names = storage.find_by_path(
-        "site.xml", [("child", "site"), ("child", "people"),
-                     ("child", "person"), ("child", "name")])
-    return UpdateRequest.modify("site.xml", rng.choice(names),
-                                f"Renamed {step}")
+    """One randomized insert / delete / modify against site.xml (a
+    single-update batch drawn from the shared mutator pool)."""
+    while True:
+        batch = random_batch(rng, storage, step, ORACLE_MUTATORS,
+                             max_size=1)
+        if batch:
+            return batch[0]
 
 
 MAINTAINED_QUERIES = [("join", xmark.JOIN_QUERY),
@@ -66,25 +57,19 @@ MAINTAINED_QUERIES = [("join", xmark.JOIN_QUERY),
 
 
 class TestRandomizedOracle:
-    """Maintained extent == recompute_xml() under mixed random streams."""
+    """Maintained extent == recompute_xml() under mixed random streams
+    (driven through the shared :func:`tests.helpers.run_differential`
+    harness)."""
 
     @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
     def test_single_updates(self, name, query):
-        rng = random.Random(101)
-        storage, view = fresh_view(query)
-        for step in range(30):
-            view.apply_updates([random_update(rng, storage, step)])
-            assert_consistent(view)
+        run_differential(101, 30, ORACLE_MUTATORS, query,
+                         num_persons=30, site_seed=42, batch_max=1)
 
     @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
     def test_batched_updates(self, name, query):
-        rng = random.Random(202)
-        storage, view = fresh_view(query)
-        for step in range(10):
-            batch = [random_update(rng, storage, step * 10 + i)
-                     for i in range(rng.randrange(1, 5))]
-            view.apply_updates(batch)
-            assert_consistent(view)
+        run_differential(202, 10, ORACLE_MUTATORS, query,
+                         num_persons=30, site_seed=42, batch_max=4)
 
     @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
     def test_forced_invalidation(self, name, query):
@@ -102,16 +87,10 @@ class TestRandomizedOracle:
     @pytest.mark.parametrize("name,query", MAINTAINED_QUERIES)
     def test_matches_stateless_maintenance(self, name, query):
         """Store on vs store off: byte-identical maintained extents."""
-        rng_a, rng_b = random.Random(404), random.Random(404)
-        storage_a, with_store = fresh_view(query, operator_state=True)
-        storage_b, without = fresh_view(query, operator_state=False)
-        assert with_store.state_store is not None
-        assert without.state_store is None
-        for step in range(15):
-            with_store.apply_updates(
-                [random_update(rng_a, storage_a, step)])
-            without.apply_updates([random_update(rng_b, storage_b, step)])
-            assert with_store.to_xml() == without.to_xml()
+        run_differential(404, 15, ORACLE_MUTATORS, query,
+                         num_persons=30, site_seed=42, batch_max=1,
+                         operator_state=True,
+                         twin={"operator_state": False})
 
 
 class TestStoreActivity:
@@ -207,8 +186,8 @@ class TestCacheLiveness:
         rng = random.Random(606)
         storage, view = fresh_view(xmark.JOIN_QUERY)
         for step in range(25):
-            batch = [random_update(rng, storage, step * 30 + i)
-                     for i in range(rng.randrange(1, 4))]
+            batch = random_batch(rng, storage, step, ORACLE_MUTATORS,
+                                 max_size=3)
             view.apply_updates(batch)
             assert_consistent(view)
             assert_no_dead_keys(view)

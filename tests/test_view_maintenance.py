@@ -6,7 +6,7 @@ extent must serialize identically (content and order) to recomputation.
 
 import pytest
 
-from repro import UpdateRequest
+from repro import MaterializedXQueryView, StorageManager, UpdateRequest
 from repro.workloads import xmark
 
 from .helpers import (assert_consistent, closed_auctions_of, persons_of,
@@ -174,9 +174,30 @@ class TestModifySemantics:
         if "Renamed Person" in view.to_xml():
             assert report.decomposed == 0
 
-    def test_modify_join_key_decomposes(self):
+    def test_modify_join_key_first_class(self):
+        """A join-key modify propagates as one retract/assert pair — the
+        group moves, nothing is decomposed into delete+reinsert."""
         storage, view = site_view(xmark.PERSONS_BY_CITY_QUERY,
                                   num_persons=10)
+        persons = persons_of(storage)
+        address = storage.children(persons[0], "address")[0]
+        city = storage.children(address, "city")[0]
+        report = view.apply_updates(
+            [UpdateRequest.modify("site.xml", city, "Montevideo")])
+        assert report.decomposed == 0
+        assert report.accepted == 1
+        assert 'name="Montevideo"' in view.to_xml()
+        assert_consistent(view)
+
+    def test_modify_join_key_legacy_decomposition(self):
+        """modify_decomposition=True restores the Section 5.2.2
+        delete+reinsert treatment for one release."""
+        storage = StorageManager()
+        xmark.register_site(storage, 10, seed=42)
+        view = MaterializedXQueryView(storage,
+                                      xmark.PERSONS_BY_CITY_QUERY,
+                                      modify_decomposition=True)
+        view.materialize()
         persons = persons_of(storage)
         address = storage.children(persons[0], "address")[0]
         city = storage.children(address, "city")[0]
