@@ -21,11 +21,13 @@ walk-based unindexed fallbacks — and emits one machine-readable
   grows, and both extents must match the recomputation oracle
   (``join_maintenance.ok`` in the JSON gates CI);
 * **modify_heavy**: modify-dominated batches of predicate-feeding city
-  modifies through the persons-by-city view — first-class retract/assert
-  pairs vs the legacy delete+reinsert decomposition
-  (``modify_decomposition=True``); the gate (``modify_heavy.ok``)
-  requires the first-class extent to match the recompute oracle at every
-  scale and its per-batch cost to stay no worse than the legacy path;
+  modifies through the persons-by-city view — the incremental path
+  (first-class retract/assert pairs, cost model pinned to never
+  recompute) vs the full-recomputation fallback (cost model pinned to
+  always recompute); the gate (``modify_heavy.ok``) requires both
+  extents to match the recompute oracle at every scale and the
+  incremental per-batch cost to stay no worse than recomputation at
+  document sizes large enough to judge;
 * **update_overhead**: the honest cost of index upkeep — raw
   insert+delete batches against indexed vs unindexed storage;
 * **api_overhead**: the cost of the :class:`repro.api.Database` facade —
@@ -36,7 +38,14 @@ walk-based unindexed fallbacks — and emits one machine-readable
   *or* under 100 microseconds of absolute cost per statement — the
   operator-state store collapsed per-batch maintenance to O(batch), so
   the ratio now compares the facade against near-constant work and the
-  absolute per-statement bound is the stable claim.
+  absolute per-statement bound is the stable claim.  The observability
+  layer (``repro.obs``) runs in its shipping, *enabled* state here — the
+  gate covers the instrumented engine, not a stripped one;
+* **observability_overhead**: the instrumentation tax in isolation —
+  the same facade workload with the metrics/tracing layer enabled vs
+  force-disabled (``repro.obs.set_enabled(False)``), pair-timed like the
+  facade comparison.  Informational (the gated claim is ``api_overhead``
+  with instrumentation on); the target is the ≤2% always-on budget.
 
 Every navigation scenario also diffs the two paths' results; the suite
 refuses to report a speedup for answers that disagree
@@ -44,7 +53,10 @@ refuses to report a speedup for answers that disagree
 
 Run ``python benchmarks/bench_perf_suite.py`` (with ``PYTHONPATH=src``)
 from the repo root; ``--scales 20,40`` shrinks the sweep for CI smoke
-runs and ``--json PATH`` redirects the output file.
+runs, ``--json PATH`` redirects the output file, and
+``--metrics-json PATH`` additionally dumps the ``Database.metrics()``
+snapshot collected during the observability run (the CI metrics-smoke
+artifact).
 """
 
 from __future__ import annotations
@@ -62,7 +74,22 @@ from bench_common import (fresh_site, materialized_view, ms, persons,
 from repro import (CostModel, MaterializedXQueryView, UpdateRequest,
                    ViewRegistry)
 from repro.api import Database
+from repro.obs import set_enabled
 from repro.xmlmodel import parse_fragment
+
+
+class _NeverRecompute(CostModel):
+    """Pin a view to the incremental path regardless of observations."""
+
+    def should_recompute(self, trees: int) -> bool:
+        return False
+
+
+class _AlwaysRecompute(CostModel):
+    """Pin a view to full recomputation at every flush."""
+
+    def should_recompute(self, trees: int) -> bool:
+        return True
 
 #: Descendant-heavy location paths (the fig 9.2-style navigation load).
 NAV_DESCENDANT_PATHS = [
@@ -304,24 +331,25 @@ def join_maintenance_gate(series: list[dict]) -> dict:
 
 MODIFY_HEAVY_BATCH = 6
 
-#: first-class per-batch cost must stay no worse than the legacy
-#: delete+reinsert decomposition (min-of-N timings; the margin observed
-#: on the sweep is large, so the gate tolerates no regression)
+#: the incremental per-batch cost must stay no worse than full
+#: recomputation (min-of-N timings); only judged at document sizes
+#: where a batch outruns sub-ms timer jitter
 MODIFY_HEAVY_TARGET = 1.0
+MODIFY_HEAVY_JUDGE_SCALE = 100
 
 
 def measure_modify_heavy(scale_list, repeat: int) -> list[dict]:
-    """Modify-dominated batches: first-class pairs vs legacy decomposition.
+    """Modify-dominated batches: incremental pairs vs full recomputation.
 
     One measured unit is a batch of ``MODIFY_HEAVY_BATCH`` city-text
     modifies — each feeds ``distinct-values``/``order by`` and the
-    persons-by-city join condition, so every one is an *insufficient*
-    modify.  The first-class path propagates retract/assert pairs; the
-    legacy path (``modify_decomposition=True``) deep-copies and
-    delete+reinserts each enclosing person fragment.  Cities rotate per
-    round so every batch genuinely moves groups.  Both extents are
-    checked against the recompute oracle after the timed rounds
-    (first-class consistency gates CI; the legacy result is recorded).
+    persons-by-city grouping, so every one is an *insufficient* modify
+    that travels as a first-class retract/assert pair.  The incremental
+    arm pins the cost model to never recompute; the oracle arm pins it
+    to always recompute — the fallback the incremental path must beat.
+    Cities rotate per round so every batch genuinely moves groups.  Both
+    extents are checked against the recomputation oracle after the
+    timed rounds.
     """
     city_path = [("child", "site"), ("child", "people"),
                  ("child", "person"), ("child", "address"),
@@ -329,12 +357,12 @@ def measure_modify_heavy(scale_list, repeat: int) -> list[dict]:
     series = []
     for n in scale_list:
         entry = {"persons": n, "batch": MODIFY_HEAVY_BATCH}
-        for label, legacy in (("first_class", False), ("legacy", True)):
+        for label, model in (("incremental", _NeverRecompute),
+                             ("recompute", _AlwaysRecompute)):
             storage = fresh_site(n)
-            view = MaterializedXQueryView(
-                storage, xmark.PERSONS_BY_CITY_QUERY,
-                modify_decomposition=legacy)
-            view.materialize()
+            registry = ViewRegistry(storage)
+            registry.register("by-city", xmark.PERSONS_BY_CITY_QUERY,
+                              cost_model=model())
             targets = storage.find_by_path(
                 "site.xml", city_path)[:MODIFY_HEAVY_BATCH]
 
@@ -344,37 +372,48 @@ def measure_modify_heavy(scale_list, repeat: int) -> list[dict]:
                     xmark.CITIES[(round_index + i) % len(xmark.CITIES)])
                     for i, key in enumerate(targets)]
 
-            view.apply_updates(modify_batch(0))   # warm-up
+            registry.apply_updates(modify_batch(0))   # warm-up
             best = float("inf")
             for round_index in range(1, max(repeat * 2, 6)):
                 batch = modify_batch(round_index)
                 started = time.perf_counter()
-                view.apply_updates(batch)
+                registry.apply_updates(batch)
                 best = min(best, time.perf_counter() - started)
             entry[f"{label}_seconds"] = best
-            entry[f"{label}_consistent"] = (view.to_xml()
-                                            == view.recompute_xml())
-            view.close()
-        # A zero legacy measurement would be a broken timer; inf keeps
-        # the gate comparison and the table printable — and failing.
-        entry["ratio"] = (entry["first_class_seconds"]
-                          / entry["legacy_seconds"]
-                          if entry["legacy_seconds"] > 0 else float("inf"))
+            entry[f"{label}_consistent"] = (
+                registry.to_xml("by-city")
+                == registry.recompute_xml("by-city"))
+            registry.close()
+        # A zero recompute measurement would be a broken timer; inf
+        # keeps the gate comparison and the table printable — and
+        # failing.
+        entry["ratio"] = (entry["incremental_seconds"]
+                          / entry["recompute_seconds"]
+                          if entry["recompute_seconds"] > 0
+                          else float("inf"))
         series.append(entry)
     return series
 
 
 def modify_heavy_gate(series: list[dict]) -> dict:
-    """CI gate: the first-class path must match the oracle at every
-    scale and cost no more per batch than the legacy decomposition."""
-    consistency = all(entry["first_class_consistent"] for entry in series)
-    worst_ratio = max(entry["ratio"] for entry in series)
+    """CI gate: both arms must match the oracle at every scale, and the
+    incremental path must cost no more per batch than recomputation at
+    every judged document size.  Smoke sweeps below the judge scale have
+    batches in the timer-jitter regime: consistency alone gates there
+    (``worst_ratio`` is then null)."""
+    consistency = all(entry["incremental_consistent"]
+                      and entry["recompute_consistent"]
+                      for entry in series)
+    judged = [entry["ratio"] for entry in series
+              if entry["persons"] >= MODIFY_HEAVY_JUDGE_SCALE]
+    worst_ratio = max(judged) if judged else None
+    ok = consistency and (worst_ratio is None
+                          or worst_ratio <= MODIFY_HEAVY_TARGET)
     return {"worst_ratio": worst_ratio,
             "target": MODIFY_HEAVY_TARGET,
+            "judge_scale": MODIFY_HEAVY_JUDGE_SCALE,
             "consistency_ok": consistency,
-            "legacy_consistent": all(entry["legacy_consistent"]
-                                     for entry in series),
-            "ok": consistency and worst_ratio <= MODIFY_HEAVY_TARGET}
+            "ok": ok}
 
 
 def measure_update_overhead(scale_list, repeat: int) -> list[dict]:
@@ -417,11 +456,6 @@ def measure_api_overhead(scale_list, repeat: int) -> list[dict]:
     the series.  Views are pinned to the incremental path (a
     never-recompute cost model) so both sides do identical maintenance
     work and the measured delta is the facade alone."""
-
-    class _NeverRecompute(CostModel):
-        def should_recompute(self, trees: int) -> bool:
-            return False
-
     fragments = [xmark.new_person_xml(9000 + i, age=70)
                  for i in range(API_BATCH)]
     views = [("seniors", xmark.SELECTION_QUERY),
@@ -508,11 +542,89 @@ def measure_api_overhead(scale_list, repeat: int) -> list[dict]:
     return series
 
 
+#: always-on instrumentation budget (informational; the gated claim is
+#: ``api_overhead``, which already runs with the layer enabled)
+OBS_OVERHEAD_TARGET = 0.02
+
+
+def measure_observability(num_persons: int, repeat: int
+                          ) -> tuple[dict, dict]:
+    """The instrumentation tax in isolation: one facade workload, the
+    metrics/tracing layer enabled (the shipping default — counters
+    mirrored, histograms observed, no trace sink attached) vs
+    force-disabled through ``repro.obs.set_enabled(False)``.
+
+    Timed in adjacent enabled/disabled pairs with alternating order and
+    the cyclic GC paused, exactly like the facade comparison, because
+    the expected delta (a few percent at most) is smaller than host
+    drift.  Returns the series entry and the ``Database.metrics()``
+    snapshot collected at the end of the enabled run — the payload the
+    ``--metrics-json`` flag persists for the CI metrics-smoke artifact.
+    """
+    n = num_persons
+    fragments = [xmark.new_person_xml(9500 + i, age=70)
+                 for i in range(API_BATCH)]
+    db = Database(storage=fresh_site(n))
+    for view_name, query in [("seniors", xmark.SELECTION_QUERY),
+                             ("sales", xmark.JOIN_QUERY)]:
+        db.create_view(view_name, query, cost_model=_NeverRecompute())
+
+    def work():
+        with db.batch():
+            for fragment in fragments:
+                db.update("site.xml") \
+                    .at(f"/site/people/person[{n}]") \
+                    .insert(fragment, position="after")
+        with db.batch():
+            for i in range(API_BATCH):
+                db.update("site.xml") \
+                    .at(f"/site/people/person[{n + 1 + i}]").delete()
+
+    def timed(flag: bool) -> float:
+        previous = set_enabled(flag)
+        try:
+            return time_call(work, repeat=1)
+        finally:
+            set_enabled(previous)
+
+    work()   # warm caches outside the timed pairs
+    pairs = max(repeat * 5, 15)
+    enabled_times, disabled_times, ratios = [], [], []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for index in range(pairs):
+            if index % 2:
+                off = timed(False)
+                on = timed(True)
+            else:
+                on = timed(True)
+                off = timed(False)
+            enabled_times.append(on)
+            disabled_times.append(off)
+            ratios.append(on / off)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    snapshot = db.metrics()
+    db.close()
+    entry = {"persons": n, "batch": API_BATCH,
+             "enabled_seconds": statistics.median(enabled_times),
+             "disabled_seconds": statistics.median(disabled_times),
+             "overhead": statistics.median(ratios) - 1.0}
+    return entry, snapshot
+
+
 def run_suite(scale_list, repeat: int = 3) -> dict:
-    # The facade comparison runs first: its paired ratios are the most
-    # noise-sensitive measurement in the suite, and the document sweeps
-    # below leave a large heap behind that skews small-unit timings.
+    # The facade and instrumentation comparisons run first: their paired
+    # ratios are the most noise-sensitive measurements in the suite, and
+    # the document sweeps below leave a large heap behind that skews
+    # small-unit timings.
     api_series = measure_api_overhead(scale_list, repeat)
+    obs_scale = max([n for n in scale_list if n >= 100]
+                    or [max(scale_list)])
+    obs_entry, metrics_snapshot = measure_observability(obs_scale, repeat)
     join_series = measure_join_maintenance(scale_list, repeat)
     modify_series = measure_modify_heavy(scale_list, repeat)
     nav_desc, ok_desc = measure_navigation(
@@ -538,8 +650,8 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
                   "persistent vs cold",
          "series": join_series},
         {"name": "modify_heavy",
-         "style": "first-class modify pairs vs legacy delete+reinsert "
-                  "decomposition, modify-dominated batches",
+         "style": "incremental first-class modify pairs vs full "
+                  "recomputation, modify-dominated batches",
          "series": modify_series},
         {"name": "update_overhead",
          "style": "index upkeep: raw insert+delete batch",
@@ -548,6 +660,10 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
          "style": "session facade: Database.batch vs direct "
                   "ViewRegistry.apply_updates",
          "series": api_series},
+        {"name": "observability_overhead",
+         "style": "instrumentation tax: repro.obs enabled vs "
+                  "set_enabled(False), same facade workload",
+         "series": [obs_entry]},
     ]
     headline = nav_desc[-1]
     max_overhead = max(entry["overhead"] for entry in api_series)
@@ -581,6 +697,18 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
                                 < API_STATEMENT_OVERHEAD_TARGET)},
         "join_maintenance": join_gate,
         "modify_heavy": modify_gate,
+        "observability": {
+            "instrumentation_enabled": True,
+            "target": OBS_OVERHEAD_TARGET,
+            "overhead": obs_entry["overhead"],
+            "within_target": obs_entry["overhead"] < OBS_OVERHEAD_TARGET,
+            "note": "api_overhead is measured and gated with the "
+                    "repro.obs metrics/tracing layer in its shipping "
+                    "(enabled) state; 'overhead' is the same workload "
+                    "enabled vs repro.obs.set_enabled(False), "
+                    "informational only",
+        },
+        "_metrics_snapshot": metrics_snapshot,
     }
 
 
@@ -612,15 +740,27 @@ def print_suite(result: dict) -> None:
         if scenario["name"] == "modify_heavy":
             for entry in scenario["series"]:
                 rows.append([entry["persons"],
-                             ms(entry["first_class_seconds"]),
-                             ms(entry["legacy_seconds"]),
+                             ms(entry["incremental_seconds"]),
+                             ms(entry["recompute_seconds"]),
                              f"{entry['ratio']:6.2f}x",
-                             "ok" if entry["first_class_consistent"]
+                             "ok" if (entry["incremental_consistent"]
+                                      and entry["recompute_consistent"])
                              else "MISMATCH"])
             print_table(
                 f"Perf suite: {scenario['name']} — {scenario['style']}",
-                ["scale", "first-class (ms)", "legacy (ms)", "ratio",
+                ["scale", "incremental (ms)", "recompute (ms)", "ratio",
                  "consistency"], rows)
+            continue
+        if scenario["name"] == "observability_overhead":
+            for entry in scenario["series"]:
+                rows.append([entry["persons"],
+                             ms(entry["enabled_seconds"]),
+                             ms(entry["disabled_seconds"]),
+                             f"{entry['overhead'] * 100:6.2f}%"])
+            print_table(
+                f"Perf suite: {scenario['name']} — {scenario['style']}",
+                ["scale", "enabled (ms)", "disabled (ms)", "overhead"],
+                rows)
             continue
         for entry in scenario["series"]:
             label = entry.get("tag") or (
@@ -650,11 +790,17 @@ def print_suite(result: dict) -> None:
           f"document sweep ({target_txt}) — "
           f"{'ok' if join['ok'] else 'SUPERLINEAR OR INCONSISTENT'}")
     modify = result["modify_heavy"]
-    print(f"modify_heavy: first-class per-batch cost at worst "
-          f"{modify['worst_ratio']:.2f}x of the legacy decomposition "
-          f"(target <= {modify['target']:.1f}x), first-class "
+    ratio_txt = ("consistency only (sweep below judge scale)"
+                 if modify["worst_ratio"] is None
+                 else f"at worst {modify['worst_ratio']:.2f}x of full "
+                      f"recomputation (target <= {modify['target']:.1f}x)")
+    print(f"modify_heavy: incremental per-batch cost {ratio_txt}, "
           f"consistency {'ok' if modify['consistency_ok'] else 'BROKEN'}"
           f" — {'ok' if modify['ok'] else 'OVER TARGET OR INCONSISTENT'}")
+    obs = result["observability"]
+    print(f"observability: instrumentation enabled throughout; enabled "
+          f"vs disabled overhead {obs['overhead'] * 100:.2f}% "
+          f"(informational target < {obs['target'] * 100:.0f}%)")
 
 
 def main(argv=None) -> dict:
@@ -665,15 +811,24 @@ def main(argv=None) -> dict:
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--json", default="BENCH_perf_suite.json",
                         metavar="PATH")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="also dump the Database.metrics() snapshot "
+                             "from the observability run (CI artifact)")
     args = parser.parse_args(argv)
     scale_list = ([int(part) for part in args.scales.split(",") if part]
                   if args.scales else scales())
     result = run_suite(scale_list, repeat=args.repeat)
+    metrics_snapshot = result.pop("_metrics_snapshot")
     print_suite(result)
     with open(args.json, "w") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")
     print(f"[results saved to {args.json}]")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(metrics_snapshot, handle, indent=2)
+            handle.write("\n")
+        print(f"[metrics snapshot saved to {args.metrics_json}]")
     return result
 
 
@@ -700,28 +855,50 @@ def test_indexed_descendant_navigation_faster():
 
 def test_suite_emits_valid_json(tmp_path):
     path = tmp_path / "perf_suite.json"
-    main(["--scales", "10,20", "--repeat", "1", "--json", str(path)])
+    metrics_path = tmp_path / "metrics.json"
+    main(["--scales", "10,20", "--repeat", "1", "--json", str(path),
+          "--metrics-json", str(metrics_path)])
     loaded = json.loads(path.read_text())
     assert loaded["suite"] == "perf_suite"
     assert loaded["consistency_ok"] is True
     assert {s["name"] for s in loaded["scenarios"]} >= {
         "navigation_descendant", "selectivity", "view_maintenance_insert",
-        "join_maintenance", "modify_heavy", "api_overhead"}
+        "join_maintenance", "modify_heavy", "api_overhead",
+        "observability_overhead"}
     for scenario in loaded["scenarios"]:
         assert scenario["series"], scenario["name"]
     assert "max_overhead" in loaded["api_overhead"]
     assert loaded["join_maintenance"]["consistency_ok"] is True
     assert loaded["modify_heavy"]["consistency_ok"] is True
+    assert loaded["observability"]["instrumentation_enabled"] is True
+    assert "_metrics_snapshot" not in loaded
+    # the CI artifact: a live engine metrics snapshot from the suite run
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["db_statements"]["values"][""] > 0
+    assert "view=seniors" in metrics["view_flushes"]["values"]
 
 
-def test_modify_heavy_first_class_wins_and_is_consistent():
+def test_modify_heavy_incremental_consistent():
     series = measure_modify_heavy([30], repeat=1)
     entry = series[0]
-    assert entry["first_class_consistent"] is True
-    assert entry["first_class_seconds"] > 0
+    assert entry["incremental_consistent"] is True
+    assert entry["recompute_consistent"] is True
+    assert entry["incremental_seconds"] > 0
     gate = modify_heavy_gate(series)
     assert gate["consistency_ok"] is True
+    # 30 persons sits below the judge scale: consistency alone carries
+    # the gate and no jittery sub-ms ratio is judged.
+    assert gate["worst_ratio"] is None
     assert gate["ok"] is True, gate
+
+
+def test_observability_overhead_measures_and_snapshots():
+    entry, snapshot = measure_observability(20, repeat=1)
+    assert entry["enabled_seconds"] > 0
+    assert entry["disabled_seconds"] > 0
+    json.dumps(snapshot)
+    assert snapshot["db_statements"]["values"][""] > 0
+    assert "view=sales" in snapshot["view_flushes"]["values"]
 
 
 def test_join_maintenance_consistent_and_sane():

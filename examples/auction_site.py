@@ -49,14 +49,14 @@ def main() -> None:
           f"{report.total_seconds * 1000:.2f} ms)")
     assert view.to_xml() == view.recompute_xml()
 
-    # -- someone moves: a modify on the join path decomposes --------------------
+    # -- someone moves: a join-path modify travels as a retract/assert pair -----
     mover = person_keys(storage)[0]
     address = storage.children(mover, "address")[0]
     city = storage.children(address, "city")[0]
     report = view.apply_updates([UpdateRequest.modify(
         "site.xml", city, "Reykjavik")])
-    print(f"~ person moved to Reykjavik: validated as delete+insert "
-          f"(decomposed={report.decomposed})")
+    print(f"~ person moved to Reykjavik: first-class modify pair "
+          f"(accepted={report.accepted}, batches={report.batches})")
     assert view.to_xml() == view.recompute_xml()
 
     # -- the Reykjavik crowd leaves: the whole group fragment is disconnected ---

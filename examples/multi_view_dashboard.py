@@ -77,7 +77,7 @@ def main() -> None:
               f"{report.classifications} classifications "
               f"(exactly one each), {report.routed} routed, "
               f"{report.irrelevant_everywhere} irrelevant everywhere, "
-              f"{report.decomposed} decomposed")
+              f"{report.storage_ops} storage ops")
 
         print("\nper-view state after the stream:")
         for name in db.views():

@@ -21,6 +21,7 @@ The per-layer surface (:class:`StorageManager`,
 :class:`UpdateRequest`\\ s) stays available for engine-level work.
 """
 
+from . import obs
 from .api import Batch, Database, Subscription, Update, View
 from .engine import Engine
 from .flexkeys import FlexKey
@@ -64,6 +65,7 @@ __all__ = [
     "XmlDocument",
     "XmlNode",
     "apply_xquery_update",
+    "obs",
     "parse_document",
     "parse_fragment",
     "parse_query",

@@ -16,6 +16,9 @@ reading: clients issue source updates and read maintained XQuery views):
   delete barriers preserved;
 * :meth:`Database.query` answers ad-hoc XQuery reads;
 * :meth:`Database.subscribe` fires callbacks on view refresh;
+* :meth:`Database.metrics` / :meth:`Database.render_prometheus` /
+  :meth:`Database.explain` expose the engine's observability layer
+  (see :mod:`repro.obs`);
 * the context manager delegates to :meth:`ViewRegistry.close`.
 
 Transactional semantics of a batch: every statement is resolved against
@@ -33,11 +36,15 @@ operations had been applied.
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, List, Optional, Union
 
 from ..multiview.cost import CostModel
+from ..multiview.pipeline import _REMOVED
 from ..multiview.policies import MaintenancePolicy
 from ..multiview.registry import MultiViewReport, RefreshEvent, ViewRegistry
+from ..obs import MetricsRegistry, Tracer, render_prometheus
+from ..obs.core import STATE as _OBS
 from ..storage import StorageManager
 from ..translate import translate_query
 from ..updates.errors import UpdateError
@@ -60,12 +67,18 @@ class Database:
 
     def __init__(self, storage: Optional[StorageManager] = None, *,
                  indexed: bool = True, operator_state: bool = True,
-                 modify_decomposition: bool = False):
+                 modify_decomposition=_REMOVED):
+        if modify_decomposition is not _REMOVED:
+            raise TypeError(
+                "modify_decomposition was removed: the legacy "
+                "delete+reinsert decomposition of insufficient modifies "
+                "is gone after its one-release deprecation window; "
+                "modifies always propagate as first-class retract/assert "
+                "pairs now")
         self.storage = (storage if storage is not None
                         else StorageManager(indexed=indexed))
         self.registry = ViewRegistry(
-            self.storage, operator_state=operator_state,
-            modify_decomposition=modify_decomposition)
+            self.storage, operator_state=operator_state)
         self._batch: Optional["Batch"] = None
         self._subscriptions: set = set()
         self._view_queries: dict[str, str] = {}
@@ -212,6 +225,46 @@ class Database:
         self._subscriptions.add(subscription)
         return subscription
 
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def obs_metrics(self) -> MetricsRegistry:
+        """The engine's live metrics registry (shared with the view
+        registry; exporters read it, hot paths feed it)."""
+        return self.registry.metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.registry.tracer
+
+    def metrics(self) -> dict:
+        """A structured, JSON-serializable snapshot of every engine
+        metric — router classifications, operator-state serves,
+        structural-index scans, per-view flush/recompute activity and
+        phase timings, statement latency."""
+        return self.registry.metrics_snapshot()
+
+    def render_prometheus(self) -> str:
+        """The same metrics in Prometheus text exposition format (the
+        roadmap's network server mounts this as its scrape endpoint)."""
+        return render_prometheus(self.registry.metrics)
+
+    def explain(self, view_name: str) -> str:
+        """The view's algebra plan annotated with live per-operator
+        counters (tuples in/out in full and delta mode, operator-state
+        serves) plus its maintenance stats and cost-model calibration."""
+        if view_name not in self.registry:
+            raise KeyError(f"no view named {view_name!r}")
+        return self.registry.explain(view_name)
+
+    def add_trace_sink(self, sink) -> None:
+        """Attach a :class:`repro.obs.TraceSink` receiving span-complete
+        events from every maintenance pass of this session."""
+        self.registry.add_trace_sink(sink)
+
+    def remove_trace_sink(self, sink) -> None:
+        self.registry.remove_trace_sink(sink)
+
     # -- the submission path -----------------------------------------------------------
 
     def _submit(self, update: Update) -> Update:
@@ -256,6 +309,7 @@ class Database:
             applied_ops += 1
 
         self.storage.add_listener(count)
+        started = time.perf_counter()
         try:
             report = self.registry.apply_updates(requests)
         except Exception as exc:
@@ -265,6 +319,14 @@ class Database:
                 applied=applied_ops) from exc
         finally:
             self.storage.remove_listener(count)
+        if _OBS.enabled:
+            metrics = self.registry.metrics
+            metrics.counter("db_statements",
+                            "Update statements applied").inc(len(updates))
+            metrics.histogram(
+                "db_apply_seconds",
+                "Latency of one statement-submission flush").observe(
+                    time.perf_counter() - started)
         for update, batch_requests in resolved:
             update.requests = batch_requests
             update.applied = True

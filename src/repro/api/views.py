@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from ..multiview.registry import RefreshEvent
+from ..obs.core import STATE as _OBS
 
 __all__ = ["Subscription", "View"]
 
@@ -79,8 +81,24 @@ class Subscription:
         self.active = True
 
     def _dispatch(self, event: RefreshEvent) -> None:
-        if self.active and event.view == self.view_name:
+        if not (self.active and event.view == self.view_name):
+            return
+        if not _OBS.enabled:
             self.callback(event)
+            return
+        metrics = self._db.registry.metrics
+        metrics.counter("subscriber_callbacks",
+                        "Refresh events delivered to subscribers",
+                        view=self.view_name).inc()
+        started = time.perf_counter()
+        try:
+            self.callback(event)
+        finally:
+            metrics.histogram(
+                "subscriber_callback_seconds",
+                "Time spent inside subscriber callbacks",
+                view=self.view_name).observe(
+                    time.perf_counter() - started)
 
     def cancel(self) -> None:
         if not self.active:

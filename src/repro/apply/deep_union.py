@@ -35,6 +35,33 @@ class FusionReport:
     replaced_text: int = 0
     aggregate_refreshes: list[tuple] = field(default_factory=list)
 
+    @property
+    def mutations(self) -> int:
+        """Total extent mutations this fusion applied — the honest size
+        of a refresh's delta as seen by subscribers."""
+        return (self.inserted + self.removed_roots + self.removed_nodes
+                + self.merged + self.replaced_text)
+
+    def as_dict(self) -> dict:
+        return {"inserted": self.inserted,
+                "removed_roots": self.removed_roots,
+                "removed_nodes": self.removed_nodes,
+                "merged": self.merged,
+                "replaced_text": self.replaced_text,
+                "mutations": self.mutations,
+                "aggregate_refreshes": len(self.aggregate_refreshes)}
+
+    def merge(self, other: "FusionReport") -> "FusionReport":
+        """Fold ``other``'s activity into this report (bench summaries
+        and :meth:`repro.api.Database.metrics` merge across flushes)."""
+        self.inserted += other.inserted
+        self.removed_roots += other.removed_roots
+        self.removed_nodes += other.removed_nodes
+        self.merged += other.merged
+        self.replaced_text += other.replaced_text
+        self.aggregate_refreshes.extend(other.aggregate_refreshes)
+        return self
+
 
 def fuse_forest(extent: Optional[ExtentNode], roots: list[ExtentNode],
                 report: Optional[FusionReport] = None

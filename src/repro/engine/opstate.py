@@ -269,6 +269,7 @@ class CachedEntry:
     def __init__(self, signature: str, op: XatOperator):
         self.signature = signature
         self.op = op
+        self.stats = StoreStats()   # this signature's share of the store's
         self.docs = op.source_documents()
         self.sapt = Sapt.from_plan(op)
         self.schema = op.schema
@@ -578,6 +579,11 @@ class StoreStats:
     def snapshot(self) -> tuple:
         return (self.hits, self.misses, self.patches, self.invalidations)
 
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "patches": self.patches,
+                "invalidations": self.invalidations}
+
 
 class OperatorStateStore:
     """Cross-run operator state for the V-P-A pipeline (see module doc)."""
@@ -611,12 +617,30 @@ class OperatorStateStore:
             if entry.valid:
                 entry.invalidate()
                 self.stats.invalidations += 1
+                entry.stats.invalidations += 1
 
     def entry_count(self) -> int:
         return len(self._entries)
 
     def entries(self):
         return list(self._entries.values())
+
+    def per_signature(self) -> dict:
+        """Serve statistics per cached-subplan signature — the live
+        EXPLAIN and metric snapshots key on this to show which state
+        store entries are thrashing (miss/invalidate churn) and which
+        are pulling their weight (hit/patch ratio)."""
+        out = {}
+        for signature, entry in self._entries.items():
+            stats = entry.stats.as_dict()
+            stats["valid"] = entry.valid
+            stats["rows"] = (len(entry.table.tuples)
+                             if entry.valid and entry.table is not None
+                             else None)
+            stats["stale"] = len(entry.stale)
+            stats["operator"] = type(entry.op).__name__
+            out[signature] = stats
+        return out
 
     # -- the mutation listener -----------------------------------------------------------
 
@@ -630,6 +654,7 @@ class OperatorStateStore:
             entry.on_mutation(kind, key, tags, document)
             if was_valid and not entry.valid:
                 self.stats.invalidations += 1
+                entry.stats.invalidations += 1
 
     # -- serving -------------------------------------------------------------------------
 
@@ -681,16 +706,21 @@ class OperatorStateStore:
                     entry.stale.clear()
                     self.stats.patches += 1
                     self.stats.hits += 1
+                    entry.stats.patches += 1
+                    entry.stats.hits += 1
                 else:
                     entry.invalidate()
                     self.stats.invalidations += 1
+                    entry.stats.invalidations += 1
                     self._recompute(ctx, op, entry)
             else:
                 entry.invalidate()
                 self.stats.invalidations += 1
+                entry.stats.invalidations += 1
                 self._recompute(ctx, op, entry)
         else:
             self.stats.hits += 1
+            entry.stats.hits += 1
         if spec.phase == DELETE and spec.document in entry.docs \
                 and entry.prepared is None:
             # Deletes reach storage only after propagation: stage the
@@ -708,6 +738,7 @@ class OperatorStateStore:
         table = ctx.evaluate(op, FULL)
         entry.populate(table, ctx)
         self.stats.misses += 1
+        entry.stats.misses += 1
 
     # -- end-of-pass reconciliation ------------------------------------------------------
 
@@ -753,6 +784,8 @@ class OperatorStateStore:
                     entry.commit(plan, ctx)
                     entry.stale.clear()
                     self.stats.patches += 1
+                    entry.stats.patches += 1
                 else:
                     entry.invalidate()
                     self.stats.invalidations += 1
+                    entry.stats.invalidations += 1

@@ -10,8 +10,8 @@ same code:
   storage application of accepted primitives, and the first-class
   treatment of insufficient modifies (Section 5.2.2): the replaced text
   travels as an ``(old, new)`` pair on the update tree and propagates as
-  a retraction+assertion; the legacy delete+reinsert decomposition stays
-  available behind ``modify_decomposition=True``;
+  a retraction+assertion (the legacy delete+reinsert decomposition was
+  removed after its one-release deprecation window);
 * the **Propagate/Apply** step — :meth:`ViewPipeline.propagate_run` runs
   one batch update tree through the plan in delta mode and fuses the delta
   forest into the extent with the count-aware Deep Union;
@@ -36,7 +36,10 @@ from ..updates.primitives import UpdateRequest, UpdateTree
 from ..updates.sapt import Sapt
 from ..storage import StorageManager
 from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
-from ..xmlmodel import XmlNode
+
+#: sentinel: "the caller did not pass the removed keyword" — anything
+#: else (even None/False) trips the removal TypeError below.
+_REMOVED = object()
 
 
 @dataclass
@@ -51,7 +54,6 @@ class MaintenanceReport:
 
     accepted: int = 0
     irrelevant: int = 0
-    decomposed: int = 0
     batches: int = 0
     validate_seconds: float = 0.0
     propagate_seconds: float = 0.0
@@ -66,6 +68,41 @@ class MaintenanceReport:
     def total_seconds(self) -> float:
         return (self.validate_seconds + self.propagate_seconds
                 + self.apply_seconds)
+
+    def as_dict(self) -> dict:
+        return {"accepted": self.accepted,
+                "irrelevant": self.irrelevant,
+                "batches": self.batches,
+                "validate_seconds": self.validate_seconds,
+                "propagate_seconds": self.propagate_seconds,
+                "apply_seconds": self.apply_seconds,
+                "total_seconds": self.total_seconds,
+                "recomputed": self.recomputed,
+                "state_hits": self.state_hits,
+                "state_misses": self.state_misses,
+                "state_patches": self.state_patches,
+                "fusion": self.fusion.as_dict()}
+
+    def merge(self, other: "MaintenanceReport") -> "MaintenanceReport":
+        """Fold another pass's activity into this report.
+
+        Counters and phase timings add; ``recomputed`` ors (any pass
+        falling back to recomputation taints the merged summary).  Used
+        by benchmark summaries and :class:`MultiViewReport` merging to
+        aggregate across flushes.
+        """
+        self.accepted += other.accepted
+        self.irrelevant += other.irrelevant
+        self.batches += other.batches
+        self.validate_seconds += other.validate_seconds
+        self.propagate_seconds += other.propagate_seconds
+        self.apply_seconds += other.apply_seconds
+        self.recomputed = self.recomputed or other.recomputed
+        self.state_hits += other.state_hits
+        self.state_misses += other.state_misses
+        self.state_patches += other.state_patches
+        self.fusion.merge(other.fusion)
+        return self
 
 
 # -- Validate phase: storage application helpers ----------------------------------------
@@ -85,64 +122,6 @@ def apply_insert(storage: StorageManager, request: UpdateRequest):
                                    before=request.target)
 
 
-def decompose_modify(storage: StorageManager, request: UpdateRequest,
-                     anchor) -> list[UpdateRequest]:
-    """A modify on a predicate path becomes delete+insert of the binding
-    fragment rooted at ``anchor`` (the sufficiency treatment of Section
-    5.2.2).  The caller picks the anchor — the nearest enclosing binding
-    root for a single view, the outermost such root across views for the
-    registry."""
-    parent = storage.parent_key(anchor)
-    if parent is None:
-        raise ValueError("cannot decompose a modify at a document root")
-    anchor_node = storage.node(anchor)
-    siblings = anchor_node.parent.children
-    position_index = siblings.index(anchor_node)
-    before_key = (siblings[position_index + 1].key
-                  if position_index + 1 < len(siblings) else None)
-
-    replacement = anchor_node.deep_copy()
-    target_copy = _copy_path_target(storage, anchor, request.target,
-                                    replacement)
-    for child in list(target_copy.children):
-        if child.is_text:
-            target_copy.remove(child)
-    target_copy.append(XmlNode.text(request.new_value))
-
-    if before_key is not None:
-        insert = UpdateRequest.insert(request.document, before_key,
-                                      replacement, position="before")
-    else:
-        insert = UpdateRequest.insert(request.document, parent,
-                                      replacement, position="into")
-    return [UpdateRequest.delete(request.document, anchor), insert]
-
-
-def decomposition_anchor(storage: StorageManager, sapt: Sapt,
-                         request: UpdateRequest):
-    """The binding fragment root an insufficient modify decomposes at."""
-    anchor = sapt.binding_anchor(storage, request.document, request.target)
-    if anchor is None:
-        anchor = storage.parent_key(request.target) or request.target
-    return anchor
-
-
-def _copy_path_target(storage: StorageManager, anchor, target,
-                      replacement: XmlNode) -> XmlNode:
-    """Locate inside ``replacement`` the copy of the node at ``target``."""
-    chain = []
-    probe = target
-    while probe != anchor:
-        chain.append(storage.node(probe))
-        probe = storage.parent_key(probe)
-    node_copy = replacement
-    original = storage.node(anchor)
-    for step in reversed(chain):
-        node_copy = node_copy.children[original.children.index(step)]
-        original = step
-    return node_copy
-
-
 def direct_text(storage: StorageManager, key) -> str:
     """The concatenated *direct* text children of the element at ``key``
     — exactly what the modify primitive replaces (``storage.text`` would
@@ -154,22 +133,18 @@ def direct_text(storage: StorageManager, key) -> str:
 
 def validate_one(storage: StorageManager, sapt: Sapt,
                  request: UpdateRequest, report: MaintenanceReport,
-                 validate_updates: bool = True,
-                 modify_decomposition: bool = False):
+                 validate_updates: bool = True):
     """Single-view Validate: classify one request and apply its storage
     change at the right point of the pipeline.
 
-    Returns ``(UpdateTree, deferred delete request | None)``, a list of
-    replacement requests (legacy decomposition), or ``None`` (irrelevant
-    — the storage change has been applied, nothing propagates).
+    Returns ``(UpdateTree, deferred delete request | None)`` or ``None``
+    (irrelevant — the storage change has been applied, nothing
+    propagates).
 
     An insufficient modify (the value feeds a predicate or sort key)
     becomes a *first-class modify tree* carrying the ``(old, new)`` text
     pair; the Propagate phase turns it into a retraction+assertion that
-    re-routes derivations in one pass.  ``modify_decomposition=True``
-    restores the previous treatment — delete+reinsert of the enclosing
-    binding fragment (Section 5.2.2) — as a one-release escape hatch so
-    the two paths can be differentially tested against each other.
+    re-routes derivations in one pass.
     """
     if request.kind == INSERT:
         key = apply_insert(storage, request)
@@ -196,10 +171,6 @@ def validate_one(storage: StorageManager, sapt: Sapt,
         return None
     if validate_updates and sapt.modify_hits_predicate(
             storage, request.document, request.target):
-        if modify_decomposition:
-            report.decomposed += 1
-            anchor = decomposition_anchor(storage, sapt, request)
-            return decompose_modify(storage, request, anchor)
         report.accepted += 1
         old_value = direct_text(storage, request.target)
         storage.replace_text(request.target, request.new_value)
@@ -230,20 +201,27 @@ class ViewPipeline:
     resolve to the same cached tables; ``None`` disables persistent state
     (every run re-derives its side tables, the pre-store behaviour).
 
-    ``modify_decomposition`` restores the legacy delete+reinsert
-    treatment of insufficient modifies instead of first-class modify
-    pairs (kept for one release as a differential-testing escape hatch).
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when set (the
+    registry wires its own in) the Propagate/Apply phase timings of each
+    batch are emitted as child spans of whatever span is current.
     """
 
     def __init__(self, engine: Engine, plan: XatOperator,
                  sapt: Optional[Sapt] = None, validate_updates: bool = True,
-                 state_store=_OWN_STORE, modify_decomposition: bool = False):
+                 state_store=_OWN_STORE, modify_decomposition=_REMOVED):
+        if modify_decomposition is not _REMOVED:
+            raise TypeError(
+                "modify_decomposition was removed: the legacy "
+                "delete+reinsert decomposition of insufficient modifies "
+                "is gone after its one-release deprecation window; "
+                "modifies always propagate as first-class retract/assert "
+                "pairs now")
         self.engine = engine
         self.storage = engine.storage
         self.plan = plan if plan.schema is not None else plan.prepare()
         self.sapt = sapt if sapt is not None else Sapt.from_plan(self.plan)
         self.validate_updates = validate_updates
-        self.modify_decomposition = modify_decomposition
+        self.tracer = None
         self.extent: Optional[ExtentNode] = None
         self.materialized = False
         if state_store is _OWN_STORE:
@@ -288,6 +266,11 @@ class ViewPipeline:
         report.batches += 1
         store = self.state_store
         before = store.stats.snapshot() if store is not None else None
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.active
+        if tracing:
+            propagate_before = report.propagate_seconds
+            apply_before = report.apply_seconds
         self.extent, _fusion = self.engine.propagate(
             self.plan, self.extent, spec_for_run(run), profiler=profiler,
             report=report, before_fuse=before_fuse, store=store)
@@ -296,6 +279,14 @@ class ViewPipeline:
             report.state_hits += hits - before[0]
             report.state_misses += misses - before[1]
             report.state_patches += patches - before[2]
+        if tracing:
+            tracer.record(
+                "phase.propagate",
+                report.propagate_seconds - propagate_before,
+                trees=len(run), kind=run[0].kind)
+            tracer.record("phase.apply",
+                          report.apply_seconds - apply_before,
+                          trees=len(run))
 
 
 # -- the single-view V-P-A driver ------------------------------------------------------
@@ -326,11 +317,7 @@ def run_maintenance(view: ViewPipeline, updates: list[UpdateRequest],
         view.propagate_run(run, report, profiler=profiler,
                            before_fuse=apply_deletes)
 
-    queue = list(updates)
-    index = 0
-    while index < len(queue):
-        request = queue[index]
-        index += 1
+    for request in updates:
         # A kind/document boundary closes the pending run — flushed
         # before validate_one applies this request's storage change
         # (see RunBatcher.crosses; a leaked mutation would be seen by
@@ -341,13 +328,9 @@ def run_maintenance(view: ViewPipeline, updates: list[UpdateRequest],
             deferred_deletes = []
         started = time.perf_counter()
         outcome = validate_one(storage, view.sapt, request, report,
-                               view.validate_updates,
-                               view.modify_decomposition)
+                               view.validate_updates)
         report.validate_seconds += time.perf_counter() - started
         if outcome is None:
-            continue
-        if isinstance(outcome, list):  # decomposed modify
-            queue[index:index] = outcome
             continue
         tree, deferred = outcome
         closed, accepted = batcher.push(tree)

@@ -35,14 +35,16 @@ from typing import Optional, Union
 
 from ..engine import Engine
 from ..engine.opstate import OperatorStateStore
+from ..obs import MetricsRegistry, Tracer
+from ..obs.core import STATE as _OBS
 from ..storage import StorageManager
 from ..translate import translate_query
 from ..updates.batch import RunBatcher
 from ..updates.primitives import UpdateRequest, UpdateTree
 from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
 from .cost import CostModel
-from .pipeline import (MaintenanceReport, ViewPipeline, apply_insert,
-                       decompose_modify, decomposition_anchor, direct_text)
+from .pipeline import (_REMOVED, MaintenanceReport, ViewPipeline,
+                       apply_insert, direct_text)
 from .policies import IMMEDIATE_KIND, THRESHOLD_KIND, MaintenancePolicy
 from .router import SharedValidationRouter
 
@@ -61,12 +63,20 @@ class RefreshEvent:
     ``reason`` is ``"propagate"`` (pending delta batches were propagated
     into the extent) or ``"recompute"`` (the cost model or a min/max
     eviction forced full recomputation).  ``trees`` counts the update
-    trees the refresh consumed.
+    trees the refresh consumed.  ``duration_seconds`` is the wall-clock
+    cost of the refresh itself, ``delta_tuples`` the honest size of the
+    change (extent mutations fused on propagation; extent node count on
+    recomputation), and ``sequence`` the view's monotonically increasing
+    refresh number (starting at 1) — a per-view subscriber that sees a
+    gap has missed a refresh.
     """
 
     view: str
     reason: str
     trees: int = 0
+    duration_seconds: float = 0.0
+    delta_tuples: int = 0
+    sequence: int = 0
 
 
 @dataclass
@@ -78,20 +88,55 @@ class ViewStats:
     propagated_trees: int = 0
     routed_trees: int = 0
 
+    def as_dict(self) -> dict:
+        return {"flushes": self.flushes,
+                "recomputes": self.recomputes,
+                "propagated_trees": self.propagated_trees,
+                "routed_trees": self.routed_trees}
+
 
 @dataclass
 class MultiViewReport:
     """What one :meth:`ViewRegistry.apply_updates` call did."""
 
-    updates: int = 0                 # requests processed (incl. replacements)
+    updates: int = 0                 # requests processed
     classifications: int = 0         # router classifications (exactly once
                                      # per processed request)
     routed: int = 0                  # requests relevant to >= 1 view
     irrelevant_everywhere: int = 0   # requests that only touched storage
-    decomposed: int = 0              # insufficient modifies decomposed
     storage_ops: int = 0             # storage mutations performed
     validate_seconds: float = 0.0    # shared routing time (not per view)
     views: dict = field(default_factory=dict)  # name -> cumulative report
+
+    def as_dict(self) -> dict:
+        return {"updates": self.updates,
+                "classifications": self.classifications,
+                "routed": self.routed,
+                "irrelevant_everywhere": self.irrelevant_everywhere,
+                "storage_ops": self.storage_ops,
+                "validate_seconds": self.validate_seconds,
+                "views": {name: report.as_dict()
+                          for name, report in self.views.items()}}
+
+    def merge(self, other: "MultiViewReport") -> "MultiViewReport":
+        """Fold another pass into this one (benchmark summaries merging
+        across flushes).  Per-view reports merge by name; a view report
+        shared by both passes (the registry exposes *cumulative* per-view
+        reports) is kept once, not double-counted.
+        """
+        self.updates += other.updates
+        self.classifications += other.classifications
+        self.routed += other.routed
+        self.irrelevant_everywhere += other.irrelevant_everywhere
+        self.storage_ops += other.storage_ops
+        self.validate_seconds += other.validate_seconds
+        for name, report in other.views.items():
+            own = self.views.get(name)
+            if own is None:
+                self.views[name] = report
+            elif own is not report:
+                own.merge(report)
+        return self
 
 
 class RegisteredView:
@@ -107,6 +152,8 @@ class RegisteredView:
         self.pending: list[list[RoutedTree]] = []
         self.report = MaintenanceReport()
         self.stats = ViewStats()
+        self.refresh_sequence = 0
+        self.query_text = ""
 
     def pending_trees(self) -> int:
         return sum(len(batch) for batch in self.pending)
@@ -130,13 +177,22 @@ class ViewRegistry:
 
     def __init__(self, storage: StorageManager,
                  operator_state: bool = True,
-                 modify_decomposition: bool = False):
+                 modify_decomposition=_REMOVED):
+        if modify_decomposition is not _REMOVED:
+            raise TypeError(
+                "modify_decomposition was removed: the legacy "
+                "delete+reinsert decomposition of insufficient modifies "
+                "is gone after its one-release deprecation window; "
+                "modifies always propagate as first-class retract/assert "
+                "pairs now")
         self.storage = storage
         self.engine = Engine(storage)
         self.router = SharedValidationRouter()
-        self.modify_decomposition = modify_decomposition
         self.state_store = (OperatorStateStore(storage)
                             if operator_state else None)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.metrics.add_sync_hook(self._sync_metrics)
         self._views: dict[str, RegisteredView] = {}
         self._storage_ops = 0
         self._refresh_listeners: list = []
@@ -144,6 +200,88 @@ class ViewRegistry:
 
     def _count_storage_op(self, op: str, key) -> None:
         self._storage_ops += 1
+
+    # -- observability ------------------------------------------------------------------
+
+    def _sync_metrics(self, metrics: MetricsRegistry) -> None:
+        """Mirror the always-on plain-int stats of every hot component
+        into the metrics registry — runs before each snapshot/render, so
+        the hot paths themselves never pay a registry lookup."""
+        for key, value in self.router.stats.as_dict().items():
+            metrics.counter(f"router_{key}",
+                            "Shared-validation router activity").set(value)
+        metrics.counter("storage_mutations",
+                        "Storage mutations observed").set(self._storage_ops)
+        index = self.storage.index
+        if index is not None:
+            stats = index.stats()
+            for key in ("range_scans", "walk_fallbacks", "path_lookups"):
+                metrics.counter(
+                    f"index_{key}",
+                    "Structural-index navigation activity").set(stats[key])
+            metrics.gauge("index_interned_keys",
+                          "Live keys interned by the structural index"
+                          ).set(stats["interned_keys"])
+        if self.state_store is not None:
+            for key, value in self.state_store.stats.as_dict().items():
+                metrics.counter(
+                    f"opstate_{key}",
+                    "Operator-state store activity").set(value)
+            metrics.gauge("opstate_cached_signatures",
+                          "Distinct subplan signatures with cached state"
+                          ).set(len(self.state_store.per_signature()))
+        for name, view in self._views.items():
+            for key, value in view.stats.as_dict().items():
+                metrics.counter(f"view_{key}",
+                                "Per-view maintenance activity",
+                                view=name).set(value)
+            metrics.gauge("view_pending_trees",
+                          "Update trees queued but not yet flushed",
+                          view=name).set(view.pending_trees())
+            metrics.gauge("view_extent_nodes", "Materialized extent size",
+                          view=name).set(view.pipeline.extent_size())
+            metrics.counter("view_refreshes",
+                            "Refreshes (monotone sequence number)",
+                            view=name).set(view.refresh_sequence)
+            report = view.report
+            for phase in ("validate", "propagate", "apply"):
+                metrics.counter(
+                    "view_phase_seconds",
+                    "Cumulative V-P-A phase time", view=name,
+                    phase=phase).set(getattr(report,
+                                             f"{phase}_seconds"))
+            for key in ("state_hits", "state_misses", "state_patches"):
+                metrics.counter("view_" + key,
+                                "Operator state served to this view",
+                                view=name).set(getattr(report, key))
+            metrics.counter("view_delta_tuples",
+                            "Extent mutations fused by maintenance",
+                            view=name).set(report.fusion.mutations)
+
+    def metrics_snapshot(self) -> dict:
+        """A structured snapshot of every engine metric (syncs first)."""
+        return self.metrics.snapshot()
+
+    def explain(self, name: str) -> str:
+        """The view's algebra plan annotated with live operator counters
+        (see :func:`repro.obs.explain.render_explain`)."""
+        from ..obs.explain import render_explain
+
+        view = self._views[name]
+        return render_explain(
+            name, view.pipeline.plan, policy=view.policy, cost=view.cost,
+            stats=view.stats, report=view.report, store=self.state_store,
+            extent_size=view.pipeline.extent_size(),
+            pending_trees=view.pending_trees(),
+            query_text=view.query_text)
+
+    def add_trace_sink(self, sink) -> None:
+        """Attach a :class:`repro.obs.TraceSink`; spans flow only while
+        at least one sink is attached (and observability is enabled)."""
+        self.tracer.add_sink(sink)
+
+    def remove_trace_sink(self, sink) -> None:
+        self.tracer.remove_sink(sink)
 
     def close(self) -> None:
         """Detach from the storage manager (idempotent).  A registry holds
@@ -178,10 +316,16 @@ class ViewRegistry:
         except ValueError:
             pass
 
-    def _notify_refresh(self, name: str, reason: str, trees: int) -> None:
+    def _notify_refresh(self, view: RegisteredView, reason: str,
+                        trees: int, duration: float,
+                        delta_tuples: int) -> None:
+        # The sequence advances whether or not anyone listens — a
+        # subscriber joining late sees where the view's history stands.
+        view.refresh_sequence += 1
         if not self._refresh_listeners:
             return
-        event = RefreshEvent(name, reason, trees)
+        event = RefreshEvent(view.name, reason, trees, duration,
+                             delta_tuples, view.refresh_sequence)
         for listener in list(self._refresh_listeners):
             listener(event)
 
@@ -202,6 +346,9 @@ class ViewRegistry:
                               MaintenancePolicy.parse(policy),
                               cost_model if cost_model is not None
                               else CostModel())
+        view.pipeline.tracer = self.tracer
+        if isinstance(query, str):
+            view.query_text = query
         self._views[name] = view
         self.router.subscribe(name, view.pipeline.sapt)
         if materialize:
@@ -270,9 +417,18 @@ class ViewRegistry:
         ops_before = self._storage_ops
         self._profiler = profiler
         try:
-            self._apply_queue(list(updates), RunBatcher(), report)
+            with self.tracer.span("registry.apply_updates",
+                                  updates=len(updates),
+                                  views=len(self._views)) as span:
+                self._apply_queue(list(updates), RunBatcher(), report)
+                span.set(routed=self.router.stats.routed
+                         - stats_before[1])
         finally:
             self._profiler = None
+        if _OBS.enabled:
+            self.metrics.histogram(
+                "apply_updates_size",
+                "Requests per apply_updates call").observe(len(updates))
 
         report.classifications = (self.router.stats.classifications
                                   - stats_before[0])
@@ -286,13 +442,10 @@ class ViewRegistry:
 
     def _apply_queue(self, queue: list[UpdateRequest], batcher: RunBatcher,
                      report: MultiViewReport) -> None:
-        """Validate, route and dispatch the queue (mutates it in place
-        when a modify decomposes); the caller owns profiler cleanup."""
+        """Validate, route and dispatch the queue; the caller owns
+        profiler cleanup."""
         storage = self.storage
-        index = 0
-        while index < len(queue):
-            request = queue[index]
-            index += 1
+        for request in queue:
             report.updates += 1
             # A kind/document boundary closes the pending run before this
             # request's storage change applies (see RunBatcher.crosses).
@@ -326,20 +479,6 @@ class ViewRegistry:
                     continue
                 hitters = self.router.predicate_hitters(
                     request.document, result.tags, result.views)
-                if hitters and self.modify_decomposition:
-                    # Legacy escape hatch: one view's insufficiency
-                    # decomposes the modify for everyone — delete+insert
-                    # of the outermost binding fragment is a
-                    # storage-equivalent rewrite every view handles
-                    # through re-routing.
-                    anchor = self._outermost_anchor(hitters, request)
-                    report.decomposed += 1
-                    replacements = decompose_modify(storage, request,
-                                                    anchor)
-                    report.validate_seconds += (time.perf_counter()
-                                                - started)
-                    queue[index:index] = replacements
-                    continue
                 if hitters:
                     # First-class modify: the pair re-routes derivations
                     # in-flight for the views that need it; views that
@@ -369,16 +508,6 @@ class ViewRegistry:
         closed = batcher.close()
         if closed is not None:
             self._dispatch(closed)
-
-    def _outermost_anchor(self, hitters, request: UpdateRequest):
-        """The outermost binding anchor across the views that need the
-        modify decomposed — a fragment enclosing each view's own anchor,
-        hence sufficient for all of them."""
-        anchors = [decomposition_anchor(self.storage,
-                                        self._views[name].pipeline.sapt,
-                                        request)
-                   for name in sorted(hitters)]
-        return min(anchors, key=lambda key: key.depth)
 
     # -- dispatch and flushing ---------------------------------------------------------
 
@@ -450,36 +579,70 @@ class ViewRegistry:
             return None
         view.stats.flushes += 1
         trees = view.pending_trees()
-        if view.cost.should_recompute(trees):
+        recompute = view.cost.should_recompute(trees)
+        predicted = view.cost.estimate_propagation(trees)
+        if recompute:
             view.pending.clear()
             if defer_recompute:
                 return trees
-            self._recompute(view, trees=trees)
+            self._recompute(view, trees=trees,
+                            predicted_propagate=predicted)
             return None
         refreshes_before = len(view.report.fusion.aggregate_refreshes)
-        started = time.perf_counter()
-        for batch in view.pending:
-            view.pipeline.propagate_run(batch, view.report,
-                                        profiler=self._profiler)
-        view.cost.observe_propagation(trees,
-                                      time.perf_counter() - started)
+        mutations_before = view.report.fusion.mutations
+        with self.tracer.span(
+                "view.flush", view=view.name, trees=trees,
+                decision="propagate",
+                predicted_propagate_seconds=predicted,
+                predicted_recompute_seconds=view.cost.recompute_seconds
+                ) as span:
+            started = time.perf_counter()
+            for batch in view.pending:
+                view.pipeline.propagate_run(batch, view.report,
+                                            profiler=self._profiler)
+            elapsed = time.perf_counter() - started
+            span.set(observed_seconds=elapsed)
+        view.cost.observe_propagation(trees, elapsed)
         view.stats.propagated_trees += trees
         view.pending.clear()
+        delta_tuples = view.report.fusion.mutations - mutations_before
+        if _OBS.enabled:
+            self.metrics.histogram(
+                "flush_seconds", "Wall-clock cost of one flush",
+                view=view.name, decision="propagate").observe(elapsed)
+            self.metrics.histogram(
+                "flush_trees", "Update trees consumed per flush",
+                view=view.name).observe(trees)
         if len(view.report.fusion.aggregate_refreshes) > refreshes_before:
             # min/max eviction: fall back to recomputation (Section 7.6).
             if defer_recompute:
                 return trees
             self._recompute(view, trees=trees)
             return None
-        self._notify_refresh(view.name, "propagate", trees)
+        self._notify_refresh(view, "propagate", trees, elapsed,
+                             delta_tuples)
         return None
 
-    def _recompute(self, view: RegisteredView, trees: int = 0) -> None:
-        started = time.perf_counter()
-        view.pipeline.recompute()
-        view.cost.observe_recompute(time.perf_counter() - started)
+    def _recompute(self, view: RegisteredView, trees: int = 0,
+                   predicted_propagate: Optional[float] = None) -> None:
+        with self.tracer.span(
+                "view.flush", view=view.name, trees=trees,
+                decision="recompute",
+                predicted_propagate_seconds=predicted_propagate,
+                predicted_recompute_seconds=view.cost.recompute_seconds
+                ) as span:
+            started = time.perf_counter()
+            view.pipeline.recompute()
+            elapsed = time.perf_counter() - started
+            span.set(observed_seconds=elapsed)
+        view.cost.observe_recompute(elapsed)
         view.report.recomputed = True
         view.stats.recomputes += 1
-        self._notify_refresh(view.name, "recompute", trees)
+        if _OBS.enabled:
+            self.metrics.histogram(
+                "flush_seconds", "Wall-clock cost of one flush",
+                view=view.name, decision="recompute").observe(elapsed)
+        self._notify_refresh(view, "recompute", trees, elapsed,
+                             view.pipeline.extent_size())
 
     _profiler: Optional[Profiler] = None

@@ -37,6 +37,16 @@ class RouterStats:
     classifications: int = 0
     routed: int = 0                   # updates relevant to >= 1 view
     irrelevant_everywhere: int = 0
+    predicate_checks: int = 0         # modifies probed for insufficiency
+    predicate_modifies: int = 0       # modifies some view saw as
+                                      # insufficient (retract/assert pair)
+
+    def as_dict(self) -> dict:
+        return {"classifications": self.classifications,
+                "routed": self.routed,
+                "irrelevant_everywhere": self.irrelevant_everywhere,
+                "predicate_checks": self.predicate_checks,
+                "predicate_modifies": self.predicate_modifies}
 
 
 @dataclass
@@ -139,15 +149,17 @@ class SharedValidationRouter:
                           candidates: frozenset) -> set:
         """Which of ``candidates`` see a modify at ``tags`` as
         insufficient (feeding a predicate or sort key) — those views
-        need the first-class retract/assert pair (or, on the legacy
-        path, a decomposition).  Path matching shares
+        need the first-class retract/assert pair.  Path matching shares
         :func:`repro.updates.sapt.modify_hits_steps` with the
         single-view check, so the two classifiers cannot drift.
         """
+        self.stats.predicate_checks += 1
         hitters = set(self._predicate_wildcard.get(document, ())
                       ) & candidates
         for entry in self._index.get(document, ()):
             if entry.predicate_views and modify_hits_steps(entry.steps,
                                                            tags):
                 hitters |= entry.predicate_views & candidates
+        if hitters:
+            self.stats.predicate_modifies += 1
         return hitters

@@ -1,0 +1,49 @@
+"""The observability master switch.
+
+Instrumentation across the engine is always *compiled in* but gated by
+this single module-level flag: every counter increment, histogram
+observation and span creation first checks ``STATE.enabled``, which makes
+the disabled cost one attribute load and one branch.  The flag defaults
+to on — the near-free steady state is "enabled, nothing attached" —
+and :func:`disabled` exists mainly for differential tests proving the
+flag cannot change any maintained extent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["STATE", "disabled", "is_enabled", "set_enabled"]
+
+
+class _ObsState:
+    """Singleton process-wide switch (see module docstring)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self):
+        self.enabled = True
+
+
+STATE = _ObsState()
+
+
+def is_enabled() -> bool:
+    return STATE.enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the master switch; returns the previous value."""
+    previous = STATE.enabled
+    STATE.enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled():
+    """``with repro.obs.disabled(): ...`` — instrumentation off inside."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -1,0 +1,109 @@
+"""Live EXPLAIN: a view's algebra plan annotated with runtime counters.
+
+``db.explain("sales")`` renders the registered view's prepared XAT plan
+as an indented operator tree, each line carrying the counters the
+instrumented :class:`~repro.xat.base.ExecutionContext` accumulated on
+the operator instance — full-mode and delta-mode executions with tuples
+in/out — plus, for subplans the persistent
+:class:`~repro.engine.opstate.OperatorStateStore` knows by structural
+signature, the per-signature serve statistics (hits / misses / patches /
+invalidations and current cached row count).  A plan whose maintenance
+regressed (a side table re-derived every batch, a delta fanning out
+wider than its batch) is readable straight off the tree, no profiler
+attached.
+
+This module is imported lazily by the session API — it may import engine
+internals, but ``repro.obs`` itself must stay import-light (the hot
+layers import ``repro.obs.core`` at module load).
+"""
+
+from __future__ import annotations
+
+from ..engine.opstate import subplan_signature
+from ..xat.base import obs_op_stats
+
+__all__ = ["render_explain"]
+
+
+def _params(op) -> str:
+    """The operator's distinguishing parameters, via its signature core."""
+    from ..engine.opstate import _sig_core
+
+    core = _sig_core(op)
+    parts = [str(part) for part in core[1:]]
+    return f"[{', '.join(parts)}]" if parts else ""
+
+
+def _op_line(op, store) -> str:
+    stats = obs_op_stats(op)
+    child_stats = [obs_op_stats(child) for child in op.inputs]
+    full_in = sum(c["tuples_out"] for c in child_stats)
+    delta_in = sum(c["delta_tuples_out"] for c in child_stats)
+    text = (f"{type(op).__name__}{_params(op)}"
+            f"  full: runs={stats['runs']} in={full_in}"
+            f" out={stats['tuples_out']}"
+            f" · Δ: runs={stats['delta_runs']} in={delta_in}"
+            f" out={stats['delta_tuples_out']}")
+    if store is not None:
+        entry_stats = store.per_signature().get(subplan_signature(op))
+        if entry_stats is not None:
+            rows = entry_stats["rows"]
+            text += (f" · state: served={entry_stats['hits']}"
+                     f" recomputed={entry_stats['misses']}"
+                     f" patched={entry_stats['patches']}"
+                     f" rows={'-' if rows is None else rows}")
+    return text
+
+
+def _walk(op, store, prefix: str, last: bool, lines: list,
+          is_root: bool) -> None:
+    if is_root:
+        lines.append(_op_line(op, store))
+        child_prefix = ""
+    else:
+        connector = "└─ " if last else "├─ "
+        lines.append(prefix + connector + _op_line(op, store))
+        child_prefix = prefix + ("   " if last else "│  ")
+    children = list(op.inputs)
+    for index, child in enumerate(children):
+        _walk(child, store, child_prefix, index == len(children) - 1,
+              lines, False)
+
+
+def render_explain(name: str, plan, *, policy=None, cost=None, stats=None,
+                   report=None, store=None, extent_size=None,
+                   pending_trees: int = 0, query_text: str = "") -> str:
+    """The annotated plan tree of one maintained view as display text."""
+    lines = [f"view {name!r}"]
+    if policy is not None:
+        lines[0] += f"  policy={getattr(policy, 'kind', policy)}"
+    if extent_size is not None:
+        lines[0] += f"  extent_nodes={extent_size}"
+    lines[0] += f"  pending_trees={pending_trees}"
+    if query_text:
+        lines.append(f"query: {' '.join(query_text.split())}")
+    if stats is not None:
+        lines.append(f"maintenance: flushes={stats.flushes}"
+                     f" recomputes={stats.recomputes}"
+                     f" propagated_trees={stats.propagated_trees}"
+                     f" routed_trees={stats.routed_trees}")
+    if report is not None:
+        lines.append(f"timings: validate={report.validate_seconds:.6f}s"
+                     f" propagate={report.propagate_seconds:.6f}s"
+                     f" apply={report.apply_seconds:.6f}s"
+                     f" batches={report.batches}"
+                     f" state_hits={report.state_hits}"
+                     f" state_misses={report.state_misses}"
+                     f" state_patches={report.state_patches}")
+    if cost is not None:
+        recompute = cost.recompute_seconds
+        per_tree = cost.per_tree_seconds
+        lines.append(
+            "cost model: recompute="
+            + (f"{recompute:.6f}s" if recompute is not None else "?")
+            + " per_tree="
+            + (f"{per_tree:.6f}s" if per_tree is not None else "?")
+            + f" bias={cost.bias}")
+    lines.append("plan:")
+    _walk(plan, store, "", True, lines, True)
+    return "\n".join(lines)

@@ -44,9 +44,17 @@ class StructuralIndex:
     """Sorted-key-range index maintained alongside a ``StorageManager``."""
 
     __slots__ = ("_tag_lists", "_all_lists", "_interned", "_tag_paths",
-                 "_path_interner")
+                 "_path_interner", "range_scans", "walk_fallbacks",
+                 "path_lookups")
 
     def __init__(self):
+        # Always-on monotone activity counters (plain int adds — the
+        # observability layer pulls them into metric snapshots): range
+        # scans answered by the sorted key lists, walk fallbacks where
+        # the tree walk was judged cheaper, and exact-path lookups.
+        self.range_scans = 0
+        self.walk_fallbacks = 0
+        self.path_lookups = 0
         # (document, tag) -> sorted list of element key strings
         self._tag_lists: dict[tuple[str, str], list[str]] = {}
         # document -> sorted list of *all* element key strings
@@ -106,6 +114,7 @@ class StructuralIndex:
                     tag: Optional[str] = None) -> list[FlexKey]:
         """Proper element descendants of ``key`` in document order: one
         binary search over the ``[key., key/)`` prefix range."""
+        self.range_scans += 1
         keys = self._list_for(document, tag)
         if not keys:
             return []
@@ -129,12 +138,15 @@ class StructuralIndex:
         """
         keys = self._list_for(document, tag)
         if not keys:
+            self.range_scans += 1
             return []
         value = key.value
         lo = bisect_left(keys, value + LEVEL_SEP)
         hi = bisect_left(keys, value + _RANGE_END, lo)
         if hi - lo >= child_count:
+            self.walk_fallbacks += 1
             return None
+        self.range_scans += 1
         child_seps = value.count(LEVEL_SEP) + 1
         interned = self._interned
         return [interned[v] for v in keys[lo:hi]
@@ -151,6 +163,7 @@ class StructuralIndex:
         costs one dict lookup plus one identity test, and an unseen path
         is answered negatively without touching any node at all.
         """
+        self.path_lookups += 1
         interned_path = self._path_interner.get(tags)
         if interned_path is None:
             return []  # no live node has this path
@@ -181,6 +194,9 @@ class StructuralIndex:
             "documents": len(self._all_lists),
             "indexed_elements": sum(len(v) for v in
                                     self._all_lists.values()),
+            "range_scans": self.range_scans,
+            "walk_fallbacks": self.walk_fallbacks,
+            "path_lookups": self.path_lookups,
         }
 
 

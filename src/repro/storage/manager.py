@@ -183,15 +183,21 @@ class StorageManager:
 
     def children(self, key: FlexKey, tag: Optional[str] = None) -> list[FlexKey]:
         node = self.node(key)
-        if self._index is not None and tag is not None \
+        index = self._index
+        if index is not None and tag is not None \
                 and len(node.children) > 16:
             # Hybrid: a range scan of the tag's sorted key list wins only
             # when the tag is selective under a wide node; for narrow
             # nodes even the prune check costs more than the child walk.
-            fast = self._index.children(self.document_of_key(key), key, tag,
-                                        len(node.children))
+            fast = index.children(self.document_of_key(key), key, tag,
+                                  len(node.children))
             if fast is not None:
                 return fast
+        elif index is not None:
+            # Narrow node (or no tag test): the tree walk is the cheaper
+            # plan by construction — counted so the range-vs-walk split
+            # stays honest in metric snapshots.
+            index.walk_fallbacks += 1
         return [c.key for c in node.children
                 if c.is_element and (tag is None or c.tag == tag)]
 

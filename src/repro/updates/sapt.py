@@ -15,8 +15,7 @@ with how it is used (``binding`` for unnests, ``value`` for collections,
   carries the ``(old, new)`` text pair and propagates as a paired
   retraction+assertion (Section 5.2.2's "annotate with missing
   information", carried in-flight instead of decomposed into delete +
-  reinsert of the enclosing binding fragment; the legacy decomposition
-  remains behind ``modify_decomposition=True``).
+  reinsert of the enclosing binding fragment).
 """
 
 from __future__ import annotations

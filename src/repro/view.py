@@ -8,9 +8,9 @@
   order tokens and count annotations);
 * **apply_updates** — the V-P-A pipeline: *Validate* each update against
   the view's SAPT (irrelevant updates only touch storage; insufficient
-  modifies are decomposed into delete+insert of their binding fragment),
-  *Propagate* batch update trees through the same plan in delta mode, and
-  *Apply* the resulting delta update trees with the count-aware Deep Union.
+  modifies travel as first-class retract/assert pairs), *Propagate* batch
+  update trees through the same plan in delta mode, and *Apply* the
+  resulting delta update trees with the count-aware Deep Union.
 
 Updates are processed in order; maximal runs over the same document with
 the same kind form one batch update tree (one delta pass).  Inserts and
@@ -34,7 +34,7 @@ from typing import Optional, Union
 
 from .apply import ExtentNode
 from .engine import Engine
-from .multiview.pipeline import (MaintenanceReport, ViewPipeline,
+from .multiview.pipeline import (_REMOVED, MaintenanceReport, ViewPipeline,
                                  run_maintenance)
 from .storage import StorageManager
 from .translate import translate_query
@@ -51,7 +51,14 @@ class MaterializedXQueryView:
                  query: Union[str, XatOperator],
                  validate_updates: bool = True,
                  operator_state: bool = True,
-                 modify_decomposition: bool = False):
+                 modify_decomposition=_REMOVED):
+        if modify_decomposition is not _REMOVED:
+            raise TypeError(
+                "modify_decomposition was removed: the legacy "
+                "delete+reinsert decomposition of insufficient modifies "
+                "is gone after its one-release deprecation window; "
+                "modifies always propagate as first-class retract/assert "
+                "pairs now")
         self.storage = storage
         self.engine = Engine(storage)
         if isinstance(query, str):
@@ -62,8 +69,7 @@ class MaterializedXQueryView:
             plan = query
         extra = {} if operator_state else {"state_store": None}
         self._pipeline = ViewPipeline(
-            self.engine, plan, validate_updates=validate_updates,
-            modify_decomposition=modify_decomposition, **extra)
+            self.engine, plan, validate_updates=validate_updates, **extra)
 
     # -- pipeline state (kept as attributes for API compatibility) -----------------------
 
@@ -82,16 +88,6 @@ class MaterializedXQueryView:
     @validate_updates.setter
     def validate_updates(self, value: bool) -> None:
         self._pipeline.validate_updates = value
-
-    @property
-    def modify_decomposition(self) -> bool:
-        """Whether insufficient modifies use the legacy delete+reinsert
-        decomposition instead of first-class modify pairs."""
-        return self._pipeline.modify_decomposition
-
-    @modify_decomposition.setter
-    def modify_decomposition(self, value: bool) -> None:
-        self._pipeline.modify_decomposition = value
 
     @property
     def extent(self) -> Optional[ExtentNode]:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..flexkeys import FlexKey
+from ..obs.core import STATE as _OBS
 from ..storage import SkeletonStore, StorageManager
 from .table import TableSchema, XatTable, XatTuple
 
@@ -173,6 +174,38 @@ def _old_text_walk(node, pairs: dict, parts: list) -> None:
         parts.append(pairs[node.key.value])
 
 
+#: zeroed per-operator counters — what :func:`obs_op_stats` reports for
+#: an operator that never executed under instrumentation
+_OP_STATS_KEYS = ("runs", "tuples_out", "delta_runs", "delta_tuples_out")
+
+
+def obs_op_stats(op: "XatOperator") -> dict:
+    """The live execution counters of one operator instance.
+
+    ``runs`` / ``tuples_out`` count FULL and ANTI evaluations (the
+    current-state sides), ``delta_runs`` / ``delta_tuples_out`` the
+    delta-mode passes of incremental maintenance.  Counters accumulate
+    on the operator instance itself (one dict per op, shared by every
+    run of the plan) and feed the live ``EXPLAIN`` rendering.
+    """
+    stats = getattr(op, "_obs_stats", None)
+    if stats is None:
+        return dict.fromkeys(_OP_STATS_KEYS, 0)
+    return stats
+
+
+def _obs_record(op: "XatOperator", mode: str, table: XatTable) -> None:
+    stats = getattr(op, "_obs_stats", None)
+    if stats is None:
+        stats = op._obs_stats = dict.fromkeys(_OP_STATS_KEYS, 0)
+    if mode == DELTA:
+        stats["delta_runs"] += 1
+        stats["delta_tuples_out"] += len(table.tuples)
+    else:
+        stats["runs"] += 1
+        stats["tuples_out"] += len(table.tuples)
+
+
 class Profiler:
     """Accumulates per-concern wall-clock costs for the paper's breakdowns."""
 
@@ -293,7 +326,10 @@ class ExecutionContext:
         ctx = self if mode is None or mode == self.mode else self.with_mode(mode)
         if ctx.bindings:
             # Correlated (Map) evaluation cannot be cached safely.
-            return op.execute(ctx)
+            result = op.execute(ctx)
+            if _OBS.enabled:
+                _obs_record(op, ctx.mode, result)
+            return result
         # Uncorrelated from here on — the cache key needs no binding-stack
         # discriminator (Map evaluates its RHS directly, never through
         # this memo, so a cached table is always binding-independent).
@@ -307,6 +343,8 @@ class ExecutionContext:
             result = XatTable(op.schema)  # Δ of an unaffected subtree is empty
         else:
             result = op.execute(ctx)
+        if _OBS.enabled:
+            _obs_record(op, ctx.mode, result)
         self._cache[cache_key] = result
         return result
 

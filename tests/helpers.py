@@ -182,7 +182,6 @@ def run_differential(seed: int, steps: int, mutators: Sequence[str],
                      views: Union[str, Iterable[str]], *,
                      num_persons: int = 20, site_seed: int = 1,
                      operator_state: bool = True,
-                     modify_decomposition: bool = False,
                      batch_max: int = 3,
                      twin: Optional[dict] = None) -> int:
     """Drive ``steps`` random mixed batches against maintained view(s)
@@ -192,10 +191,10 @@ def run_differential(seed: int, steps: int, mutators: Sequence[str],
     ``views`` is one query string or an iterable of them; each runs as
     its own :class:`MaterializedXQueryView` over the same storage.  When
     ``twin`` is given (keyword overrides, e.g. ``{"operator_state":
-    False}`` or ``{"modify_decomposition": True}``), a second set of
-    views over an identical storage replays the same stream and must
-    stay byte-identical to the first — the differential leg that pins
-    the first-class and legacy modify paths against each other.
+    False}``), a second set of views over an identical storage replays
+    the same stream and must stay byte-identical to the first — the
+    differential leg pinning two engine configurations against each
+    other.
 
     Returns the number of updates applied.
     """
@@ -204,8 +203,7 @@ def run_differential(seed: int, steps: int, mutators: Sequence[str],
     def build(query: str, overrides: dict):
         storage = StorageManager()
         xmark.register_site(storage, num_persons, seed=site_seed)
-        options = {"operator_state": operator_state,
-                   "modify_decomposition": modify_decomposition}
+        options = {"operator_state": operator_state}
         options.update(overrides)
         view = MaterializedXQueryView(storage, query, **options)
         view.materialize()

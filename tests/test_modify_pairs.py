@@ -119,30 +119,42 @@ class TestPinnedRoadmapRepros:
             assert_consistent(view)
 
 
-class TestFirstClassVsLegacy:
-    """The two modify paths, differentially tested against each other on
-    a stream where both are correct (exposed-content modifies)."""
+class TestLegacyDecompositionRemoved:
+    """The delete+reinsert escape hatch is gone after its one-release
+    deprecation window; passing the old keyword must fail loudly (a
+    silent ignore would change maintenance semantics under the caller),
+    whatever value is passed."""
 
-    def test_name_modifies_identical_across_paths(self):
-        run_differential(7, 20, ("insert_person", "delete_person",
-                                 "modify_name"),
-                         xmark.PERSONS_BY_CITY_QUERY,
-                         num_persons=15,
-                         twin={"modify_decomposition": True})
-
-    def test_legacy_flag_still_decomposes(self):
+    @pytest.mark.parametrize("value", [True, False, None])
+    def test_view_constructor_rejects_removed_flag(self, value):
         storage = StorageManager()
-        xmark.register_site(storage, 8, seed=3)
-        view = MaterializedXQueryView(storage, xmark.ORDER_QUERY_2,
-                                      modify_decomposition=True)
-        view.materialize()
-        city = storage.find_by_path(
-            "site.xml", [("child", "site"), ("child", "people"),
-                         ("child", "person"), ("child", "address"),
-                         ("child", "city")])[0]
-        report = view.apply_updates(
-            [UpdateRequest.modify("site.xml", city, "Montevideo")])
-        assert report.decomposed == 1
+        xmark.register_site(storage, 3, seed=3)
+        with pytest.raises(TypeError, match="modify_decomposition"):
+            MaterializedXQueryView(storage, xmark.ORDER_QUERY_2,
+                                   modify_decomposition=value)
+
+    def test_registry_rejects_removed_flag(self):
+        from repro import ViewRegistry
+        storage = StorageManager()
+        xmark.register_site(storage, 3, seed=3)
+        with pytest.raises(TypeError, match="modify_decomposition"):
+            ViewRegistry(storage, modify_decomposition=True)
+
+    def test_database_rejects_removed_flag(self):
+        from repro import Database
+        with pytest.raises(TypeError, match="modify_decomposition"):
+            Database(modify_decomposition=True)
+
+    def test_pipeline_rejects_removed_flag(self):
+        from repro.engine import Engine
+        from repro.multiview.pipeline import ViewPipeline
+        from repro.translate import translate_query
+        storage = StorageManager()
+        xmark.register_site(storage, 3, seed=3)
+        with pytest.raises(TypeError, match="modify_decomposition"):
+            ViewPipeline(Engine(storage),
+                         translate_query(xmark.ORDER_QUERY_2),
+                         modify_decomposition=False)
 
 
 class TestPairPlumbing:

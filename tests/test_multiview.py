@@ -86,7 +86,6 @@ class TestInterleavedStream:
         # Shared validation: each request classified exactly once.
         assert report.classifications == len(updates)
         assert report.updates == len(updates)
-        assert report.decomposed == 0
         assert_all_consistent(registry)
 
     def test_predicate_modifies_first_class(self):
@@ -103,29 +102,18 @@ class TestInterleavedStream:
             UpdateRequest.modify("site.xml", ages[8], "12"),
         ]
         report = registry.apply_updates(updates)
-        assert report.decomposed == 0
+        # both predicate modifies probed the router and hit
+        assert registry.router.stats.predicate_checks >= 2
+        assert registry.router.stats.predicate_modifies >= 2
+        assert report.updates == len(updates)
         assert_all_consistent(registry)
 
-    def test_modify_stream_with_legacy_decomposition(self):
-        """The modify_decomposition escape hatch restores the
-        delete+reinsert treatment of Section 5.2.2."""
+    def test_legacy_decomposition_flag_removed(self):
+        """The modify_decomposition escape hatch is gone; the registry
+        rejects the old keyword instead of silently ignoring it."""
         storage = multiview_storage()
-        with ViewRegistry(storage, modify_decomposition=True) as registry:
-            registry.register("seniors", xmark.SELECTION_QUERY)
-            registry.register("sales", xmark.JOIN_QUERY)
-            ages = ages_of(storage)
-            persons = persons_of(storage)
-            updates = [
-                # age feeds the selection view's predicate -> decomposed
-                UpdateRequest.modify("site.xml", ages[3], "77"),
-                UpdateRequest.insert("site.xml", persons[-1],
-                                     xmark.new_person_xml(5, age=50),
-                                     "after"),
-                UpdateRequest.modify("site.xml", ages[8], "12"),
-            ]
-            report = registry.apply_updates(updates)
-            assert report.decomposed == 2
-            assert_all_consistent(registry)
+        with pytest.raises(TypeError, match="modify_decomposition"):
+            ViewRegistry(storage, modify_decomposition=True)
 
 
 class TestRouting:

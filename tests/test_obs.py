@@ -1,0 +1,301 @@
+"""The observability layer: metrics registry, tracing spans, EXPLAIN,
+and the differential guarantee that none of it changes maintenance.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import (CostModel, Database, StorageManager, UpdateRequest,
+                   ViewRegistry)
+from repro.obs import (CollectingSink, Counter, Gauge, Histogram,
+                       MetricsRegistry, Span, TraceSink, Tracer, disabled,
+                       is_enabled, set_enabled)
+from repro.workloads import xmark
+
+from .helpers import random_batch
+
+SITE = """<site><people>
+<person id="person0"><name>Ada</name>
+ <address><city>Oslo</city></address></person>
+<person id="person1"><name>Grace</name>
+ <address><city>Paris</city></address></person>
+<person id="person2"><name>Alan</name>
+ <address><city>Oslo</city></address></person>
+</people></site>"""
+
+
+def _city_db() -> Database:
+    db = Database()
+    db.load("site.xml", SITE)
+    db.create_view("by-city", xmark.CITY_HEADCOUNT_QUERY)
+    return db
+
+
+class TestMetricPrimitives:
+    def test_counter_and_gauge(self):
+        counter, gauge = Counter(), Gauge()
+        counter.inc()
+        counter.inc(4)
+        gauge.set(7)
+        gauge.dec(2)
+        assert counter.export() == 5
+        assert gauge.export() == 5
+
+    def test_disabled_flag_freezes_metrics(self):
+        counter, histogram = Counter(), Histogram()
+        with disabled():
+            assert not is_enabled()
+            counter.inc()
+            histogram.observe(1.0)
+        assert is_enabled()
+        assert counter.export() == 0
+        assert histogram.count == 0
+
+    def test_histogram_exact_aggregates(self):
+        histogram = Histogram()
+        for value in [2.0, 8.0, 4.0, 6.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 20.0
+        assert histogram.min == 2.0
+        assert histogram.max == 8.0
+
+    def test_histogram_quantiles_interpolate(self):
+        histogram = Histogram()
+        for value in range(101):          # 0..100, fits the reservoir
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.0)
+        assert histogram.quantile(0.9) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_histogram_reservoir_is_deterministic(self):
+        def fill():
+            histogram = Histogram(capacity=32)
+            for value in range(1000):
+                histogram.observe(float(value))
+            return histogram
+
+        first, second = fill(), fill()
+        assert first.samples == second.samples          # same LCG stream
+        assert first.count == 1000
+        assert len(first.samples) == 32
+        # the reservoir keeps a spread, not just the first 32
+        assert max(first.samples) > 100
+
+    def test_registry_get_or_create_by_labels(self):
+        metrics = MetricsRegistry()
+        a = metrics.counter("hits", view="x")
+        b = metrics.counter("hits", view="x")
+        c = metrics.counter("hits", view="y")
+        assert a is b and a is not c
+        with pytest.raises(ValueError):
+            metrics.gauge("hits")                       # kind mismatch
+
+    def test_snapshot_runs_sync_hooks(self):
+        metrics = MetricsRegistry()
+        external = {"count": 3}
+        metrics.add_sync_hook(
+            lambda m: m.counter("external").set(external["count"]))
+        snap = metrics.snapshot()
+        assert snap["external"]["values"][""] == 3
+        external["count"] = 9
+        assert metrics.snapshot()["external"]["values"][""] == 9
+
+
+class TestEngineMetrics:
+    def test_database_metrics_snapshot_shape(self):
+        with _city_db() as db:
+            db.update("site.xml").at("/site/people/person[1]/name") \
+                .replace_with("Renamed")
+            snapshot = db.metrics()
+            json.dumps(snapshot)                # JSON-serializable
+            assert snapshot["router_classifications"]["values"][""] == 1
+            assert snapshot["db_statements"]["values"][""] == 1
+            assert snapshot["db_apply_seconds"]["kind"] == "histogram"
+            view_flushes = snapshot["view_flushes"]["values"]
+            assert view_flushes["view=by-city"] >= 1
+            assert snapshot["view_extent_nodes"]["values"][
+                "view=by-city"] > 0
+            phase = snapshot["view_phase_seconds"]["values"]
+            assert "phase=propagate,view=by-city" in phase
+            assert snapshot["storage_mutations"]["values"][""] > 0
+            # index and operator-state mirrors are present
+            assert "index_range_scans" in snapshot
+            assert "opstate_hits" in snapshot
+
+    def test_subscriber_fanout_metrics(self):
+        with _city_db() as db:
+            events = []
+            db.view("by-city").subscribe(events.append)
+            db.update("site.xml").at("/site/people/person[1]/name") \
+                .replace_with("Renamed")
+            snapshot = db.metrics()
+            assert events
+            assert snapshot["subscriber_callbacks"]["values"][
+                "view=by-city"] == len(events)
+            assert snapshot["subscriber_callback_seconds"]["values"][
+                "view=by-city"]["count"] == len(events)
+
+    def test_render_prometheus_text_format(self):
+        with _city_db() as db:
+            db.update("site.xml").at("/site/people/person[1]/name") \
+                .replace_with("Renamed")
+            text = db.render_prometheus()
+        assert "# TYPE repro_router_classifications counter" in text
+        assert "repro_router_classifications 1" in text
+        assert 'repro_view_flushes{view="by-city"}' in text
+        # histograms render as summaries with quantile labels
+        assert 'repro_db_apply_seconds{quantile="0.5"}' in text
+        assert "repro_db_apply_seconds_count 1" in text
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
+
+class TestTracing:
+    def test_span_nesting_under_multiview_batch(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 12, seed=7)
+        with ViewRegistry(storage) as registry:
+            registry.register("seniors", xmark.SELECTION_QUERY)
+            registry.register("sales", xmark.JOIN_QUERY)
+            sink = CollectingSink()
+            registry.add_trace_sink(sink)
+            persons = storage.find_by_path(
+                "site.xml", [("child", "site"), ("child", "people"),
+                             ("child", "person")])
+            registry.apply_updates([
+                UpdateRequest.insert(
+                    "site.xml", persons[-1],
+                    xmark.new_person_xml(900, age=70), "after"),
+                UpdateRequest.delete("site.xml", persons[0]),
+            ])
+
+            roots = sink.by_name("registry.apply_updates")
+            assert len(roots) == 1
+            root = roots[0]
+            assert root.attrs["updates"] == 2
+            assert root.parent_id is None
+
+            flushes = sink.by_name("view.flush")
+            assert {s.attrs["view"] for s in flushes} == {"seniors",
+                                                          "sales"}
+            for flush in flushes:
+                assert flush.parent_id == root.span_id
+                assert flush.depth == root.depth + 1
+                assert flush.attrs["decision"] in ("propagate",
+                                                   "recompute")
+                assert flush.attrs["observed_seconds"] <= root.duration
+
+            phases = sink.by_name("phase.propagate")
+            assert phases
+            flush_ids = {s.span_id for s in flushes}
+            assert all(p.parent_id in flush_ids for p in phases)
+            # children complete (and are delivered) before their parents
+            order = [s.span_id for s in sink.spans]
+            assert order.index(root.span_id) == len(order) - 1
+
+    def test_tracer_inactive_without_sink(self):
+        tracer = Tracer()
+        assert not tracer.active
+        span = tracer.span("noop")
+        with span as inner:
+            inner.set(ignored=True)       # no-op, no state accumulated
+        sink = CollectingSink()
+        tracer.add_sink(sink)
+        assert tracer.active
+        with disabled():
+            assert not tracer.active
+        with tracer.span("real", tag="x"):
+            pass
+        assert [s.name for s in sink.spans] == ["real"]
+        assert isinstance(sink, TraceSink)  # protocol conformance
+        assert isinstance(sink.spans[0], Span)
+
+
+class TestExplain:
+    def test_explain_join_aggregate_view(self):
+        storage = StorageManager()
+        xmark.register_site(storage, 10, seed=3)
+        with Database(storage=storage) as db:
+            db.create_view("headcount", xmark.CITY_HEADCOUNT_QUERY)
+            db.update("site.xml") \
+                .at("/site/people/person[1]/address/city") \
+                .replace_with("Montevideo")
+            text = db.explain("headcount")
+
+        lines = text.splitlines()
+        assert lines[0].startswith("view 'headcount'")
+        assert "policy=immediate" in lines[0]
+        assert "extent_nodes=" in lines[0]
+        assert any(line.startswith("query:") for line in lines)
+        assert any(line.startswith("maintenance: flushes=1")
+                   for line in lines)
+        assert any(line.startswith("timings: validate=")
+                   for line in lines)
+        assert any(line.startswith("cost model: recompute=")
+                   for line in lines)
+        # the plan tree is annotated with live full/delta counters
+        plan_lines = lines[lines.index("plan:") + 1:]
+        assert len(plan_lines) > 3
+        assert all("full: runs=" in line and "Δ: runs=" in line
+                   for line in plan_lines)
+        assert any("├─" in line or "└─" in line for line in plan_lines)
+        # materialization ran every operator at least once in full mode
+        assert "runs=0" not in plan_lines[0].split("Δ:")[0]
+        # the join+aggregate plan keeps persistent operator state
+        assert any("state: served=" in line for line in plan_lines)
+
+    def test_explain_unknown_view_raises(self):
+        with Database() as db:
+            with pytest.raises(KeyError):
+                db.explain("nope")
+
+
+class TestDisabledDifferential:
+    def test_disabled_observability_identical_extents(self):
+        """The paranoia check: enabled vs disabled observability must
+        produce byte-identical view extents over a mixed random stream
+        (observability reads the engine, never steers it)."""
+
+        class _NeverRecompute(CostModel):
+            """Pin flush decisions: the stock cost model chooses
+            propagate-vs-recompute from wall-clock observations, which
+            host load could flip between the two runs."""
+
+            def should_recompute(self, trees: int) -> bool:
+                return False
+
+        def run(enabled: bool) -> list[str]:
+            previous = set_enabled(enabled)
+            try:
+                storage = StorageManager()
+                xmark.register_site(storage, 15, seed=6)
+                with ViewRegistry(storage) as registry:
+                    registry.register("by-city",
+                                      xmark.PERSONS_BY_CITY_QUERY,
+                                      cost_model=_NeverRecompute())
+                    registry.register("sales", xmark.JOIN_QUERY,
+                                      policy=3,
+                                      cost_model=_NeverRecompute())
+                    rng = random.Random(11)
+                    extents = []
+                    for step in range(12):
+                        batch = random_batch(
+                            rng, storage, step,
+                            ("insert_person", "delete_person",
+                             "modify_city", "modify_name"))
+                        registry.apply_updates(batch)
+                        extents.append(registry.query("by-city"))
+                        extents.append(registry.query("sales"))
+                    return extents
+            finally:
+                set_enabled(previous)
+
+        assert run(True) == run(False)

@@ -172,7 +172,7 @@ class TestModifySemantics:
             [UpdateRequest.modify("site.xml", name, "Renamed Person")])
         assert_consistent(view)
         if "Renamed Person" in view.to_xml():
-            assert report.decomposed == 0
+            assert report.accepted == 1
 
     def test_modify_join_key_first_class(self):
         """A join-key modify propagates as one retract/assert pair — the
@@ -184,28 +184,20 @@ class TestModifySemantics:
         city = storage.children(address, "city")[0]
         report = view.apply_updates(
             [UpdateRequest.modify("site.xml", city, "Montevideo")])
-        assert report.decomposed == 0
         assert report.accepted == 1
+        assert report.batches == 1
         assert 'name="Montevideo"' in view.to_xml()
         assert_consistent(view)
 
-    def test_modify_join_key_legacy_decomposition(self):
-        """modify_decomposition=True restores the Section 5.2.2
-        delete+reinsert treatment for one release."""
+    def test_legacy_decomposition_flag_removed(self):
+        """The Section 5.2.2 delete+reinsert escape hatch is gone; the
+        old keyword fails loudly instead of silently changing paths."""
         storage = StorageManager()
         xmark.register_site(storage, 10, seed=42)
-        view = MaterializedXQueryView(storage,
-                                      xmark.PERSONS_BY_CITY_QUERY,
-                                      modify_decomposition=True)
-        view.materialize()
-        persons = persons_of(storage)
-        address = storage.children(persons[0], "address")[0]
-        city = storage.children(address, "city")[0]
-        report = view.apply_updates(
-            [UpdateRequest.modify("site.xml", city, "Montevideo")])
-        assert report.decomposed == 1
-        assert 'name="Montevideo"' in view.to_xml()
-        assert_consistent(view)
+        with pytest.raises(TypeError, match="modify_decomposition"):
+            MaterializedXQueryView(storage,
+                                   xmark.PERSONS_BY_CITY_QUERY,
+                                   modify_decomposition=True)
 
     def test_modify_deep_inside_exposed_fragment(self):
         storage, view = site_view(xmark.ORDER_QUERY_1, num_persons=10)
