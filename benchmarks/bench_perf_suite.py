@@ -28,6 +28,13 @@ walk-based unindexed fallbacks — and emits one machine-readable
   extents to match the recompute oracle at every scale and the
   incremental per-batch cost to stay no worse than recomputation at
   document sizes large enough to judge;
+* **cold_start_vs_restore**: the durability payoff — rebuilding a
+  session (parse the document, materialize every view, re-apply the
+  update history) vs reopening its durable directory
+  (``Database(durable_path=...)``: checkpoint restore plus WAL-tail
+  replay).  Both sides must serve identical view XML, and at the
+  largest scale the restore must be strictly faster than the cold
+  start (``cold_start_vs_restore.ok`` gates CI);
 * **update_overhead**: the honest cost of index upkeep — raw
   insert+delete batches against indexed vs unindexed storage;
 * **api_overhead**: the cost of the :class:`repro.api.Database` facade —
@@ -64,7 +71,9 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import shutil
 import statistics
+import tempfile
 
 import time
 
@@ -416,6 +425,118 @@ def modify_heavy_gate(series: list[dict]) -> dict:
             "ok": ok}
 
 
+#: the scripted update history both sides re-create: checkpointed
+#: batches, then batches that live only in the WAL tail at crash time
+RESTORE_WARM_BATCHES = 2
+RESTORE_TAIL_BATCHES = 2
+RESTORE_BATCH = 4
+
+RESTORE_VIEWS = [("join", xmark.JOIN_QUERY),
+                 ("bycity", xmark.PERSONS_BY_CITY_QUERY)]
+
+
+def _restore_history_batches(db: Database, offset: int, count: int):
+    """Apply ``count`` deterministic person-insert batches."""
+    for index in range(count):
+        anchor = persons(db.storage)[-1]
+        db.registry.apply_updates([
+            UpdateRequest.insert(
+                "site.xml", anchor,
+                xmark.new_person_xml(7000 + offset * RESTORE_BATCH
+                                     * 100 + index * RESTORE_BATCH + i),
+                "after")
+            for i in range(RESTORE_BATCH)])
+
+
+def measure_cold_vs_restore(scale_list, repeat: int) -> list[dict]:
+    """Session restart cost: cold rebuild vs durable-directory restore.
+
+    The durable side is prepared once per scale — load, materialize,
+    ``RESTORE_WARM_BATCHES`` batches, an explicit checkpoint,
+    ``RESTORE_TAIL_BATCHES`` more batches, then a crash (no close, so
+    the tail stays WAL-only).  Each timed restore opens a fresh copy of
+    that directory (recovery truncates torn state in place, so copies
+    keep the repeats identical); each timed cold start re-parses the
+    document, re-materializes both views and re-applies the whole
+    history.  Both sides must serve identical XML for every view.
+    """
+    series = []
+    for n in scale_list:
+        site_xml = xmark.generate_site(n, seed=1)
+
+        def cold_once() -> Database:
+            db = Database()
+            db.load("site.xml", site_xml)
+            for view_name, query in RESTORE_VIEWS:
+                db.create_view(view_name, query)
+            _restore_history_batches(db, 0, RESTORE_WARM_BATCHES)
+            _restore_history_batches(db, 1, RESTORE_TAIL_BATCHES)
+            return db
+
+        with tempfile.TemporaryDirectory(prefix="bench-restore-") as tmp:
+            base = f"{tmp}/base"
+            db = Database(durable_path=base, fsync="off")
+            db.load("site.xml", site_xml)
+            for view_name, query in RESTORE_VIEWS:
+                db.create_view(view_name, query)
+            _restore_history_batches(db, 0, RESTORE_WARM_BATCHES)
+            db.checkpoint()
+            _restore_history_batches(db, 1, RESTORE_TAIL_BATCHES)
+            reference = {name: db.read(name) for name in db.views()}
+            del db                                  # crash: tail stays WAL
+
+            restore_s = float("inf")
+            restored_xml = None
+            for index in range(repeat):
+                copy = f"{tmp}/copy{index}"
+                shutil.copytree(base, copy)
+                started = time.perf_counter()
+                rdb = Database(durable_path=copy, fsync="off")
+                restore_s = min(restore_s,
+                                time.perf_counter() - started)
+                if restored_xml is None:
+                    restored_xml = {name: rdb.read(name)
+                                    for name in rdb.views()}
+                    replayed = rdb.durability.last_recovery \
+                                  .wal_records_replayed
+                rdb.registry.close()                # no close-checkpoint
+
+        cold_s = float("inf")
+        cold_xml = None
+        for _ in range(repeat):
+            started = time.perf_counter()
+            cdb = cold_once()
+            cold_s = min(cold_s, time.perf_counter() - started)
+            if cold_xml is None:
+                cold_xml = {name: cdb.read(name) for name in cdb.views()}
+            cdb.close()
+
+        series.append({
+            "persons": n,
+            "cold_seconds": cold_s,
+            "restore_seconds": restore_s,
+            "wal_records_replayed": replayed,
+            "speedup": cold_s / restore_s if restore_s > 0 else None,
+            "consistency_ok": (restored_xml == reference
+                               and cold_xml == reference)})
+    return series
+
+
+def cold_vs_restore_gate(series: list[dict]) -> dict:
+    """CI gate: identical XML on both sides at every scale, and at the
+    largest scale the restore strictly beats the cold rebuild."""
+    consistency = all(entry["consistency_ok"] for entry in series)
+    largest = series[-1]
+    ok = consistency and (largest["restore_seconds"]
+                          < largest["cold_seconds"])
+    return {"persons": largest["persons"],
+            "cold_seconds": largest["cold_seconds"],
+            "restore_seconds": largest["restore_seconds"],
+            "speedup": largest["speedup"],
+            "consistency_ok": consistency,
+            "ok": ok}
+
+
 def measure_update_overhead(scale_list, repeat: int) -> list[dict]:
     """Index upkeep cost: an insert+delete batch returns storage to its
     initial state, so the same manager is timed repeatedly."""
@@ -627,6 +748,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
     obs_entry, metrics_snapshot = measure_observability(obs_scale, repeat)
     join_series = measure_join_maintenance(scale_list, repeat)
     modify_series = measure_modify_heavy(scale_list, repeat)
+    restore_series = measure_cold_vs_restore(scale_list, repeat)
     nav_desc, ok_desc = measure_navigation(
         NAV_DESCENDANT_PATHS, NAV_DESCENDANT_TAGS, scale_list, repeat)
     nav_child, ok_child = measure_navigation(
@@ -653,6 +775,10 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
          "style": "incremental first-class modify pairs vs full "
                   "recomputation, modify-dominated batches",
          "series": modify_series},
+        {"name": "cold_start_vs_restore",
+         "style": "durability payoff: cold session rebuild vs "
+                  "checkpoint restore + WAL-tail replay",
+         "series": restore_series},
         {"name": "update_overhead",
          "style": "index upkeep: raw insert+delete batch",
          "series": measure_update_overhead(scale_list, repeat)},
@@ -671,6 +797,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
                             for entry in api_series)
     join_gate = join_maintenance_gate(join_series)
     modify_gate = modify_heavy_gate(modify_series)
+    restore_gate = cold_vs_restore_gate(restore_series)
     return {
         "suite": "perf_suite",
         "description": "indexed StructuralIndex fast paths vs walk-based "
@@ -681,7 +808,8 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
         "repeat": repeat,
         "consistency_ok": (ok_desc and ok_child and ok_sel
                            and join_gate["consistency_ok"]
-                           and modify_gate["consistency_ok"]),
+                           and modify_gate["consistency_ok"]
+                           and restore_gate["consistency_ok"]),
         "scenarios": scenarios,
         "headline": {"scenario": "navigation_descendant",
                      "persons": headline["persons"],
@@ -697,6 +825,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
                                 < API_STATEMENT_OVERHEAD_TARGET)},
         "join_maintenance": join_gate,
         "modify_heavy": modify_gate,
+        "cold_start_vs_restore": restore_gate,
         "observability": {
             "instrumentation_enabled": True,
             "target": OBS_OVERHEAD_TARGET,
@@ -751,6 +880,19 @@ def print_suite(result: dict) -> None:
                 ["scale", "incremental (ms)", "recompute (ms)", "ratio",
                  "consistency"], rows)
             continue
+        if scenario["name"] == "cold_start_vs_restore":
+            for entry in scenario["series"]:
+                rows.append([entry["persons"], ms(entry["cold_seconds"]),
+                             ms(entry["restore_seconds"]),
+                             f"{entry['speedup']:6.1f}x",
+                             entry["wal_records_replayed"],
+                             "ok" if entry["consistency_ok"]
+                             else "MISMATCH"])
+            print_table(
+                f"Perf suite: {scenario['name']} — {scenario['style']}",
+                ["scale", "cold (ms)", "restore (ms)", "speedup",
+                 "tail records", "consistency"], rows)
+            continue
         if scenario["name"] == "observability_overhead":
             for entry in scenario["series"]:
                 rows.append([entry["persons"],
@@ -797,6 +939,12 @@ def print_suite(result: dict) -> None:
     print(f"modify_heavy: incremental per-batch cost {ratio_txt}, "
           f"consistency {'ok' if modify['consistency_ok'] else 'BROKEN'}"
           f" — {'ok' if modify['ok'] else 'OVER TARGET OR INCONSISTENT'}")
+    restore = result["cold_start_vs_restore"]
+    print(f"cold_start_vs_restore: at {restore['persons']} persons the "
+          f"restore takes {ms(restore['restore_seconds'])} ms vs "
+          f"{ms(restore['cold_seconds'])} ms cold "
+          f"({restore['speedup']:.1f}x) — "
+          f"{'ok' if restore['ok'] else 'RESTORE SLOWER OR INCONSISTENT'}")
     obs = result["observability"]
     print(f"observability: instrumentation enabled throughout; enabled "
           f"vs disabled overhead {obs['overhead'] * 100:.2f}% "
@@ -863,8 +1011,8 @@ def test_suite_emits_valid_json(tmp_path):
     assert loaded["consistency_ok"] is True
     assert {s["name"] for s in loaded["scenarios"]} >= {
         "navigation_descendant", "selectivity", "view_maintenance_insert",
-        "join_maintenance", "modify_heavy", "api_overhead",
-        "observability_overhead"}
+        "join_maintenance", "modify_heavy", "cold_start_vs_restore",
+        "api_overhead", "observability_overhead"}
     for scenario in loaded["scenarios"]:
         assert scenario["series"], scenario["name"]
     assert "max_overhead" in loaded["api_overhead"]
@@ -911,6 +1059,19 @@ def test_join_maintenance_consistent_and_sane():
     # must carry the gate (no spurious 1.0 < 1.0 failure).
     assert gate["ok"] is True
     assert gate["target"] is None
+
+
+def test_cold_vs_restore_consistent_and_replays_tail():
+    series = measure_cold_vs_restore([20], repeat=1)
+    entry = series[0]
+    assert entry["consistency_ok"] is True
+    assert entry["wal_records_replayed"] == RESTORE_TAIL_BATCHES
+    assert entry["restore_seconds"] > 0
+    gate = cold_vs_restore_gate(series)
+    assert gate["consistency_ok"] is True
+    # No speed assertion at smoke scale: 20 persons is jitter territory;
+    # the restore-beats-cold claim is gated on the full sweep's largest
+    # scale by the suite run itself.
 
 
 def test_api_batch_matches_direct_stream():

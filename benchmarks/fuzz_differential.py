@@ -23,14 +23,18 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import random
 import sys
+import tempfile
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from tests.helpers import ALL_MUTATORS, run_differential  # noqa: E402
+from tests.helpers import ALL_MUTATORS, random_batch, \
+    run_differential  # noqa: E402
+from repro.api import Database  # noqa: E402
 from repro.workloads import xmark  # noqa: E402
 
 #: the views the fuzz sweeps: the two historical ROADMAP divergences,
@@ -45,6 +49,49 @@ FUZZ_VIEWS = {
 }
 
 
+def run_crash_churn(seed: int, steps: int, crash_every: int,
+                    num_persons: int = 20) -> int:
+    """Durable-session churn: apply random batches against a durable
+    :class:`Database`, "kill" the process every ``crash_every`` rounds
+    (drop the session with no close, so no final checkpoint), recover
+    from the directory, and oracle-check every view after each batch
+    and each recovery.  Returns the number of updates applied."""
+    with tempfile.TemporaryDirectory(prefix="crash-churn-") as path:
+        def open_db() -> Database:
+            db = Database(durable_path=path, fsync="always",
+                          checkpoint_every=32)
+            if not db.views():                 # first open: seed the dir
+                db.load("site.xml",
+                        xmark.generate_site(num_persons, seed=1))
+                db.create_view("join", xmark.JOIN_QUERY)
+                db.create_view("persons-by-city",
+                               xmark.PERSONS_BY_CITY_QUERY,
+                               policy="deferred")
+            return db
+
+        db = open_db()
+        rng = random.Random(seed)
+        updates = 0
+        for step in range(steps):
+            batch = random_batch(rng, db.storage, step, ALL_MUTATORS)
+            if batch:
+                db.registry.apply_updates(batch)
+                updates += len(batch)
+            for name in db.views():
+                got = db.read(name)
+                want = db.registry.recompute_xml(name)
+                if got != want:
+                    raise AssertionError(
+                        f"crash_churn seed={seed} step={step}: view "
+                        f"{name} diverged from recomputation\n"
+                        f" got: {got}\nwant: {want}")
+            if crash_every and (step + 1) % crash_every == 0:
+                del db                          # kill -9 analogue
+                db = open_db()
+        db.close()
+        return updates
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", default="1,2,3",
@@ -57,6 +104,10 @@ def main(argv=None) -> int:
     parser.add_argument("--views", default=None,
                         help="comma-separated view names "
                              f"(default: all of {', '.join(FUZZ_VIEWS)})")
+    parser.add_argument("--crash-every", type=int, default=5,
+                        help="crash_churn legs kill+recover the durable "
+                             "session every N rounds (0 disables the "
+                             "crash_churn schedule; default 5)")
     args = parser.parse_args(argv)
     seeds = [int(part) for part in args.seeds.split(",") if part]
     names = ([name for name in args.views.split(",") if name]
@@ -79,6 +130,16 @@ def main(argv=None) -> int:
                 legs_run += 1
                 print(f"ok   seed={seed} view={name} "
                       f"operator_state={operator_state}")
+    if args.crash_every:
+        for seed in seeds:
+            if time.monotonic() - started > args.budget:
+                legs_skipped += 1
+                continue
+            updates += run_crash_churn(seed, args.steps, args.crash_every,
+                                       num_persons=args.persons)
+            legs_run += 1
+            print(f"ok   seed={seed} schedule=crash_churn "
+                  f"crash_every={args.crash_every}")
     elapsed = time.monotonic() - started
     print(f"\ndifferential fuzz: {legs_run} legs, {updates} updates, "
           f"{elapsed:.1f}s"

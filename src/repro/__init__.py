@@ -23,6 +23,7 @@ The per-layer surface (:class:`StorageManager`,
 
 from . import obs
 from .api import Batch, Database, Subscription, Update, View
+from .durability import DurabilityManager, RecoveryReport
 from .engine import Engine
 from .flexkeys import FlexKey
 from .multiview import (CostModel, MaintenancePolicy, MultiViewReport,
@@ -43,6 +44,7 @@ __all__ = [
     "Batch",
     "CostModel",
     "Database",
+    "DurabilityManager",
     "Engine",
     "FlexKey",
     "MaintenancePolicy",
@@ -50,6 +52,7 @@ __all__ = [
     "MaterializedXQueryView",
     "MultiViewReport",
     "Profiler",
+    "RecoveryReport",
     "RefreshEvent",
     "Sapt",
     "StorageManager",

@@ -39,6 +39,7 @@ import os
 import time
 from typing import Callable, List, Optional, Union
 
+from ..durability import DurabilityManager, RecoveryReport
 from ..multiview.cost import CostModel
 from ..multiview.pipeline import _REMOVED
 from ..multiview.policies import MaintenancePolicy
@@ -63,10 +64,23 @@ class Database:
     ``Database()`` owns a fresh :class:`StorageManager`;
     ``Database(storage=...)`` wraps an existing one (the registry
     listener is detached again on :meth:`close`).
+
+    ``Database(durable_path=dir)`` opens a **durable** session: update
+    batches are write-ahead logged before they mutate anything, the
+    engine state (documents, structural index, view extents, operator
+    state) is checkpointed every ``checkpoint_every`` logged records and
+    on :meth:`close`, and opening over an existing directory *recovers*
+    — newest verified checkpoint restored, WAL tail replayed through
+    the normal pipeline, torn trailing records discarded.  ``fsync`` is
+    ``"always"`` (a batch acknowledged is a batch on disk), ``"batch"``
+    (bounded loss on power failure) or ``"off"``; the resulting
+    :class:`~repro.durability.RecoveryReport` is at :attr:`recovery`.
     """
 
     def __init__(self, storage: Optional[StorageManager] = None, *,
                  indexed: bool = True, operator_state: bool = True,
+                 durable_path=None, fsync: str = "batch",
+                 checkpoint_every: int = 256, durability_fs=None,
                  modify_decomposition=_REMOVED):
         if modify_decomposition is not _REMOVED:
             raise TypeError(
@@ -83,18 +97,62 @@ class Database:
         self._subscriptions: set = set()
         self._view_queries: dict[str, str] = {}
         self._closed = False
+        self._durability: Optional[DurabilityManager] = None
+        self.recovery: Optional[RecoveryReport] = None
+        if durable_path is not None:
+            manager = DurabilityManager(durable_path, fs=durability_fs,
+                                        fsync=fsync,
+                                        checkpoint_every=checkpoint_every)
+            had_state = manager.has_state()
+            if had_state and storage is not None:
+                raise ValueError(
+                    "cannot wrap an existing StorageManager around a "
+                    "durable directory that already holds state; open "
+                    "with storage=None to recover it")
+            self._durability = manager
+            self.recovery = manager.recover(self.registry)
+            for name in self.registry.names():
+                self._view_queries[name] = \
+                    self.registry.view(name).query_text
+            manager.bind(self.registry)
+            if not had_state and self.storage.document_names:
+                # A pre-populated StorageManager over a fresh directory:
+                # its contents were never logged, so bootstrap a
+                # checkpoint covering them before anything else happens.
+                manager.checkpoint(self.registry)
 
     # -- lifecycle ---------------------------------------------------------------------
 
+    @property
+    def durable(self) -> bool:
+        return self._durability is not None
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The bound durability manager (None for in-memory sessions)."""
+        return self._durability
+
+    def checkpoint(self) -> int:
+        """Cut a checkpoint now; returns its LSN (durable sessions only)."""
+        if self._durability is None:
+            raise RuntimeError(
+                "checkpoint() requires a durable session: open the "
+                "database with durable_path=...")
+        return self._durability.checkpoint(self.registry)
+
     def close(self) -> None:
-        """End the session: cancel subscriptions and detach the registry
-        from storage (idempotent)."""
+        """End the session: flush durable state (final checkpoint + WAL
+        sync), cancel subscriptions and detach the registry from storage
+        (idempotent)."""
         if self._closed:
             return
+        self._closed = True
         for subscription in list(self._subscriptions):
             subscription.cancel()
+        if self._durability is not None:
+            self._durability.close(self.registry)
+            self.registry.wal = None
         self.registry.close()
-        self._closed = True
 
     def __enter__(self) -> "Database":
         return self
@@ -125,6 +183,8 @@ class Database:
                     text = fh.read()
             document = XmlDocument.from_string(name, text)
         self.storage.register(document)
+        if self.registry.wal is not None:
+            self.registry.wal.log_load(name, document)
         return self
 
     def documents(self) -> List[str]:

@@ -1,0 +1,34 @@
+"""Durability subsystem: write-ahead log, checkpoints, crash recovery.
+
+``Database(durable_path=...)`` is the user-facing entry point; the
+pieces compose bottom-up:
+
+* :mod:`~repro.durability.files` — the injectable file layer (the
+  fault-injection seam);
+* :mod:`~repro.durability.wal` — length-prefixed CRC32 records with
+  monotone LSNs in checkpoint-rolled segments;
+* :mod:`~repro.durability.checkpoint` — atomic, verified, generational
+  snapshots;
+* :mod:`~repro.durability.snapshot` — what a snapshot contains
+  (documents with their FlexKeys, the StructuralIndex, view extents,
+  operator-state tables);
+* :mod:`~repro.durability.manager` — the orchestrator a
+  :class:`~repro.multiview.ViewRegistry` binds to.
+"""
+
+from .checkpoint import CheckpointError, CheckpointStore
+from .files import FileSystem, RealFileSystem
+from .manager import DurabilityManager, RecoveryReport
+from .wal import FSYNC_POLICIES, WriteAheadLog, read_segment
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "FileSystem",
+    "RealFileSystem",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "read_segment",
+]

@@ -1,0 +1,141 @@
+"""Atomic, CRC-verified checkpoints of the whole engine state.
+
+A checkpoint file ``checkpoint-<lsn>.ckpt`` holds one pickled state dict
+(see :mod:`repro.durability.snapshot`) behind a fixed header::
+
+    magic "RPCK" | format:u32 | lsn:u64 | crc32:u32 | length:u64
+
+Writes are crash-atomic: the bytes go to a ``.tmp`` sibling, are
+fsynced, atomically renamed over the final name, and the directory entry
+is fsynced — a reader sees either the complete new checkpoint or none
+of it.  Every write is re-read and CRC-verified before the caller is
+allowed to truncate the WAL behind it.
+
+The store retains the newest ``keep`` generations (default 2): recovery
+falls back to the previous checkpoint when the newest fails its CRC,
+and the WAL keeps every segment the *oldest retained* generation would
+need, so the fallback always has its replay tail.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+from .files import FileSystem
+
+__all__ = ["CheckpointError", "CheckpointStore"]
+
+_MAGIC = b"RPCK"
+_FORMAT = 1
+_HEADER = struct.Struct(">4sIQIQ")
+
+_PREFIX = "checkpoint-"
+_SUFFIX = ".ckpt"
+
+
+class CheckpointError(Exception):
+    """A checkpoint file is missing, truncated, or fails verification."""
+
+
+def _checkpoint_name(lsn: int) -> str:
+    return f"{_PREFIX}{lsn:020d}{_SUFFIX}"
+
+
+def parse_checkpoint_name(name: str) -> int | None:
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    digits = name[len(_PREFIX):-len(_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+class CheckpointStore:
+    """Numbered checkpoint generations inside one durable directory."""
+
+    def __init__(self, fs: FileSystem, directory: str, keep: int = 2):
+        self._fs = fs
+        self.directory = directory
+        self.keep = max(1, keep)
+
+    def list(self) -> list[tuple[int, str]]:
+        """``(lsn, path)`` of every checkpoint, newest first."""
+        out = []
+        for name in self._fs.listdir(self.directory):
+            lsn = parse_checkpoint_name(name)
+            if lsn is not None:
+                out.append((lsn, f"{self.directory}/{name}"))
+        out.sort(reverse=True)
+        return out
+
+    # -- writing -----------------------------------------------------------------------
+
+    def write(self, lsn: int, state: dict) -> str:
+        """Atomically persist ``state`` as the checkpoint at ``lsn``;
+        verified by re-read before returning."""
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(_MAGIC, _FORMAT, lsn, zlib.crc32(payload),
+                              len(payload))
+        path = f"{self.directory}/{_checkpoint_name(lsn)}"
+        tmp = path + ".tmp"
+        fh = self._fs.open(tmp, "wb")
+        try:
+            fh.write(header)
+            fh.write(payload)
+            self._fs.fsync(fh)
+        finally:
+            fh.close()
+        self._fs.replace(tmp, path)
+        self._fs.fsync_dir(self.directory)
+        self.load_one(path)   # never truncate the WAL behind a bad write
+        return path
+
+    # -- reading -----------------------------------------------------------------------
+
+    def load_one(self, path: str) -> tuple[int, dict]:
+        """Decode and verify one checkpoint file → ``(lsn, state)``."""
+        with self._fs.open(path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise CheckpointError(f"truncated checkpoint header: {path}")
+            magic, fmt, lsn, crc, length = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise CheckpointError(f"bad checkpoint magic in {path}")
+            if fmt != _FORMAT:
+                raise CheckpointError(
+                    f"unsupported checkpoint format {fmt} in {path}")
+            payload = fh.read(length)
+        if len(payload) < length:
+            raise CheckpointError(f"truncated checkpoint payload: {path}")
+        if zlib.crc32(payload) != crc:
+            raise CheckpointError(f"checkpoint CRC mismatch: {path}")
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint unpickle failed: {path}: {exc}") from exc
+        return lsn, state
+
+    def load_latest(self) -> tuple[int, dict, int] | None:
+        """The newest checkpoint that verifies, as ``(lsn, state,
+        generation)`` where generation 0 is the newest on disk — a
+        nonzero generation means corruption fallback kicked in.  None
+        when no checkpoint verifies (cold start)."""
+        for generation, (_lsn, path) in enumerate(self.list()):
+            try:
+                lsn, state = self.load_one(path)
+            except (CheckpointError, OSError):
+                continue
+            return lsn, state, generation
+        return None
+
+    # -- retention ---------------------------------------------------------------------
+
+    def prune(self) -> int:
+        """Drop all but the newest ``keep`` generations; returns the
+        oldest *retained* LSN (the WAL must keep its replay tail)."""
+        checkpoints = self.list()
+        for _lsn, path in checkpoints[self.keep:]:
+            self._fs.remove(path)
+        retained = checkpoints[:self.keep]
+        return retained[-1][0] if retained else 0

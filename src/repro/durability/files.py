@@ -1,0 +1,86 @@
+"""The injectable file layer under the durability subsystem.
+
+Every byte the WAL and checkpoint store touch goes through a
+:class:`FileSystem` instance, so the fault-injection harness
+(``tests/faults.py``) can interpose torn writes, short reads, fsync
+failures and kill-at-LSN crash points without monkeypatching ``os`` —
+the same seam a real storage engine keeps between its log manager and
+the kernel.  :class:`RealFileSystem` is the default pass-through.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["FileSystem", "RealFileSystem"]
+
+
+class FileSystem:
+    """Abstract file operations used by the WAL and checkpoint store."""
+
+    def open(self, path: str, mode: str):
+        raise NotImplementedError
+
+    def fsync(self, fileobj) -> None:
+        raise NotImplementedError
+
+    def fsync_dir(self, path: str) -> None:
+        """Flush a directory entry (after an atomic rename into it)."""
+        raise NotImplementedError
+
+    def replace(self, src: str, dst: str) -> None:
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> list[str]:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def makedirs(self, path: str) -> None:
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        raise NotImplementedError
+
+    def size(self, path: str) -> int:
+        raise NotImplementedError
+
+
+class RealFileSystem(FileSystem):
+    """The production file layer: straight through to the OS."""
+
+    def open(self, path: str, mode: str):
+        return open(path, mode)
+
+    def fsync(self, fileobj) -> None:
+        fileobj.flush()
+        os.fsync(fileobj.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        # Windows cannot open directories; durability there is best-effort.
+        if os.name != "posix":
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def listdir(self, path: str) -> list[str]:
+        return os.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def size(self, path: str) -> int:
+        return os.path.getsize(path)

@@ -1,0 +1,300 @@
+"""DurabilityManager: WAL + checkpoints + recovery over one ViewRegistry.
+
+The manager owns one durable directory holding WAL segments and
+checkpoint generations, and binds to a :class:`ViewRegistry` as its
+``wal`` attribute — the registry then calls :meth:`log_batch` at the
+top of :meth:`ViewRegistry.apply_updates` (before any mutation, so a
+batch is atomic-on-disk or not applied at all), :meth:`log_create_view`
+/ :meth:`log_drop_view` on DDL, and :meth:`maybe_checkpoint` after each
+applied stream.  Document loads are logged by the API facade via
+:meth:`log_load`.
+
+Recovery (:meth:`recover`) is the inverse: load the newest checkpoint
+that verifies (falling back one generation on corruption), graft it
+into the fresh registry, then replay the WAL tail **through the normal
+router/pipeline** — FlexKey assignment is deterministic given storage
+state, so replayed batches reproduce the exact keys the live run
+assigned, and later records keep addressing valid targets.  A batch
+that failed mid-apply before the crash fails identically on replay
+(same partial storage application), so recovery converges on the
+pre-crash state rather than diverging from it.  Torn trailing records
+are truncated away, never fatal.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from ..flexkeys import FlexKey
+from ..multiview.policies import MaintenancePolicy
+from ..updates.primitives import UpdateRequest
+from ..xmlmodel import XmlDocument, parse_fragment, serialize
+from .checkpoint import CheckpointStore
+from .files import FileSystem, RealFileSystem
+from .snapshot import capture_state, restore_state
+from .wal import FSYNC_POLICIES, WriteAheadLog
+
+__all__ = ["DurabilityManager", "RecoveryReport"]
+
+
+def _encode_request(request: UpdateRequest) -> dict:
+    return {"k": request.kind, "d": request.document,
+            "t": request.target.value, "p": request.position,
+            "v": request.new_value,
+            "f": (serialize(request.fragment)
+                  if request.fragment is not None else None)}
+
+
+def _decode_request(data: dict) -> UpdateRequest:
+    fragment = None
+    if data["f"] is not None:
+        fragment = parse_fragment(data["f"])[0]
+    return UpdateRequest(data["k"], data["d"], FlexKey.parse(data["t"]),
+                         fragment=fragment, position=data["p"],
+                         new_value=data["v"])
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`DurabilityManager.recover` pass did."""
+
+    checkpoint_lsn: int = 0
+    checkpoint_generation: int = 0   # 0 = newest verified; >0 = fallback
+    wal_records_replayed: int = 0
+    wal_bytes: int = 0
+    torn_records_discarded: int = 0
+    replay_errors: int = 0           # batches that re-failed on replay
+    recovery_seconds: float = 0.0
+    documents: int = 0
+    views: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class DurabilityManager:
+    """One durable directory (WAL segments + checkpoint generations)."""
+
+    def __init__(self, path, *, fs: FileSystem | None = None,
+                 fsync: str = "batch", checkpoint_every: int = 256,
+                 sync_every: int = 8, keep_checkpoints: int = 2):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync!r} "
+                             f"(expected one of {FSYNC_POLICIES})")
+        self.fs = fs if fs is not None else RealFileSystem()
+        self.path = os.fspath(path)
+        self.fs.makedirs(self.path)
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.wal = WriteAheadLog(self.fs, self.path, fsync=fsync,
+                                 sync_every=sync_every)
+        self.checkpoints = CheckpointStore(self.fs, self.path,
+                                           keep=keep_checkpoints)
+        self.replaying = False
+        self.closed = False
+        self.last_recovery: RecoveryReport | None = None
+        self._records_since_checkpoint = 0
+        # cumulative durability activity, mirrored into the metrics
+        # registry by the sync hook (same pattern as router/index stats)
+        self._records_replayed = 0
+        self._bytes_replayed = 0
+        self._torn_discarded = 0
+        self._recovery_seconds = 0.0
+        self._checkpoint_seconds = 0.0
+        self._checkpoints_total = 0
+
+    def has_state(self) -> bool:
+        """Whether the directory already holds durable state."""
+        return bool(self.checkpoints.list() or self.wal.segments())
+
+    # -- binding -----------------------------------------------------------------------
+
+    def bind(self, registry) -> None:
+        """Attach to ``registry``: subsequent batches/DDL are logged and
+        durability stats join the registry's metric snapshots."""
+        registry.wal = self
+        registry.metrics.add_sync_hook(self._sync_metrics)
+
+    def _sync_metrics(self, metrics) -> None:
+        metrics.counter("wal_records_total",
+                        "Records appended to the write-ahead log"
+                        ).set(self.wal.stats.records_appended)
+        metrics.counter("wal_bytes",
+                        "WAL bytes written plus bytes scanned by recovery"
+                        ).set(self.wal.stats.bytes_appended
+                              + self._bytes_replayed)
+        metrics.counter("wal_fsyncs_total",
+                        "fsync calls issued by the write-ahead log"
+                        ).set(self.wal.stats.fsyncs)
+        metrics.counter("wal_records_replayed",
+                        "WAL records replayed by recovery"
+                        ).set(self._records_replayed)
+        metrics.counter("wal_torn_records_discarded",
+                        "Torn/corrupt trailing records discarded"
+                        ).set(self._torn_discarded)
+        metrics.counter("recovery_seconds",
+                        "Cumulative wall-clock time spent recovering"
+                        ).set(self._recovery_seconds)
+        metrics.counter("checkpoint_seconds",
+                        "Cumulative wall-clock time writing checkpoints"
+                        ).set(self._checkpoint_seconds)
+        metrics.counter("checkpoints_total", "Checkpoints written"
+                        ).set(self._checkpoints_total)
+        metrics.gauge("wal_last_lsn", "Newest LSN appended or replayed"
+                      ).set(self.wal.last_lsn)
+
+    # -- logging (called by the registry / facade) -------------------------------------
+
+    def log_batch(self, updates: list[UpdateRequest]) -> None:
+        """Append one routed update batch *before* it mutates anything."""
+        if self.replaying or not updates:
+            return
+        self._append({"t": "batch",
+                      "u": [_encode_request(r) for r in updates]})
+
+    def log_load(self, name: str, document: XmlDocument) -> None:
+        if self.replaying:
+            return
+        self._append({"t": "load", "name": name,
+                      "xml": document.to_string()})
+
+    def log_create_view(self, name: str, query: str,
+                        policy: MaintenancePolicy,
+                        materialize: bool = True) -> None:
+        if self.replaying:
+            return
+        self._append({"t": "create_view", "name": name, "query": query,
+                      "policy_kind": policy.kind,
+                      "policy_threshold": policy.threshold,
+                      "materialize": materialize})
+
+    def log_drop_view(self, name: str) -> None:
+        if self.replaying:
+            return
+        self._append({"t": "drop_view", "name": name})
+
+    def _append(self, payload: dict) -> None:
+        if self.closed:
+            raise RuntimeError("durability manager is closed")
+        self.wal.append(payload)
+        self._records_since_checkpoint += 1
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def maybe_checkpoint(self, registry) -> bool:
+        """Cut a checkpoint when enough records accumulated since the
+        last one (called by the registry after each applied stream)."""
+        if self.replaying \
+                or self._records_since_checkpoint < self.checkpoint_every:
+            return False
+        self.checkpoint(registry)
+        return True
+
+    def checkpoint(self, registry) -> int:
+        """Serialize the registry's full state at the current LSN, roll
+        the WAL, and prune old generations; returns the checkpoint LSN.
+
+        Nothing is truncated until the new checkpoint has been re-read
+        and CRC-verified, and the WAL keeps every segment the oldest
+        *retained* generation needs — so a corrupt newest checkpoint can
+        always fall back one generation with its replay tail intact.
+        """
+        started = time.perf_counter()
+        # Quiesce before capturing: queued deferred trees are not part
+        # of the snapshot, and their WAL records are about to be
+        # truncated — flushing folds them into the extents (and leaves
+        # operator-state entries clean enough to checkpoint).
+        registry.flush()
+        state = capture_state(registry)
+        lsn = self.wal.last_lsn
+        self.checkpoints.write(lsn, state)
+        self.wal.start_segment(lsn + 1)
+        oldest_retained = self.checkpoints.prune()
+        self.wal.drop_segments_before(oldest_retained + 1)
+        self._records_since_checkpoint = 0
+        self._checkpoints_total += 1
+        self._checkpoint_seconds += time.perf_counter() - started
+        return lsn
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def recover(self, registry) -> RecoveryReport:
+        """Rebuild ``registry`` (fresh, empty) from the durable directory
+        and position the WAL for appending.  Call :meth:`bind` after."""
+        report = RecoveryReport()
+        started = time.perf_counter()
+        with registry.tracer.span("recovery", path=self.path) as span:
+            loaded = self.checkpoints.load_latest()
+            base_lsn = 0
+            if loaded is not None:
+                base_lsn, state, generation = loaded
+                restore_state(registry, state)
+                report.checkpoint_lsn = base_lsn
+                report.checkpoint_generation = generation
+            self.replaying = True
+            try:
+                tail = self.wal.recover(base_lsn)
+                for _lsn, payload in tail.records:
+                    if not self._replay(registry, payload):
+                        report.replay_errors += 1
+            finally:
+                self.replaying = False
+            report.wal_records_replayed = len(tail.records)
+            report.wal_bytes = tail.bytes_scanned
+            report.torn_records_discarded = tail.torn_records_discarded
+            report.documents = len(registry.storage.document_names)
+            report.views = len(registry)
+            report.recovery_seconds = time.perf_counter() - started
+            span.set(checkpoint_lsn=report.checkpoint_lsn,
+                     generation=report.checkpoint_generation,
+                     records_replayed=report.wal_records_replayed,
+                     torn_discarded=report.torn_records_discarded,
+                     views=report.views,
+                     seconds=report.recovery_seconds)
+        self._records_replayed += report.wal_records_replayed
+        self._bytes_replayed += report.wal_bytes
+        self._torn_discarded += report.torn_records_discarded
+        self._recovery_seconds += report.recovery_seconds
+        self._records_since_checkpoint = report.wal_records_replayed
+        self.last_recovery = report
+        return report
+
+    def _replay(self, registry, payload: dict) -> bool:
+        """Apply one WAL record through the normal code paths; returns
+        False when a batch re-raised (reproducing a pre-crash partial
+        application, which is the converged state, not an error)."""
+        kind = payload["t"]
+        if kind == "load":
+            registry.storage.register(XmlDocument.from_string(
+                payload["name"], payload["xml"]))
+        elif kind == "create_view":
+            policy = MaintenancePolicy(payload["policy_kind"],
+                                       payload["policy_threshold"])
+            registry.register(payload["name"], payload["query"],
+                              policy=policy,
+                              materialize=payload.get("materialize", True))
+        elif kind == "drop_view":
+            registry.unregister(payload["name"])
+        elif kind == "batch":
+            requests = [_decode_request(u) for u in payload["u"]]
+            try:
+                registry.apply_updates(requests)
+            except Exception:
+                return False
+        else:
+            raise ValueError(f"unknown WAL record type {kind!r}")
+        return True
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self, registry=None) -> None:
+        """Flush durable state and release the log (idempotent).  With a
+        registry, a final checkpoint is cut first so the next open
+        restores instead of replaying."""
+        if self.closed:
+            return
+        if registry is not None:
+            self.checkpoint(registry)
+        self.wal.close()
+        self.closed = True

@@ -1,0 +1,115 @@
+"""Engine-state serialization for checkpoints: capture and restore.
+
+What a checkpoint holds, and why it restores *cheaply*:
+
+* **documents** — the live :class:`~repro.xmlmodel.XmlDocument` trees,
+  pickled with every node's FlexKey attached.  Keys must survive the
+  round trip verbatim: WAL-tail records address nodes by key, and
+  re-registering from XML text would relabel inserted nodes
+  (``sibling_atom(index)`` ≠ the ``atom_for_insert`` keys they got
+  live).  :meth:`StorageManager.restore_document` re-adopts the trees
+  without reassigning anything.
+* **the StructuralIndex** — pickled directly (plain dicts of sorted key
+  strings), so restore skips the per-node ``insort`` rebuild.
+* **view extents** — each registered view's materialized
+  :class:`~repro.apply.ExtentNode` tree plus its policy, cost-model
+  calibration and refresh sequence, so restore *grafts* extents instead
+  of rematerializing every view (the reason checkpoint restore beats a
+  cold start by construction).
+* **operator state** — the clean :class:`CachedEntry` FULL tables by
+  subplan signature.  Cells reference storage by FlexKey only, so the
+  tables pickle independently of the node graph; on restore the store
+  re-adopts them via :meth:`CachedEntry.populate` (fingerprints are
+  recomputed against the restored storage, which mirrors the
+  checkpointed one exactly).  Adoption is belt-and-braces guarded: the
+  cache is a pure performance layer, dropping an entry never affects
+  correctness.
+
+Views registered from raw :class:`XatOperator` plans (no query text)
+cannot be serialized — the durable facade requires query strings.
+"""
+
+from __future__ import annotations
+
+from ..multiview.policies import MaintenancePolicy
+
+__all__ = ["SNAPSHOT_FORMAT", "capture_state", "restore_state"]
+
+SNAPSHOT_FORMAT = 1
+
+
+def capture_state(registry) -> dict:
+    """One picklable dict of the registry's whole durable state.
+
+    Flushes every view first: checkpoints are cut at a quiescent point
+    so no pending delta queues need serializing, and the extents on disk
+    match a clean replay boundary.
+    """
+    registry.flush(None)
+    storage = registry.storage
+    views = []
+    for name in registry.names():
+        view = registry.view(name)
+        if not view.query_text:
+            raise ValueError(
+                f"view {name!r} was registered from a raw plan; durable "
+                f"registries require views registered from query strings")
+        views.append({
+            "name": name,
+            "query": view.query_text,
+            "policy_kind": view.policy.kind,
+            "policy_threshold": view.policy.threshold,
+            "extent": view.pipeline.extent,
+            "materialized": view.pipeline.materialized,
+            "refresh_sequence": view.refresh_sequence,
+            "recompute_seconds": view.cost.recompute_seconds,
+            "per_tree_seconds": view.cost.per_tree_seconds,
+        })
+    opstate = {}
+    store = registry.state_store
+    if store is not None:
+        for entry in store.entries():
+            # A stale backlog means the table lags storage — skip.  A
+            # leftover ``prepared`` plan does not: applied it is spent,
+            # unapplied its deletions never arrived (the registry is
+            # quiesced before capture), so the table mirrors storage
+            # either way and the plan itself is simply not persisted.
+            if entry.valid and not entry.stale and entry.table is not None:
+                opstate[entry.signature] = entry.table
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "documents": dict(storage._documents),
+        "roots": dict(storage._roots),
+        "index": storage.index,
+        "views": views,
+        "opstate": opstate,
+    }
+
+
+def restore_state(registry, state: dict) -> None:
+    """Rebuild a freshly-constructed registry (empty storage, no views)
+    from a captured state dict."""
+    if state.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"unsupported snapshot format {state.get('format')!r}")
+    storage = registry.storage
+    storage._index = state["index"]
+    for name, document in state["documents"].items():
+        storage.restore_document(document, state["roots"][name])
+    for spec in state["views"]:
+        policy = MaintenancePolicy(spec["policy_kind"],
+                                   spec["policy_threshold"])
+        view = registry.register(spec["name"], spec["query"],
+                                 policy=policy, materialize=False)
+        view.pipeline.extent = spec["extent"]
+        view.pipeline.materialized = spec["materialized"]
+        view.refresh_sequence = spec["refresh_sequence"]
+        if spec["recompute_seconds"] is not None:
+            view.cost.recompute_seconds = spec["recompute_seconds"]
+        if spec["per_tree_seconds"] is not None:
+            view.cost.per_tree_seconds = spec["per_tree_seconds"]
+    store = registry.state_store
+    if store is not None and state["opstate"]:
+        plans = [registry.view(name).pipeline.plan
+                 for name in registry.names()]
+        store.adopt(state["opstate"], plans)

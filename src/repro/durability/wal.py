@@ -1,0 +1,266 @@
+"""The write-ahead log: length-prefixed, CRC32-checksummed, LSN-stamped.
+
+One record per durable event — a routed update batch, a document load,
+or a view DDL change — encoded as a fixed 16-byte header
+(``lsn:u64  length:u32  crc32:u32``, big-endian) followed by a UTF-8
+JSON payload.  LSNs are monotone across the log's whole lifetime; the
+log is split into *segments* named ``wal-<first-lsn>.log``, rolled at
+every checkpoint so truncation is a whole-file delete, never an
+in-place rewrite.
+
+Torn-tail discipline: the reader stops at the first record whose header
+is short, whose length runs past the file, or whose CRC fails — a crash
+mid-append leaves exactly such a tail — and recovery truncates the
+segment back to the last valid byte before appending resumes.  Reads go
+through a short-read-tolerant loop so a partial ``read()`` (fault
+injection, signal-interrupted IO) never masquerades as a torn record.
+
+Fsync policy:
+
+* ``"always"`` — fsync before :meth:`WriteAheadLog.append` returns; a
+  batch acknowledged is a batch on disk.
+* ``"batch"`` — flush every append (survives process death), fsync
+  every ``sync_every`` records and at checkpoint/close (bounded loss on
+  power failure).
+* ``"off"`` — flush only; durability rides on the OS page cache.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from .files import FileSystem
+
+__all__ = ["FSYNC_POLICIES", "WalStats", "WalTail", "WriteAheadLog",
+           "read_segment", "segment_name"]
+
+_HEADER = struct.Struct(">QII")
+#: a length beyond this is treated as a torn/corrupt header, not honoured
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def segment_name(start_lsn: int) -> str:
+    return f"{_SEGMENT_PREFIX}{start_lsn:020d}{_SEGMENT_SUFFIX}"
+
+
+def parse_segment_name(name: str) -> int | None:
+    """The segment's first LSN, or None when ``name`` is not a segment."""
+    if not (name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def encode_record(lsn: int, payload: dict) -> bytes:
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(lsn, len(data), zlib.crc32(data)) + data
+
+
+def _read_exact(fileobj, count: int) -> bytes:
+    """Read exactly ``count`` bytes unless EOF intervenes (short reads
+    from the file layer are looped over, not trusted)."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = fileobj.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_segment(fs: FileSystem, path: str
+                 ) -> tuple[list[tuple[int, dict]], int, int]:
+    """Decode one segment: ``(records, valid_bytes, file_bytes)``.
+
+    ``records`` is ``[(lsn, payload), ...]`` up to (not including) the
+    first torn or corrupt record; ``valid_bytes`` is the byte offset of
+    that cut, ``file_bytes`` the segment's full length — they differ
+    exactly when a torn tail must be truncated away.
+    """
+    records: list[tuple[int, dict]] = []
+    valid = 0
+    file_bytes = fs.size(path)
+    with fs.open(path, "rb") as fh:
+        while True:
+            header = _read_exact(fh, _HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            lsn, length, crc = _HEADER.unpack(header)
+            if length > MAX_RECORD_BYTES:
+                break
+            data = _read_exact(fh, length)
+            if len(data) < length or zlib.crc32(data) != crc:
+                break
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except ValueError:
+                break
+            records.append((lsn, payload))
+            valid += _HEADER.size + length
+    return records, valid, file_bytes
+
+
+@dataclass
+class WalStats:
+    """Cumulative append-side activity of one log."""
+
+    records_appended: int = 0
+    bytes_appended: int = 0
+    fsyncs: int = 0
+
+
+@dataclass
+class WalTail:
+    """What :meth:`WriteAheadLog.recover` found past a checkpoint."""
+
+    records: list = field(default_factory=list)   # [(lsn, payload)]
+    bytes_scanned: int = 0
+    torn_records_discarded: int = 0
+
+
+class WriteAheadLog:
+    """Segment-rolling WAL over an injectable :class:`FileSystem`."""
+
+    def __init__(self, fs: FileSystem, directory: str,
+                 fsync: str = "batch", sync_every: int = 8):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync!r} "
+                             f"(expected one of {FSYNC_POLICIES})")
+        self._fs = fs
+        self.directory = directory
+        self.fsync_policy = fsync
+        self.sync_every = max(1, sync_every)
+        self.stats = WalStats()
+        self.next_lsn = 1
+        self._file = None
+        self._unsynced = 0
+
+    @property
+    def last_lsn(self) -> int:
+        return self.next_lsn - 1
+
+    def segments(self) -> list[tuple[int, str]]:
+        """``(first_lsn, path)`` of every segment, oldest first."""
+        out = []
+        for name in self._fs.listdir(self.directory):
+            start = parse_segment_name(name)
+            if start is not None:
+                out.append((start, f"{self.directory}/{name}"))
+        out.sort()
+        return out
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def recover(self, after_lsn: int) -> WalTail:
+        """Read the tail past ``after_lsn``, truncate any torn suffix,
+        and position the log for appending.
+
+        A torn record inside a segment cuts the replayable tail there:
+        the segment is truncated back to its last valid byte and every
+        later segment (written after the corruption point, so not safely
+        ordered against it) is dropped.
+        """
+        tail = WalTail()
+        segments = self.segments()
+        max_lsn = after_lsn
+        for index, (_start, path) in enumerate(segments):
+            records, valid, file_bytes = read_segment(self._fs, path)
+            tail.bytes_scanned += valid
+            for lsn, payload in records:
+                if lsn > max_lsn:
+                    max_lsn = lsn
+                if lsn > after_lsn:
+                    tail.records.append((lsn, payload))
+            if valid < file_bytes:
+                tail.torn_records_discarded += 1
+                with self._fs.open(path, "r+b") as fh:
+                    fh.truncate(valid)
+                for _s, stale_path in segments[index + 1:]:
+                    tail.torn_records_discarded += 1
+                    self._fs.remove(stale_path)
+                segments = segments[:index + 1]
+                break
+        self.next_lsn = max_lsn + 1
+        self.close()
+        if segments:
+            self._file = self._fs.open(segments[-1][1], "ab")
+        else:
+            self.start_segment(self.next_lsn)
+        return tail
+
+    # -- appending ---------------------------------------------------------------------
+
+    def append(self, payload: dict) -> int:
+        """Durably append one record; returns its LSN.  The write is
+        flushed (and fsynced per policy) before this returns, so callers
+        may mutate in-memory state immediately after."""
+        if self._file is None:
+            self.start_segment(self.next_lsn)
+        lsn = self.next_lsn
+        record = encode_record(lsn, payload)
+        self._file.write(record)
+        self.next_lsn = lsn + 1
+        self.stats.records_appended += 1
+        self.stats.bytes_appended += len(record)
+        if self.fsync_policy == "always":
+            self._fs.fsync(self._file)
+            self.stats.fsyncs += 1
+        else:
+            self._file.flush()
+            if self.fsync_policy == "batch":
+                self._unsynced += 1
+                if self._unsynced >= self.sync_every:
+                    self.sync()
+        return lsn
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment (no-op when policy is
+        ``off`` — the caller opted out of durability guarantees)."""
+        if self._file is None or self.fsync_policy == "off":
+            return
+        self._fs.fsync(self._file)
+        self.stats.fsyncs += 1
+        self._unsynced = 0
+
+    # -- segment management ------------------------------------------------------------
+
+    def start_segment(self, start_lsn: int) -> None:
+        """Roll to a fresh segment whose first record will be
+        ``start_lsn`` (the checkpoint boundary)."""
+        self.close()
+        path = f"{self.directory}/{segment_name(start_lsn)}"
+        self._file = self._fs.open(path, "ab")
+        self._fs.fsync_dir(self.directory)
+
+    def drop_segments_before(self, keep_from_lsn: int) -> int:
+        """Delete segments that cannot contain any record with
+        ``lsn >= keep_from_lsn`` — a segment is droppable when its
+        *successor* starts at or before that bound (so all its records
+        precede it).  Returns how many were deleted."""
+        segments = self.segments()
+        dropped = 0
+        for index, (_start, path) in enumerate(segments):
+            if index + 1 < len(segments) \
+                    and segments[index + 1][0] <= keep_from_lsn:
+                self._fs.remove(path)
+                dropped += 1
+        return dropped
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self.sync()
+            finally:
+                self._file.close()
+                self._file = None

@@ -224,6 +224,7 @@ class ViewPipeline:
         self.tracer = None
         self.extent: Optional[ExtentNode] = None
         self.materialized = False
+        self._closed = False
         if state_store is _OWN_STORE:
             self.state_store = OperatorStateStore(self.storage)
             self._owns_store = True
@@ -232,7 +233,11 @@ class ViewPipeline:
             self._owns_store = False
 
     def close(self) -> None:
-        """Detach pipeline-owned resources from storage (idempotent)."""
+        """Detach pipeline-owned resources from storage (idempotent —
+        double-close must never detach another owner's listeners)."""
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_store and self.state_store is not None:
             self.state_store.close()
 

@@ -41,7 +41,10 @@ from ..storage import StorageManager
 from ..translate import translate_query
 from ..updates.batch import RunBatcher
 from ..updates.primitives import UpdateRequest, UpdateTree
-from ..xat import DELETE, INSERT, MODIFY, Profiler, XatOperator
+from ..xat import (DELETE, INSERT, MODIFY, Aggregate, CartesianProduct,
+                   Distinct, GroupBy, Join, LeftOuterJoin, Profiler,
+                   XatOperator, XmlUnique)
+from ..xat.grouping import TupleFunction
 from .cost import CostModel
 from .pipeline import (_REMOVED, MaintenanceReport, ViewPipeline,
                        apply_insert, direct_text)
@@ -139,6 +142,32 @@ class MultiViewReport:
         return self
 
 
+#: Operators whose output rows draw on *multiple* source items: a group
+#: absorbs every member with its key, a join row both sides, a dedup
+#: cell every duplicate.  Through them, a queued count-signed tree that
+#: re-derives at flush time against post-mutation storage can pick up
+#: another tree's contribution and inflate derivation counts.
+_ENTANGLING_OPS = (Aggregate, CartesianProduct, Distinct, GroupBy, Join,
+                   LeftOuterJoin, TupleFunction, XmlUnique)
+
+
+def _derivations_entangled(plan: XatOperator) -> bool:
+    """Whether any output of ``plan`` can derive from more than one
+    source item (selections/projections/navigations are per-item linear
+    and immune to cross-batch count inflation)."""
+    seen: set[int] = set()
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        if id(op) in seen:
+            continue
+        seen.add(id(op))
+        if isinstance(op, _ENTANGLING_OPS):
+            return True
+        stack.extend(op.inputs)
+    return False
+
+
 class RegisteredView:
     """One view under registry maintenance (a handle, also used
     internally)."""
@@ -154,6 +183,7 @@ class RegisteredView:
         self.stats = ViewStats()
         self.refresh_sequence = 0
         self.query_text = ""
+        self.entangled = _derivations_entangled(pipeline.plan)
 
     def pending_trees(self) -> int:
         return sum(len(batch) for batch in self.pending)
@@ -193,9 +223,15 @@ class ViewRegistry:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.metrics.add_sync_hook(self._sync_metrics)
+        #: a bound :class:`~repro.durability.DurabilityManager` (set via
+        #: its ``bind``); when present, every batch entering
+        #: :meth:`apply_updates` is logged *before* mutation and view
+        #: DDL is logged on success.
+        self.wal = None
         self._views: dict[str, RegisteredView] = {}
         self._storage_ops = 0
         self._refresh_listeners: list = []
+        self._closed = False
         storage.add_listener(self._count_storage_op)
 
     def _count_storage_op(self, op: str, key) -> None:
@@ -288,6 +324,9 @@ class ViewRegistry:
         a mutation listener on its storage; call this when discarding a
         registry whose StorageManager outlives it.  Refresh listeners are
         dropped with it."""
+        if self._closed:
+            return
+        self._closed = True
         self.storage.remove_listener(self._count_storage_op)
         if self.state_store is not None:
             self.state_store.close()
@@ -349,10 +388,18 @@ class ViewRegistry:
         view.pipeline.tracer = self.tracer
         if isinstance(query, str):
             view.query_text = query
+        elif self.wal is not None:
+            raise ValueError(
+                f"view {name!r}: a durable registry requires views "
+                f"registered from query strings (raw plans cannot be "
+                f"logged or checkpointed)")
         self._views[name] = view
         self.router.subscribe(name, view.pipeline.sapt)
         if materialize:
             self.materialize(name)
+        if self.wal is not None:
+            self.wal.log_create_view(name, view.query_text, view.policy,
+                                     materialize=materialize)
         return view
 
     def unregister(self, name: str) -> None:
@@ -360,6 +407,8 @@ class ViewRegistry:
         view = self._views.pop(name)
         self.router.unsubscribe(name)
         view.pending.clear()
+        if self.wal is not None:
+            self.wal.log_drop_view(name)
 
     def names(self) -> list[str]:
         return list(self._views)
@@ -410,6 +459,12 @@ class ViewRegistry:
                       ) -> MultiViewReport:
         """Route, batch and propagate one heterogeneous update sequence
         across every registered view."""
+        if self.wal is not None:
+            # Write-ahead: the whole batch is on disk before any of it
+            # mutates storage, so a crash either replays it in full or
+            # never saw it — mid-batch kills cannot leave a logged
+            # half-batch (torn trailing records are discarded).
+            self.wal.log_batch(updates)
         report = MultiViewReport()
         stats_before = (self.router.stats.classifications,
                         self.router.stats.routed,
@@ -438,6 +493,8 @@ class ViewRegistry:
         report.storage_ops = self._storage_ops - ops_before
         report.views = {name: view.report
                         for name, view in self._views.items()}
+        if self.wal is not None:
+            self.wal.maybe_checkpoint(self)
         return report
 
     def _apply_queue(self, queue: list[UpdateRequest], batcher: RunBatcher,
@@ -455,6 +512,13 @@ class ViewRegistry:
                     self._dispatch(closed)
             started = time.perf_counter()
             if request.kind == INSERT:
+                # Queued count-signed trees flush before the new node
+                # enters storage (see _drain_overlapping: their flush
+                # would absorb it and double-count).  Nested inserts of
+                # the *same* run still batch — runs flush atomically.
+                self._drain_overlapping(request.target, None, batcher,
+                                        modifies_only=True,
+                                        drain_signed=True)
                 key = apply_insert(storage, request)
                 result = self.router.route(storage, request.document, key)
                 tree = RoutedTree(request.document, key, INSERT,
@@ -479,6 +543,16 @@ class ViewRegistry:
                     continue
                 hitters = self.router.predicate_hitters(
                     request.document, result.tags, result.views)
+                # Drain conflicting queues BEFORE the text change lands:
+                # a queued tree flushed after it would re-derive from
+                # post-mutation storage and double-apply — the registry
+                # analogue of the RunBatcher.crosses discipline in
+                # run_maintenance.  A pair additionally conflicts with
+                # every queued count-signed tree (output overlap through
+                # shared group/join keys, regardless of input subtrees).
+                self._drain_overlapping(request.target, result.views,
+                                        batcher,
+                                        drain_signed=bool(hitters))
                 if hitters:
                     # First-class modify: the pair re-routes derivations
                     # in-flight for the views that need it; views that
@@ -510,6 +584,64 @@ class ViewRegistry:
             self._dispatch(closed)
 
     # -- dispatch and flushing ---------------------------------------------------------
+
+    def _drain_overlapping(self, target, names, batcher: RunBatcher,
+                           modifies_only: bool = False,
+                           drain_signed: bool = False) -> None:
+        """Flush every view whose pending queue conflicts with the
+        storage change the caller is about to apply.
+
+        Two conflict classes:
+
+        * **input overlap** — a queued tree whose root shares a subtree
+          with ``target``: it must flush before the subtree changes
+          under it.  ``modifies_only`` restricts this to queued modify
+          trees (insert-over-insert nesting stays queued — the pending
+          insert covers it when it reads final storage).
+        * **output overlap** — count-signed trees (inserts and modify
+          pairs) re-derive against *final* storage when they flush, so
+          a queued one absorbs any later count-signed change no matter
+          how distant the input nodes are (a shared group or join key
+          is enough); the newer tree then asserts the same derivation
+          again and the counts are silently inflated — invisible in the
+          XML until a retraction under-removes.  ``drain_signed``
+          flushes every queued count-signed tree before the caller's
+          own count-signed change enters storage — but only for views
+          whose derivations are :func:`entangled <_derivations_
+          entangled>` across source items; per-item linear views keep
+          batching, as do count-neutral content refreshes everywhere —
+          that is what the deferred policy amortizes.
+
+        ``names`` limits the scan to the routed views (None scans all —
+        inserts route only after the node exists).  The pending run is
+        closed first so its trees flush in order.
+        """
+        views = ([self._views[name] for name in names
+                  if name in self._views] if names is not None
+                 else list(self._views.values()))
+
+        def conflicts(t, signed: bool) -> bool:
+            if signed and (t.kind == INSERT or t.has_pair):
+                return True
+            if modifies_only and t.kind != MODIFY:
+                return False
+            return (t.root == target or t.root.is_ancestor_of(target)
+                    or target.is_ancestor_of(t.root))
+
+        closed = False
+        for view in views:
+            if not view.pending:
+                continue
+            signed = drain_signed and view.entangled
+            if not any(conflicts(t, signed)
+                       for batch in view.pending for t in batch):
+                continue
+            if not closed:
+                run = batcher.close()
+                if run is not None:
+                    self._dispatch(run)
+                closed = True
+            self._flush_view(view)
 
     def _dispatch(self, run: list[RoutedTree]) -> None:
         """Hand one closed run to every view it affects, honouring
@@ -555,8 +687,10 @@ class ViewRegistry:
                 continue
             if any(t.root == tree.root or t.root.is_ancestor_of(tree.root)
                    or tree.root.is_ancestor_of(t.root) for t in pending):
-                # Conservative: overlapping roots across deferred batches
-                # can double-propagate — drain the queue first.
+                # Backstop for overlaps _drain_overlapping could not see
+                # at validate time (the storage change of this run is
+                # already applied, so this drain alone is not enough to
+                # keep deferred pairs from double-propagating).
                 self._flush_view(view)
             kept.append(tree)
         if kept:

@@ -121,6 +121,30 @@ class StorageManager:
         self._assign_keys(document.root, root_key, document.name, ())
         return root_key
 
+    def restore_document(self, document: XmlDocument,
+                         root_key: FlexKey) -> None:
+        """Re-adopt a checkpointed document whose nodes already carry
+        their FlexKeys (the recovery path).
+
+        Keys are **not** reassigned: WAL-tail records address nodes by
+        the keys the live run handed out, and re-registering from text
+        would relabel fragment-inserted nodes (``sibling_atom(index)``
+        enumeration vs the ``atom_for_insert`` keys they actually got).
+        The structural index is restored separately by the caller — its
+        pickled form already holds every entry this walk would insort.
+        """
+        if document.name in self._documents:
+            raise StorageError(
+                f"document {document.name!r} already registered")
+        self._documents[document.name] = document
+        self._roots[document.name] = root_key
+        self._doc_of_root_atom[root_key.value] = document.name
+        stack = [document.root]
+        while stack:
+            node = stack.pop()
+            self._nodes[node.key] = node
+            stack.extend(node.children)
+
     def _assign_keys(self, node: XmlNode, key: FlexKey, document: str,
                      parent_tags: tuple[str, ...]) -> None:
         node.key = key

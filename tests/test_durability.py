@@ -1,0 +1,505 @@
+"""Durability subsystem: WAL codec, checkpoints, recovery, edge cases.
+
+The fault-injection suite (torn writes, fsync failures, kill-at-LSN and
+the subprocess kill -9 differential) lives in
+``test_durability_faults.py``; this module covers the deterministic
+surface: record round-trips, checkpoint atomicity/fallback, the
+recovery edge-case matrix of ISSUE 7, replay idempotence, durability
+metrics/tracing, and the close-idempotence regressions.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+
+import pytest
+
+from .helpers import ALL_MUTATORS, random_batch
+from repro import (CostModel, MaterializedXQueryView, StorageManager,
+                   ViewRegistry)
+from repro.api import Database
+from repro.durability import (CheckpointError, CheckpointStore,
+                              DurabilityManager, RealFileSystem,
+                              WriteAheadLog, read_segment)
+from repro.durability.wal import encode_record, segment_name
+from repro.obs import render_prometheus
+from repro.workloads import xmark
+
+SITE = xmark.generate_site(12, seed=7)
+
+
+def durable_db(path, **kwargs):
+    db = Database(durable_path=path, **kwargs)
+    return db
+
+
+def seed_db(path, **kwargs) -> Database:
+    db = durable_db(path, fsync="always", **kwargs)
+    db.load("site.xml", SITE)
+    db.create_view("join", xmark.JOIN_QUERY)
+    db.create_view("bycity", xmark.PERSONS_BY_CITY_QUERY,
+                   policy="deferred")
+    return db
+
+
+def drive(db: Database, steps: int, seed: int = 3) -> None:
+    rng = random.Random(seed)
+    for step in range(steps):
+        batch = random_batch(rng, db.storage, step, ALL_MUTATORS)
+        if batch:
+            db.registry.apply_updates(batch)
+
+
+def assert_all_views_consistent(db: Database) -> None:
+    for name in db.views():
+        assert db.read(name) == db.registry.recompute_xml(name), (
+            f"view {name!r} diverged from the recompute oracle")
+
+
+# -- WAL codec and segments ---------------------------------------------------------------
+
+def test_wal_record_roundtrip(tmp_path):
+    fs = RealFileSystem()
+    wal = WriteAheadLog(fs, str(tmp_path), fsync="always")
+    payloads = [{"t": "batch", "u": [i]} for i in range(5)]
+    lsns = [wal.append(p) for p in payloads]
+    assert lsns == [1, 2, 3, 4, 5]
+    wal.close()
+    [(start, path)] = wal.segments()
+    assert start == 1
+    records, valid, total = read_segment(fs, path)
+    assert valid == total
+    assert [p for _lsn, p in records] == payloads
+    assert [lsn for lsn, _p in records] == lsns
+
+
+def test_wal_detects_corrupt_payload(tmp_path):
+    fs = RealFileSystem()
+    wal = WriteAheadLog(fs, str(tmp_path), fsync="always")
+    for i in range(3):
+        wal.append({"i": i})
+    wal.close()
+    [(_start, path)] = wal.segments()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:     # flip a byte in the last payload
+        fh.seek(size - 2)
+        byte = fh.read(1)
+        fh.seek(size - 2)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    records, valid, total = read_segment(fs, path)
+    assert [p["i"] for _lsn, p in records] == [0, 1]
+    assert valid < total
+
+
+def test_wal_fsync_policies_count_fsyncs(tmp_path):
+    fs = RealFileSystem()
+    always = WriteAheadLog(fs, str(tmp_path / "a"), fsync="always")
+    fs.makedirs(str(tmp_path / "a"))
+    for i in range(4):
+        always.append({"i": i})
+    assert always.stats.fsyncs == 4
+    always.close()
+
+    fs.makedirs(str(tmp_path / "b"))
+    batched = WriteAheadLog(fs, str(tmp_path / "b"), fsync="batch",
+                            sync_every=3)
+    for i in range(4):
+        batched.append({"i": i})
+    assert batched.stats.fsyncs == 1   # one at the 3rd append
+    batched.close()                    # + one on close
+    assert batched.stats.fsyncs == 2
+
+    fs.makedirs(str(tmp_path / "c"))
+    off = WriteAheadLog(fs, str(tmp_path / "c"), fsync="off")
+    for i in range(4):
+        off.append({"i": i})
+    off.close()
+    assert off.stats.fsyncs == 0
+
+
+def test_wal_rejects_unknown_policy(tmp_path):
+    with pytest.raises(ValueError, match="fsync policy"):
+        WriteAheadLog(RealFileSystem(), str(tmp_path), fsync="sometimes")
+    with pytest.raises(ValueError, match="fsync policy"):
+        DurabilityManager(tmp_path, fsync="sometimes")
+
+
+def test_wal_segment_roll_and_retention(tmp_path):
+    fs = RealFileSystem()
+    wal = WriteAheadLog(fs, str(tmp_path), fsync="always")
+    wal.append({"i": 1})
+    wal.append({"i": 2})
+    wal.start_segment(3)              # checkpoint at lsn 2
+    wal.append({"i": 3})
+    wal.start_segment(4)              # checkpoint at lsn 3
+    names = sorted(os.path.basename(p) for _s, p in wal.segments())
+    assert names == [segment_name(1), segment_name(3), segment_name(4)]
+    # keep everything a checkpoint at lsn 2 still needs: records > 2
+    dropped = wal.drop_segments_before(3)
+    assert dropped == 1
+    names = sorted(os.path.basename(p) for _s, p in wal.segments())
+    assert names == [segment_name(3), segment_name(4)]
+    wal.close()
+
+
+# -- checkpoint store ---------------------------------------------------------------------
+
+def test_checkpoint_roundtrip_and_atomic_name(tmp_path):
+    store = CheckpointStore(RealFileSystem(), str(tmp_path))
+    store.write(7, {"hello": [1, 2, 3]})
+    assert not glob.glob(str(tmp_path / "*.tmp"))
+    lsn, state, generation = store.load_latest()
+    assert (lsn, generation) == (7, 0)
+    assert state == {"hello": [1, 2, 3]}
+
+
+def test_checkpoint_crc_failure_falls_back_a_generation(tmp_path):
+    store = CheckpointStore(RealFileSystem(), str(tmp_path))
+    store.write(5, {"gen": "old"})
+    store.write(9, {"gen": "new"})
+    (_lsn, newest_path) = store.list()[0]
+    with open(newest_path, "r+b") as fh:
+        fh.seek(40)
+        fh.write(b"\xde\xad")
+    with pytest.raises(CheckpointError):
+        store.load_one(newest_path)
+    lsn, state, generation = store.load_latest()
+    assert (lsn, state["gen"], generation) == (5, "old", 1)
+
+
+def test_checkpoint_prune_keeps_two_generations(tmp_path):
+    store = CheckpointStore(RealFileSystem(), str(tmp_path), keep=2)
+    for lsn in (3, 6, 9):
+        store.write(lsn, {"lsn": lsn})
+    oldest_retained = store.prune()
+    assert oldest_retained == 6
+    assert [lsn for lsn, _p in store.list()] == [9, 6]
+
+
+# -- recovery: the happy path -------------------------------------------------------------
+
+def test_crash_then_recover_matches_oracle_and_precrash(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=10)
+    pre = {name: db.read(name) for name in db.views()}
+    del db                                     # simulated kill: no close
+
+    recovered = durable_db(tmp_path)
+    assert recovered.recovery.wal_records_replayed > 0
+    assert sorted(recovered.views()) == ["bycity", "join"]
+    assert_all_views_consistent(recovered)
+    for name, xml in pre.items():
+        assert recovered.read(name) == xml
+    recovered.close()
+
+
+def test_clean_close_restores_without_replay(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=6)
+    expected = {name: db.read(name) for name in db.views()}
+    db.close()
+
+    reopened = durable_db(tmp_path)
+    assert reopened.recovery.wal_records_replayed == 0
+    assert reopened.recovery.checkpoint_lsn > 0
+    for name, xml in expected.items():
+        assert reopened.read(name) == xml
+    assert_all_views_consistent(reopened)
+    reopened.close()
+
+
+def test_recovered_registry_keeps_maintaining(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=4)
+    del db
+    recovered = durable_db(tmp_path)
+    drive(recovered, steps=4, seed=11)         # keep updating post-recovery
+    assert_all_views_consistent(recovered)
+    recovered.close()
+
+
+def test_recovery_restores_operator_state_warm(tmp_path, monkeypatch):
+    # Pin the cost model to incremental maintenance: recompute choices
+    # depend on wall-clock calibration, and whether an entry is clean
+    # (checkpointable) at close varies with which path each flush took.
+    monkeypatch.setattr(CostModel, "should_recompute",
+                        lambda self, trees: False)
+    db = seed_db(tmp_path)
+    drive(db, steps=5)
+    db.close()
+    recovered = durable_db(tmp_path)
+    store = recovered.registry.state_store
+    assert store.entry_count() > 0
+    assert all(entry.valid for entry in store.entries())
+    drive(recovered, steps=2, seed=23)
+    assert store.stats.hits > 0, (
+        "restored operator state should serve hits, not recompute all")
+    recovered.close()
+
+
+def test_view_ddl_replays_from_wal(tmp_path):
+    db = seed_db(tmp_path)
+    db.create_view("selection", xmark.SELECTION_QUERY)
+    db.drop_view("bycity")
+    del db                                     # DDL lives only in the WAL
+    recovered = durable_db(tmp_path)
+    assert sorted(recovered.views()) == ["join", "selection"]
+    assert recovered.view("selection").query_text == xmark.SELECTION_QUERY
+    assert_all_views_consistent(recovered)
+    recovered.close()
+
+
+# -- recovery edge cases (the ISSUE 7 matrix) ---------------------------------------------
+
+def test_recover_empty_directory(tmp_path):
+    db = durable_db(tmp_path)
+    report = db.recovery
+    assert (report.checkpoint_lsn, report.wal_records_replayed) == (0, 0)
+    assert db.views() == [] and db.documents() == []
+    db.load("site.xml", SITE)                  # and it is usable
+    db.create_view("join", xmark.JOIN_QUERY)
+    assert_all_views_consistent(db)
+    db.close()
+
+
+def test_recover_checkpoint_only_no_tail(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=3)
+    db.checkpoint()                            # tail is empty after this
+    expected = {name: db.read(name) for name in db.views()}
+    del db
+    recovered = durable_db(tmp_path)
+    assert recovered.recovery.wal_records_replayed == 0
+    assert recovered.recovery.checkpoint_lsn > 0
+    for name, xml in expected.items():
+        assert recovered.read(name) == xml
+    recovered.close()
+
+
+def test_recover_torn_final_record(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=5)
+    del db
+    segments = sorted(glob.glob(str(tmp_path / "wal-*.log")))
+    last = segments[-1]
+    size = os.path.getsize(last)
+    with open(last, "r+b") as fh:              # tear the final record
+        fh.truncate(size - 9)
+    recovered = durable_db(tmp_path)
+    assert recovered.recovery.torn_records_discarded == 1
+    assert_all_views_consistent(recovered)
+    # the torn suffix was truncated away: recovering again is clean
+    recovered.close()
+    again = durable_db(tmp_path)
+    assert again.recovery.torn_records_discarded == 0
+    assert_all_views_consistent(again)
+    again.close()
+
+
+def test_recover_corrupt_checkpoint_falls_back_with_tail(tmp_path):
+    db = seed_db(tmp_path, checkpoint_every=4)
+    drive(db, steps=10)                        # several checkpoints cut
+    expected = {name: db.read(name) for name in db.views()}
+    del db
+    checkpoints = sorted(glob.glob(str(tmp_path / "checkpoint-*.ckpt")))
+    assert len(checkpoints) == 2               # two generations retained
+    with open(checkpoints[-1], "r+b") as fh:   # corrupt the newest
+        fh.seek(64)
+        fh.write(b"\x00" * 8)
+    recovered = durable_db(tmp_path)
+    assert recovered.recovery.checkpoint_generation == 1
+    assert recovered.recovery.wal_records_replayed > 0, (
+        "fallback generation must replay the longer WAL tail")
+    for name, xml in expected.items():
+        assert recovered.read(name) == xml
+    assert_all_views_consistent(recovered)
+    recovered.close()
+
+
+def test_replay_idempotence_recover_twice(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=8)
+    del db
+    first = durable_db(tmp_path)
+    assert_all_views_consistent(first)
+    state_one = {name: first.read(name) for name in first.views()}
+    replayed_one = first.recovery.wal_records_replayed
+    del first                                  # crash again without close
+    second = durable_db(tmp_path)
+    assert second.recovery.wal_records_replayed == replayed_one
+    assert_all_views_consistent(second)
+    state_two = {name: second.read(name) for name in second.views()}
+    assert state_one == state_two
+    second.close()
+
+
+def test_prepopulated_storage_gets_bootstrap_checkpoint(tmp_path):
+    storage = StorageManager()
+    xmark.register_site(storage, 8, seed=7)
+    db = Database(storage=storage, durable_path=tmp_path)
+    db.create_view("join", xmark.JOIN_QUERY)
+    del db                                     # crash before any checkpoint
+    recovered = durable_db(tmp_path)
+    assert recovered.documents() == ["site.xml"]
+    assert recovered.views() == ["join"]
+    assert_all_views_consistent(recovered)
+    recovered.close()
+
+
+def test_existing_state_rejects_wrapped_storage(tmp_path):
+    seed_db(tmp_path).close()
+    with pytest.raises(ValueError, match="already holds state"):
+        Database(storage=StorageManager(), durable_path=tmp_path)
+
+
+def test_durable_registry_rejects_raw_plan_views(tmp_path):
+    from repro.translate import translate_query
+
+    db = durable_db(tmp_path)
+    db.load("site.xml", SITE)
+    with pytest.raises(ValueError, match="query strings"):
+        db.registry.register("raw", translate_query(xmark.JOIN_QUERY))
+    db.close()
+
+
+def test_failed_batch_replays_to_same_partial_state(tmp_path):
+    db = seed_db(tmp_path)
+    persons = db.storage.find_by_path(
+        "site.xml", [("child", "site"), ("child", "people"),
+                     ("child", "person")])
+    from repro import UpdateRequest
+    doomed = persons[0]
+    # delete a subtree, then address a node inside it: the second
+    # statement fails mid-batch, leaving a partial application.
+    bad = [UpdateRequest.delete("site.xml", doomed),
+           UpdateRequest.modify("site.xml", doomed.child("b"), "x")]
+    with pytest.raises(Exception):
+        db.registry.apply_updates(bad)
+    partial = {name: db.read(name) for name in db.views()}
+    del db
+    recovered = durable_db(tmp_path)
+    assert recovered.recovery.replay_errors == 1
+    for name, xml in partial.items():
+        assert recovered.read(name) == xml
+    assert_all_views_consistent(recovered)
+    recovered.close()
+
+
+# -- checkpoint cadence -------------------------------------------------------------------
+
+def test_auto_checkpoint_truncates_wal(tmp_path):
+    db = seed_db(tmp_path, checkpoint_every=5)
+    drive(db, steps=12)
+    manager = db.durability
+    assert manager._checkpoints_total >= 2
+    # retention: at most 2 checkpoint generations on disk
+    assert len(glob.glob(str(tmp_path / "checkpoint-*.ckpt"))) <= 2
+    # truncation: the WAL does not accumulate one segment per record
+    assert len(glob.glob(str(tmp_path / "wal-*.log"))) <= 3
+    del db
+    recovered = durable_db(tmp_path)
+    assert_all_views_consistent(recovered)
+    recovered.close()
+
+
+# -- observability ------------------------------------------------------------------------
+
+def test_durability_metrics_exposed(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=4)
+    del db                                     # crash: leave a WAL tail
+    recovered = durable_db(tmp_path)
+    assert recovered.recovery.wal_records_replayed > 0
+    snapshot = recovered.metrics()
+    for name in ("wal_records_replayed", "wal_bytes", "recovery_seconds",
+                 "checkpoint_seconds", "wal_records_total",
+                 "checkpoints_total"):
+        assert name in snapshot, f"missing durability metric {name}"
+    assert snapshot["wal_bytes"]["values"][""] > 0
+    assert snapshot["recovery_seconds"]["values"][""] > 0
+    rendered = render_prometheus(recovered.registry.metrics)
+    assert "wal_records_replayed" in rendered
+    assert "recovery_seconds" in rendered
+    recovered.close()
+
+
+def test_recovery_span_emitted(tmp_path):
+    seed_db(tmp_path).close()
+
+    class Sink:
+        def __init__(self):
+            self.spans = []
+
+        def on_span(self, span):
+            self.spans.append(span)
+
+    sink = Sink()
+    storage = StorageManager()
+    registry = ViewRegistry(storage)
+    registry.add_trace_sink(sink)
+    manager = DurabilityManager(tmp_path)
+    report = manager.recover(registry)
+    manager.bind(registry)
+    names = [span.name for span in sink.spans]
+    assert "recovery" in names
+    span = next(s for s in sink.spans if s.name == "recovery")
+    assert span.attrs["views"] == report.views == 2
+    manager.close(registry)
+    registry.close()
+
+
+# -- close idempotence (satellite regression) ---------------------------------------------
+
+def test_database_close_is_idempotent(tmp_path):
+    db = seed_db(tmp_path)
+    drive(db, steps=2)
+    db.close()
+    db.close()                                 # second close: no-op
+    with durable_db(tmp_path) as reopened:
+        assert_all_views_consistent(reopened)
+    reopened.close()                           # after __exit__: no-op
+
+
+def test_database_exit_flushes_durable_state(tmp_path):
+    with seed_db(tmp_path) as db:
+        drive(db, steps=3)
+        expected = {name: db.read(name) for name in db.views()}
+    reopened = durable_db(tmp_path)
+    assert reopened.recovery.wal_records_replayed == 0, (
+        "__exit__ must have checkpointed the open durable state")
+    for name, xml in expected.items():
+        assert reopened.read(name) == xml
+    reopened.close()
+
+
+def test_view_close_is_idempotent():
+    storage = StorageManager()
+    xmark.register_site(storage, 8, seed=7)
+    view = MaterializedXQueryView(storage, xmark.SELECTION_QUERY)
+    view.materialize()
+    assert storage._mutation_listeners      # the store's listener
+    view.close()
+    assert not storage._mutation_listeners
+    view.close()                            # double-close: no-op
+    with MaterializedXQueryView(storage, xmark.SELECTION_QUERY) as twin:
+        twin.materialize()
+        twin.close()                        # explicit close inside with
+
+
+def test_registry_close_is_idempotent():
+    storage = StorageManager()
+    registry = ViewRegistry(storage)
+    listeners = len(storage._listeners)
+    assert listeners == 1
+    registry.close()
+    registry.close()
+    assert not storage._listeners
+    # closing one registry must not detach another's listeners
+    first, second = ViewRegistry(storage), ViewRegistry(storage)
+    first.close()
+    first.close()
+    assert len(storage._listeners) == 1
+    second.close()
+    assert not storage._listeners
