@@ -52,7 +52,13 @@ walk-based unindexed fallbacks — and emits one machine-readable
   the same facade workload with the metrics/tracing layer enabled vs
   force-disabled (``repro.obs.set_enabled(False)``), pair-timed like the
   facade comparison.  Informational (the gated claim is ``api_overhead``
-  with instrumentation on); the target is the ≤2% always-on budget.
+  with instrumentation on); the target is the ≤2% always-on budget;
+* **server_fanout**: the serving layer under push fan-out — one writer
+  session streams update batches through :class:`repro.server.ViewServer`
+  over real sockets while 1 → 100 → 1000 subscribers hold push
+  subscriptions on the same view; records updates/s, pushed frames/s and
+  end-of-run delivery lag, and gates (``server_fanout.ok``) on every
+  subscriber receiving the full gap-free delta sequence.
 
 Every navigation scenario also diffs the two paths' results; the suite
 refuses to report a speedup for answers that disagree
@@ -63,7 +69,8 @@ from the repo root; ``--scales 20,40`` shrinks the sweep for CI smoke
 runs, ``--json PATH`` redirects the output file, and
 ``--metrics-json PATH`` additionally dumps the ``Database.metrics()``
 snapshot collected during the observability run (the CI metrics-smoke
-artifact).
+artifact), and ``--fanout 1,4`` shrinks the server_fanout subscriber
+ladder.
 """
 
 from __future__ import annotations
@@ -71,9 +78,12 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import selectors
 import shutil
+import socket
 import statistics
 import tempfile
+import threading
 
 import time
 
@@ -84,6 +94,8 @@ from repro import (CostModel, MaterializedXQueryView, UpdateRequest,
                    ViewRegistry)
 from repro.api import Database
 from repro.obs import set_enabled
+from repro.server import ReproClient, start_in_thread
+from repro.server.protocol import FrameDecoder, encode_frame
 from repro.xmlmodel import parse_fragment
 
 
@@ -737,7 +749,150 @@ def measure_observability(num_persons: int, repeat: int
     return entry, snapshot
 
 
-def run_suite(scale_list, repeat: int = 3) -> dict:
+#: fan-out levels of the serving-layer benchmark (1 -> 100 -> 1000
+#: subscribers; clamped to what the process fd limit can actually hold)
+FANOUT_LEVELS = [1, 100, 1000]
+FANOUT_UPDATES = 20
+
+FANOUT_DOC = "<data><row><name>seed</name></row></data>"
+FANOUT_QUERY = '<r>{for $x in doc("data.xml")/data/row return $x}</r>'
+
+
+def _fanout_capacity(requested: int) -> int:
+    """Raise the fd soft limit as far as allowed and clamp the
+    subscriber count: each subscriber costs two descriptors (both
+    socket ends live in this process)."""
+    try:
+        import resource
+    except ImportError:                        # non-POSIX: stay modest
+        return min(requested, 64)
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+            soft = hard
+        except (ValueError, OSError):
+            pass
+    return max(1, min(requested, (soft - 128) // 2))
+
+
+def measure_server_fanout(levels, updates: int = FANOUT_UPDATES
+                          ) -> list[dict]:
+    """The serving layer under push fan-out: one writer, S subscribers.
+
+    Per level: a served database with the identity rows view (pinned
+    incremental so every refresh pushes a real delta), ``S`` raw-socket
+    subscribers drained by a single ``selectors`` thread, and a control
+    client issuing ``updates`` single-insert batches.  Reported:
+    acknowledged updates/sec over the whole window (issue first update
+    -> every subscriber holds every delta), the total pushed-frame
+    rate, and how far delivery trailed the last update ack.  A level
+    only counts as delivered when every subscriber saw every sequence
+    number in order with no gaps — the benchmark doubles as a fan-out
+    correctness check.
+    """
+    series = []
+    for requested in levels:
+        count = _fanout_capacity(requested)
+        db = Database()
+        db.load("data.xml", FANOUT_DOC)
+        db.create_view("rows", FANOUT_QUERY,
+                       cost_model=_NeverRecompute())
+        handle = start_in_thread(db, own_db=True)
+        selector = selectors.DefaultSelector()
+        sockets = []
+        try:
+            for _ in range(count):
+                sock = socket.create_connection((handle.host,
+                                                 handle.port))
+                sock.sendall(encode_frame(
+                    {"id": 1, "op": "subscribe", "view": "rows",
+                     "limit": 1_000_000}))
+                decoder = FrameDecoder()
+                subscribed = False
+                while not subscribed:
+                    for frame in decoder.feed(sock.recv(65536)):
+                        subscribed = subscribed or frame.get("id") == 1
+                sock.setblocking(False)
+                selector.register(sock, selectors.EVENT_READ,
+                                  {"decoder": decoder, "last": 0,
+                                   "gap": False})
+                sockets.append(sock)
+
+            done = threading.Event()
+            remaining = [count]
+
+            def drain():
+                while not done.is_set():
+                    for key, _ in selector.select(timeout=0.2):
+                        try:
+                            data = key.fileobj.recv(1 << 20)
+                        except (BlockingIOError, OSError):
+                            continue
+                        if not data:
+                            continue
+                        state = key.data
+                        for frame in state["decoder"].feed(data):
+                            if frame.get("type") != "delta":
+                                continue
+                            if frame["sequence"] != state["last"] + 1:
+                                state["gap"] = True
+                            state["last"] = frame["sequence"]
+                            if state["last"] == updates:
+                                remaining[0] -= 1
+                                if remaining[0] == 0:
+                                    done.set()
+
+            drainer = threading.Thread(target=drain, daemon=True)
+            with ReproClient(handle.host, handle.port) as control:
+                started = time.perf_counter()
+                drainer.start()
+                for index in range(updates):
+                    control.update([
+                        'for $d in document("data.xml")/data update $d '
+                        f'insert <row><name>u{index}</name></row> '
+                        'into $d'])
+                acked = time.perf_counter()
+                done.wait(timeout=120)
+                finished = time.perf_counter()
+            drainer.join(timeout=5)
+            elapsed = finished - started
+            delivered_ok = done.is_set() and not any(
+                key.data["gap"] for key in selector.get_map().values())
+            series.append({
+                "subscribers": count,
+                "requested": requested,
+                "updates": updates,
+                "updates_per_second": (updates / elapsed
+                                       if elapsed > 0 else None),
+                "frames_per_second": (count * updates / elapsed
+                                      if elapsed > 0 else None),
+                "delivery_lag_seconds": finished - acked,
+                "delivered_ok": delivered_ok})
+        finally:
+            for sock in sockets:
+                sock.close()
+            selector.close()
+            handle.stop()
+    return series
+
+
+def server_fanout_gate(series: list[dict]) -> dict:
+    """CI gate: complete, in-order, gap-free delivery to every
+    subscriber at every fan-out level.  Throughput numbers are recorded
+    but not thresholded — hosts vary too much; completeness does not."""
+    delivered = all(entry["delivered_ok"] for entry in series)
+    largest = series[-1]
+    return {"levels": [entry["subscribers"] for entry in series],
+            "max_subscribers": largest["subscribers"],
+            "updates_per_second": largest["updates_per_second"],
+            "frames_per_second": largest["frames_per_second"],
+            "delivered_ok": delivered,
+            "ok": delivered}
+
+
+def run_suite(scale_list, repeat: int = 3,
+              fanout_levels=None) -> dict:
     # The facade and instrumentation comparisons run first: their paired
     # ratios are the most noise-sensitive measurements in the suite, and
     # the document sweeps below leave a large heap behind that skews
@@ -754,6 +909,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
     nav_child, ok_child = measure_navigation(
         NAV_CHILD_PATHS, [], scale_list, repeat)
     selectivity, ok_sel = measure_selectivity(scale_list[-1], repeat)
+    fanout_series = measure_server_fanout(fanout_levels or FANOUT_LEVELS)
     scenarios = [
         {"name": "navigation_descendant",
          "style": "fig 9.2 regime: descendant-heavy navigation vs doc size",
@@ -790,6 +946,10 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
          "style": "instrumentation tax: repro.obs enabled vs "
                   "set_enabled(False), same facade workload",
          "series": [obs_entry]},
+        {"name": "server_fanout",
+         "style": "serving layer: one writer, N push subscribers over "
+                  "real sockets",
+         "series": fanout_series},
     ]
     headline = nav_desc[-1]
     max_overhead = max(entry["overhead"] for entry in api_series)
@@ -798,6 +958,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
     join_gate = join_maintenance_gate(join_series)
     modify_gate = modify_heavy_gate(modify_series)
     restore_gate = cold_vs_restore_gate(restore_series)
+    fanout_gate = server_fanout_gate(fanout_series)
     return {
         "suite": "perf_suite",
         "description": "indexed StructuralIndex fast paths vs walk-based "
@@ -809,7 +970,8 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
         "consistency_ok": (ok_desc and ok_child and ok_sel
                            and join_gate["consistency_ok"]
                            and modify_gate["consistency_ok"]
-                           and restore_gate["consistency_ok"]),
+                           and restore_gate["consistency_ok"]
+                           and fanout_gate["delivered_ok"]),
         "scenarios": scenarios,
         "headline": {"scenario": "navigation_descendant",
                      "persons": headline["persons"],
@@ -826,6 +988,7 @@ def run_suite(scale_list, repeat: int = 3) -> dict:
         "join_maintenance": join_gate,
         "modify_heavy": modify_gate,
         "cold_start_vs_restore": restore_gate,
+        "server_fanout": fanout_gate,
         "observability": {
             "instrumentation_enabled": True,
             "target": OBS_OVERHEAD_TARGET,
@@ -904,6 +1067,19 @@ def print_suite(result: dict) -> None:
                 ["scale", "enabled (ms)", "disabled (ms)", "overhead"],
                 rows)
             continue
+        if scenario["name"] == "server_fanout":
+            for entry in scenario["series"]:
+                rows.append([entry["subscribers"],
+                             f"{entry['updates_per_second']:8.1f}",
+                             f"{entry['frames_per_second']:10.0f}",
+                             ms(entry["delivery_lag_seconds"]),
+                             "ok" if entry["delivered_ok"]
+                             else "INCOMPLETE"])
+            print_table(
+                f"Perf suite: {scenario['name']} — {scenario['style']}",
+                ["subscribers", "updates/s", "frames/s", "lag (ms)",
+                 "delivery"], rows)
+            continue
         for entry in scenario["series"]:
             label = entry.get("tag") or (
                 f"{entry['persons']} {entry['query']}"
@@ -949,6 +1125,11 @@ def print_suite(result: dict) -> None:
     print(f"observability: instrumentation enabled throughout; enabled "
           f"vs disabled overhead {obs['overhead'] * 100:.2f}% "
           f"(informational target < {obs['target'] * 100:.0f}%)")
+    fanout = result["server_fanout"]
+    print(f"server_fanout: at {fanout['max_subscribers']} subscribers "
+          f"{fanout['updates_per_second']:.1f} updates/s, "
+          f"{fanout['frames_per_second']:.0f} pushed frames/s — "
+          f"{'ok' if fanout['ok'] else 'DELIVERY INCOMPLETE'}")
 
 
 def main(argv=None) -> dict:
@@ -962,10 +1143,16 @@ def main(argv=None) -> dict:
     parser.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="also dump the Database.metrics() snapshot "
                              "from the observability run (CI artifact)")
+    parser.add_argument("--fanout", default=None,
+                        help="comma-separated subscriber counts for the "
+                             "server_fanout scenario (default 1,100,1000)")
     args = parser.parse_args(argv)
     scale_list = ([int(part) for part in args.scales.split(",") if part]
                   if args.scales else scales())
-    result = run_suite(scale_list, repeat=args.repeat)
+    fanout_levels = ([int(part) for part in args.fanout.split(",") if part]
+                     if args.fanout else None)
+    result = run_suite(scale_list, repeat=args.repeat,
+                       fanout_levels=fanout_levels)
     metrics_snapshot = result.pop("_metrics_snapshot")
     print_suite(result)
     with open(args.json, "w") as handle:
@@ -1004,21 +1191,23 @@ def test_indexed_descendant_navigation_faster():
 def test_suite_emits_valid_json(tmp_path):
     path = tmp_path / "perf_suite.json"
     metrics_path = tmp_path / "metrics.json"
-    main(["--scales", "10,20", "--repeat", "1", "--json", str(path),
-          "--metrics-json", str(metrics_path)])
+    main(["--scales", "10,20", "--repeat", "1", "--fanout", "1,4",
+          "--json", str(path), "--metrics-json", str(metrics_path)])
     loaded = json.loads(path.read_text())
     assert loaded["suite"] == "perf_suite"
     assert loaded["consistency_ok"] is True
     assert {s["name"] for s in loaded["scenarios"]} >= {
         "navigation_descendant", "selectivity", "view_maintenance_insert",
         "join_maintenance", "modify_heavy", "cold_start_vs_restore",
-        "api_overhead", "observability_overhead"}
+        "api_overhead", "observability_overhead", "server_fanout"}
     for scenario in loaded["scenarios"]:
         assert scenario["series"], scenario["name"]
     assert "max_overhead" in loaded["api_overhead"]
     assert loaded["join_maintenance"]["consistency_ok"] is True
     assert loaded["modify_heavy"]["consistency_ok"] is True
     assert loaded["observability"]["instrumentation_enabled"] is True
+    assert loaded["server_fanout"]["ok"] is True
+    assert loaded["server_fanout"]["max_subscribers"] >= 1
     assert "_metrics_snapshot" not in loaded
     # the CI artifact: a live engine metrics snapshot from the suite run
     metrics = json.loads(metrics_path.read_text())
@@ -1072,6 +1261,19 @@ def test_cold_vs_restore_consistent_and_replays_tail():
     # No speed assertion at smoke scale: 20 persons is jitter territory;
     # the restore-beats-cold claim is gated on the full sweep's largest
     # scale by the suite run itself.
+
+
+def test_server_fanout_delivers_gap_free():
+    series = measure_server_fanout([1, 3], updates=5)
+    assert [entry["subscribers"] for entry in series] == [1, 3]
+    for entry in series:
+        assert entry["delivered_ok"] is True, entry
+        assert entry["updates"] == 5
+        assert entry["updates_per_second"] > 0
+        assert entry["frames_per_second"] > 0
+    gate = server_fanout_gate(series)
+    assert gate["ok"] is True
+    assert gate["max_subscribers"] == 3
 
 
 def test_api_batch_matches_direct_stream():

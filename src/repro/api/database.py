@@ -276,12 +276,22 @@ class Database:
     # -- subscriptions -----------------------------------------------------------------
 
     def subscribe(self, view_name: str,
-                  callback: Callable[[RefreshEvent], None]) -> Subscription:
-        """Call ``callback(event)`` whenever ``view_name`` refreshes."""
+                  callback: Callable[[RefreshEvent], None], *,
+                  deliver_mutations: bool = False) -> Subscription:
+        """Call ``callback(event)`` whenever ``view_name`` refreshes.
+
+        With ``deliver_mutations=True`` each *propagate* refresh carries
+        the flush's visible extent mutations as JSON-ready records on
+        ``event.mutations`` (the delta payload the network server pushes
+        over the wire); recompute refreshes carry ``None`` — re-read the
+        view.  Callbacks are isolated: one raising neither aborts the
+        flush nor starves other subscribers (counted in the
+        ``subscriber_errors`` metric family)."""
         if view_name not in self.registry:
             raise KeyError(f"no view named {view_name!r}")
         subscription = Subscription(self, view_name, callback)
-        self.registry.add_refresh_listener(subscription._dispatch)
+        self.registry.add_refresh_listener(
+            subscription._dispatch, deliver_mutations=deliver_mutations)
         self._subscriptions.add(subscription)
         return subscription
 

@@ -53,9 +53,10 @@ class View:
     def pending_trees(self) -> int:
         return self._registered.pending_trees()
 
-    def subscribe(self, callback: Callable[[RefreshEvent], None]
-                  ) -> "Subscription":
-        return self._db.subscribe(self.name, callback)
+    def subscribe(self, callback: Callable[[RefreshEvent], None], *,
+                  deliver_mutations: bool = False) -> "Subscription":
+        return self._db.subscribe(self.name, callback,
+                                  deliver_mutations=deliver_mutations)
 
     def drop(self) -> None:
         self._db.drop_view(self.name)

@@ -21,12 +21,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .extent import TEXT_ID, ExtentNode, forest_root
+from ..xmlmodel.serializer import serialize
+from .extent import FOREST_TAG, TEXT_ID, ExtentNode, forest_root
 
 
 @dataclass
 class FusionReport:
-    """What the Apply phase did — used by tests and benchmarks."""
+    """What the Apply phase did — used by tests and benchmarks.
+
+    ``delta_log``, when set to a list by the caller *before* fusion,
+    captures every **visible** extent mutation as a JSON-ready record
+    (see :func:`delta_records` for the schema) — the payload a push
+    subscriber needs to mirror the refresh without re-reading the view.
+    Count-only changes that leave the serialized XML untouched are not
+    recorded.  ``None`` (the default) disables capture entirely; the
+    hot path pays one identity check per mutation.
+    """
 
     inserted: int = 0
     removed_roots: int = 0
@@ -34,6 +44,7 @@ class FusionReport:
     merged: int = 0
     replaced_text: int = 0
     aggregate_refreshes: list[tuple] = field(default_factory=list)
+    delta_log: Optional[list] = field(default=None, repr=False)
 
     @property
     def mutations(self) -> int:
@@ -61,6 +72,64 @@ class FusionReport:
         self.replaced_text += other.replaced_text
         self.aggregate_refreshes.extend(other.aggregate_refreshes)
         return self
+
+
+# -- delta records (the push-subscription payload) --------------------------------------
+#
+# Each visible extent mutation appends one JSON-ready dict to
+# ``report.delta_log`` when capture is on.  Paths are lists of two-element
+# match keys (``[tag, node_id]``, ``["#text", text]``, ``["#agg", id]``)
+# from just below the synthetic forest root down to the affected node —
+# the same identities Deep Union fuses by, so a mirror applying the
+# records reproduces the extent.  The schema (shared with the wire
+# protocol's delta frames, see docs/WIRE_PROTOCOL.md):
+#
+# * ``{"op": "insert", "parent": [...], "key": [...], "order": o,
+#   "xml": "<...>"}`` — a whole subtree entered the extent under
+#   ``parent`` at sibling position ``order``; ``key`` is the new
+#   subtree root's own match key, so later records addressing it (its
+#   removal, its text changing) correlate without re-deriving identity
+#   from the XML;
+# * ``{"op": "remove", "path": [...]}`` — the subtree at ``path`` left
+#   the extent (disconnected at its root);
+# * ``{"op": "text", "path": [...], "text": "..."}`` — the direct text
+#   content of the element at ``path`` was replaced;
+# * ``{"op": "replace", "path": [...], "xml": "<...>"}`` — a re-derived
+#   base fragment replaced the element's children wholesale (``xml`` is
+#   the element's new serialization);
+# * ``{"op": "agg", "path": [...], "value": "..."}`` — an
+#   aggregate-valued text node took a new value.
+
+
+def _json_path(path: tuple) -> list:
+    return [list(key) for key in path]
+
+
+def _log_insert(log: list, path: tuple, node: ExtentNode) -> None:
+    log.append({"op": "insert", "parent": _json_path(path),
+                "key": list(node.match_key()), "order": node.order,
+                "xml": serialize(node.to_xml())})
+
+
+def _log_remove(log: list, path: tuple, key: tuple) -> None:
+    log.append({"op": "remove", "path": _json_path(path + (key,))})
+
+
+def _log_text(log: list, path: tuple, existing: ExtentNode) -> None:
+    log.append({"op": "text", "path": _json_path(path),
+                "text": "".join(child.text or ""
+                                for child in existing.children
+                                if child.is_text)})
+
+
+def _log_replace(log: list, path: tuple, existing: ExtentNode) -> None:
+    log.append({"op": "replace", "path": _json_path(path),
+                "xml": serialize(existing.to_xml())})
+
+
+def _log_agg(log: list, path: tuple, node: ExtentNode) -> None:
+    log.append({"op": "agg", "path": _json_path(path),
+                "value": node.text})
 
 
 def fuse_forest(extent: Optional[ExtentNode], roots: list[ExtentNode],
@@ -93,19 +162,27 @@ def deep_union(extent: Optional[ExtentNode], delta: ExtentNode,
     """
     if report is None:
         report = FusionReport()
+    log = report.delta_log
     if extent is None:
         if delta.count <= 0 and not delta.refresh:
             return None, report
         report.inserted += 1
         _normalize_inserted(delta)
+        if log is not None:
+            roots = (delta.children if delta.tag == FOREST_TAG
+                     else [delta])
+            for root in roots:
+                _log_insert(log, (), root)
         return delta, report
     if extent.match_key() != delta.match_key():
         raise ValueError(
             f"root mismatch: {extent.match_key()} vs {delta.match_key()}")
-    alive = _fuse(extent, delta, report)
+    alive = _fuse(extent, delta, report, log, ())
     if not alive:
         report.removed_roots += 1
         report.removed_nodes += extent.subtree_size()
+        if log is not None:
+            _log_remove(log, (), extent.match_key())
         return None, report
     return extent, report
 
@@ -160,11 +237,17 @@ def _fuse_duplicate_children(node: ExtentNode) -> None:
 
 
 def _fuse(existing: ExtentNode, incoming: ExtentNode,
-          report: FusionReport) -> bool:
-    """Fuse one matched pair; returns False when ``existing`` must die."""
+          report: FusionReport, log: Optional[list] = None,
+          path: tuple = ()) -> bool:
+    """Fuse one matched pair; returns False when ``existing`` must die.
+
+    ``log``/``path`` carry the delta capture: ``path`` is the identity
+    path of ``existing`` (match keys below the forest root, see the
+    record schema above) and is only extended while ``log`` is a list.
+    """
     report.merged += 1
     if incoming.agg is not None and existing.agg is not None:
-        _merge_aggregate(existing, incoming, report)
+        _merge_aggregate(existing, incoming, report, log, path)
         return True
     if incoming.refresh:
         existing.attributes = dict(incoming.attributes)
@@ -179,23 +262,29 @@ def _fuse(existing: ExtentNode, incoming: ExtentNode,
                 existing.insert_child(child)
             existing.count = preserved
             report.replaced_text += 1
+            if log is not None:
+                _log_replace(log, path, existing)
             return True
-        _replace_text_children(existing, incoming, report)
-        _fuse_children(existing, incoming, report, refresh=True)
+        _replace_text_children(existing, incoming, report, log, path)
+        _fuse_children(existing, incoming, report, refresh=True,
+                       log=log, path=path)
         return True
     existing.count += incoming.count
     if existing.count <= 0:
         return False
-    _fuse_children(existing, incoming, report, refresh=False)
+    _fuse_children(existing, incoming, report, refresh=False,
+                   log=log, path=path)
     return True
 
 
 def _fuse_children(existing: ExtentNode, incoming: ExtentNode,
-                   report: FusionReport, refresh: bool) -> None:
+                   report: FusionReport, refresh: bool,
+                   log: Optional[list] = None, path: tuple = ()) -> None:
     for child in list(incoming.children):
         if child.is_text and refresh:
             continue  # text already replaced wholesale
-        match = existing.find_child(child.match_key())
+        key = child.match_key()
+        match = existing.find_child(key)
         if match is None:
             if child.count <= 0 and not child.refresh:
                 continue  # deleting something already absent
@@ -203,16 +292,23 @@ def _fuse_children(existing: ExtentNode, incoming: ExtentNode,
             _normalize_inserted(child)
             existing.insert_child(child)
             report.inserted += 1
+            if log is not None:
+                _log_insert(log, path, child)
             continue
-        alive = _fuse(match, child, report)
+        alive = _fuse(match, child, report, log,
+                      path + (key,) if log is not None else path)
         if not alive:
             report.removed_roots += 1
             report.removed_nodes += match.subtree_size()
             existing.remove_child(match)
+            if log is not None:
+                _log_remove(log, path, key)
 
 
 def _replace_text_children(existing: ExtentNode, incoming: ExtentNode,
-                           report: FusionReport) -> None:
+                           report: FusionReport,
+                           log: Optional[list] = None,
+                           path: tuple = ()) -> None:
     incoming_texts = [c for c in incoming.children if c.is_text]
     existing_texts = [c for c in existing.children if c.is_text]
     if not incoming_texts and not existing_texts:
@@ -224,7 +320,10 @@ def _replace_text_children(existing: ExtentNode, incoming: ExtentNode,
         # per-member contribution state — wholesale replacement would
         # adopt the *delta* state (value-only contributions, count 0)
         # and lose the derivation counts the next retraction needs.
-        _merge_aggregate(existing_texts[0], incoming_texts[0], report)
+        _merge_aggregate(
+            existing_texts[0], incoming_texts[0], report, log,
+            path + (existing_texts[0].match_key(),)
+            if log is not None else path)
         return
     same = ([c.text for c in incoming_texts]
             == [c.text for c in existing_texts])
@@ -237,10 +336,13 @@ def _replace_text_children(existing: ExtentNode, incoming: ExtentNode,
         _normalize_inserted(child)
         existing.insert_child(child)
     report.replaced_text += 1
+    if log is not None:
+        _log_text(log, path, existing)
 
 
 def _merge_aggregate(existing: ExtentNode, incoming: ExtentNode,
-                     report: FusionReport) -> None:
+                     report: FusionReport, log: Optional[list] = None,
+                     path: tuple = ()) -> None:
     """Merge per-member aggregate contributions (Section 7.6).
 
     Thanks to the per-member counting state, min/max deletes re-evaluate
@@ -248,5 +350,8 @@ def _merge_aggregate(existing: ExtentNode, incoming: ExtentNode,
     (``aggregate_refreshes`` stays empty; the field remains for exotic
     states that cannot be merged, none of which arise from our operators).
     """
+    before = existing.text
     existing.agg = existing.agg.merge(incoming.agg)
     existing.text = existing.agg.value()
+    if log is not None and existing.text != before:
+        _log_agg(log, path, existing)

@@ -72,6 +72,14 @@ class RefreshEvent:
     recomputation), and ``sequence`` the view's monotonically increasing
     refresh number (starting at 1) — a per-view subscriber that sees a
     gap has missed a refresh.
+
+    ``mutations`` is the refresh's *payload*: the tuple of JSON-ready
+    visible-mutation records the Apply phase captured (see the record
+    schema in :mod:`repro.apply.deep_union`), present only when at least
+    one listener registered with ``deliver_mutations=True`` **and** the
+    refresh propagated deltas.  ``None`` means either capture was off or
+    the extent was recomputed wholesale (``reason == "recompute"``) — a
+    payload subscriber must re-read the view then.
     """
 
     view: str
@@ -80,6 +88,7 @@ class RefreshEvent:
     duration_seconds: float = 0.0
     delta_tuples: int = 0
     sequence: int = 0
+    mutations: Optional[tuple] = None
 
 
 @dataclass
@@ -230,7 +239,11 @@ class ViewRegistry:
         self.wal = None
         self._views: dict[str, RegisteredView] = {}
         self._storage_ops = 0
-        self._refresh_listeners: list = []
+        #: (listener, deliver_mutations) pairs; mutation capture in the
+        #: Apply phase runs only while at least one listener wants it.
+        self._refresh_listeners: list[tuple] = []
+        self._mutation_listeners = 0
+        self._subscriber_errors = 0
         self._closed = False
         storage.add_listener(self._count_storage_op)
 
@@ -248,6 +261,10 @@ class ViewRegistry:
                             "Shared-validation router activity").set(value)
         metrics.counter("storage_mutations",
                         "Storage mutations observed").set(self._storage_ops)
+        metrics.counter(
+            "subscriber_errors",
+            "Refresh listeners that raised (isolated, flush unharmed)"
+            ).set(self._subscriber_errors)
         index = self.storage.index
         if index is not None:
             stats = index.stats()
@@ -331,6 +348,7 @@ class ViewRegistry:
         if self.state_store is not None:
             self.state_store.close()
         self._refresh_listeners.clear()
+        self._mutation_listeners = 0
 
     def __enter__(self) -> "ViewRegistry":
         return self
@@ -340,33 +358,54 @@ class ViewRegistry:
 
     # -- refresh events ----------------------------------------------------------------
 
-    def add_refresh_listener(self, listener) -> None:
+    def add_refresh_listener(self, listener,
+                             deliver_mutations: bool = False) -> None:
         """Subscribe ``listener(event: RefreshEvent)`` to view refreshes —
         fired whenever maintenance changes a view's extent (delta
         propagation or full recomputation), whatever triggered the flush
         (stream dispatch, a read of a deferred view, or an explicit
-        :meth:`flush`)."""
-        self._refresh_listeners.append(listener)
+        :meth:`flush`).
+
+        ``deliver_mutations=True`` turns on visible-mutation capture in
+        the Apply phase: every *propagate* refresh then carries the
+        JSON-ready delta records on :attr:`RefreshEvent.mutations` (the
+        push payload of the network server).  Capture runs while at
+        least one such listener is registered and costs one list append
+        per visible extent mutation."""
+        self._refresh_listeners.append((listener, deliver_mutations))
+        if deliver_mutations:
+            self._mutation_listeners += 1
 
     def remove_refresh_listener(self, listener) -> None:
         """Unsubscribe (no-op when absent — discard semantics)."""
-        try:
-            self._refresh_listeners.remove(listener)
-        except ValueError:
-            pass
+        for entry in self._refresh_listeners:
+            if entry[0] is listener:
+                self._refresh_listeners.remove(entry)
+                if entry[1]:
+                    self._mutation_listeners -= 1
+                return
 
     def _notify_refresh(self, view: RegisteredView, reason: str,
-                        trees: int, duration: float,
-                        delta_tuples: int) -> None:
+                        trees: int, duration: float, delta_tuples: int,
+                        mutations: Optional[tuple] = None) -> None:
         # The sequence advances whether or not anyone listens — a
         # subscriber joining late sees where the view's history stands.
         view.refresh_sequence += 1
         if not self._refresh_listeners:
             return
         event = RefreshEvent(view.name, reason, trees, duration,
-                             delta_tuples, view.refresh_sequence)
-        for listener in list(self._refresh_listeners):
-            listener(event)
+                             delta_tuples, view.refresh_sequence,
+                             mutations)
+        for listener, _wants in list(self._refresh_listeners):
+            # Fan-out is isolated: one failing subscriber must neither
+            # abort the flush that produced the event nor starve the
+            # listeners after it.  The error is counted (the
+            # ``subscriber_errors`` metric family) and dropped — a
+            # callback's contract is fire-and-forget.
+            try:
+                listener(event)
+            except Exception:
+                self._subscriber_errors += 1
 
     # -- registration ------------------------------------------------------------------
 
@@ -724,6 +763,9 @@ class ViewRegistry:
             return None
         refreshes_before = len(view.report.fusion.aggregate_refreshes)
         mutations_before = view.report.fusion.mutations
+        capture = self._mutation_listeners > 0
+        if capture:
+            view.report.fusion.delta_log = []
         with self.tracer.span(
                 "view.flush", view=view.name, trees=trees,
                 decision="propagate",
@@ -731,9 +773,14 @@ class ViewRegistry:
                 predicted_recompute_seconds=view.cost.recompute_seconds
                 ) as span:
             started = time.perf_counter()
-            for batch in view.pending:
-                view.pipeline.propagate_run(batch, view.report,
-                                            profiler=self._profiler)
+            try:
+                for batch in view.pending:
+                    view.pipeline.propagate_run(batch, view.report,
+                                                profiler=self._profiler)
+            finally:
+                captured = (tuple(view.report.fusion.delta_log)
+                            if capture else None)
+                view.report.fusion.delta_log = None
             elapsed = time.perf_counter() - started
             span.set(observed_seconds=elapsed)
         view.cost.observe_propagation(trees, elapsed)
@@ -754,7 +801,7 @@ class ViewRegistry:
             self._recompute(view, trees=trees)
             return None
         self._notify_refresh(view, "propagate", trees, elapsed,
-                             delta_tuples)
+                             delta_tuples, captured)
         return None
 
     def _recompute(self, view: RegisteredView, trees: int = 0,

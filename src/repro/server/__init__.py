@@ -1,0 +1,31 @@
+"""The network serving layer: sessions, wire protocol, subscriptions.
+
+This package turns the in-process :class:`repro.api.Database` into a
+served system (ROADMAP item 1):
+
+* :mod:`repro.server.protocol` — the length-prefixed JSON wire protocol
+  (framing, request/reply/error/push message shapes, typed errors);
+* :mod:`repro.server.server` — the asyncio :class:`ViewServer`: many
+  concurrent client sessions over one database, all mutations serialized
+  through a single-writer apply loop, push-based view subscriptions with
+  per-subscriber bounded queues and an explicit backpressure policy
+  (coalesce-to-latest or disconnect-with-gap), a plain-HTTP ``/metrics``
+  Prometheus scrape endpoint, and graceful shutdown that cuts a final
+  checkpoint on durable databases;
+* :mod:`repro.server.client` — the blocking :class:`ReproClient` used by
+  tests, examples and scripts (threads may share one client; requests
+  are matched to replies by message id, pushes land on per-subscription
+  queues).
+
+``python -m repro.server`` starts a standalone server (see
+:mod:`repro.server.__main__` for the flags).
+"""
+
+from .client import ClientSubscription, ConnectionClosed, ReproClient, \
+    ServerError
+from .protocol import ProtocolError
+from .server import ServerHandle, ViewServer, start_in_thread
+
+__all__ = ["ClientSubscription", "ConnectionClosed", "ProtocolError",
+           "ReproClient", "ServerError", "ServerHandle", "ViewServer",
+           "start_in_thread"]

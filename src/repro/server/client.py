@@ -1,0 +1,309 @@
+"""The blocking client: request/reply over the wire, push queues.
+
+:class:`ReproClient` holds one socket.  A daemon reader thread decodes
+incoming frames and routes them: frames carrying an ``id`` answer a
+pending request (the issuing thread is woken), ``delta``/``gap`` push
+frames land on the :class:`ClientSubscription` queue they belong to.
+Multiple application threads may share one client — writes are locked,
+and each in-flight request has its own wait slot — which is exactly how
+the stress tests drive concurrent sessions.
+
+Typical use::
+
+    with ReproClient(host, port) as client:
+        client.load("bib.xml", BIB)
+        client.create_view("titles", QUERY)
+        sub = client.subscribe("titles")
+        client.update(['FOR $b IN document("bib.xml")/bib '
+                       'UPDATE $b { DELETE book[1] }'])
+        frame = sub.get(timeout=5)     # the pushed delta
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Optional
+
+from .protocol import MAX_FRAME, FrameDecoder, ProtocolError, encode_frame
+
+__all__ = ["ClientSubscription", "ConnectionClosed", "ReproClient",
+           "ServerError"]
+
+
+class ConnectionClosed(ConnectionError):
+    """The server went away (EOF, reset, or client-side close)."""
+
+
+class ServerError(Exception):
+    """An error frame answering one of this client's requests."""
+
+    def __init__(self, code: str, message: str, detail: dict):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+
+class ClientSubscription:
+    """Push frames of one subscription, in arrival order.
+
+    ``get`` blocks for the next frame; iteration yields frames until
+    the subscription (or connection) closes.  Frames are raw protocol
+    dicts: ``type`` is ``"delta"`` or ``"gap"``; a delta with
+    ``reset=true`` means the mirror is stale — re-read the view.
+    """
+
+    _CLOSED = object()
+
+    def __init__(self, client: "ReproClient", sub_id: int, view: str,
+                 baseline_sequence: int):
+        self._client = client
+        self.id = sub_id
+        self.view = view
+        self.last_sequence = baseline_sequence
+        self.frames: "queue.Queue" = queue.Queue()
+        self.closed = False
+
+    def get(self, timeout: Optional[float] = None) -> dict:
+        """The next push frame; raises :class:`queue.Empty` on timeout,
+        :class:`ConnectionClosed` once the stream ends."""
+        if self.closed and self.frames.empty():
+            raise ConnectionClosed("subscription is closed")
+        frame = self.frames.get(timeout=timeout)
+        if frame is self._CLOSED:
+            raise ConnectionClosed("subscription is closed")
+        sequence = frame.get("sequence")
+        if isinstance(sequence, int):
+            self.last_sequence = sequence
+        return frame
+
+    def __iter__(self):
+        while True:
+            try:
+                yield self.get()
+            except ConnectionClosed:
+                return
+
+    def cancel(self) -> None:
+        """Unsubscribe server-side and close the local queue."""
+        if not self.closed:
+            try:
+                self._client.request("unsubscribe", subscription=self.id)
+            except (ConnectionClosed, ServerError):
+                pass
+        self._close()
+
+    def _close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.frames.put(self._CLOSED)
+
+
+class _Waiter:
+    __slots__ = ("event", "frame")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.frame = None
+
+
+class ReproClient:
+    """A blocking connection to a :class:`~repro.server.ViewServer`."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: Optional[float] = 30.0,
+                 max_frame: int = MAX_FRAME, hello: bool = True):
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self._sock = socket.create_connection((host, port), timeout=10.0)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._next_id = 0
+        self._waiters: dict[int, _Waiter] = {}
+        self._subscriptions: dict[int, ClientSubscription] = {}
+        self._orphan_pushes: dict[int, list] = {}
+        self._closed = False
+        self._close_reason: Optional[str] = None
+        self._reader = threading.Thread(target=self._read_loop,
+                                        daemon=True, name="repro-client")
+        self._reader.start()
+        self.server_info: dict = {}
+        if hello:
+            self.server_info = self.request("hello")
+
+    # -- the reader thread -------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder(self.max_frame)
+        reason = "connection closed by server"
+        try:
+            while True:
+                data = self._sock.recv(65536)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    self._route(frame)
+        except (OSError, ProtocolError) as exc:
+            if not self._closed:
+                reason = f"connection failed: {exc}"
+        finally:
+            self._shutdown(reason)
+
+    def _route(self, frame: dict) -> None:
+        if "id" in frame and frame["id"] is not None:
+            with self._state_lock:
+                waiter = self._waiters.pop(frame["id"], None)
+            if waiter is not None:
+                waiter.frame = frame
+                waiter.event.set()
+            return
+        sub_id = frame.get("subscription")
+        if isinstance(sub_id, int):
+            with self._state_lock:
+                subscription = self._subscriptions.get(sub_id)
+                if subscription is None:
+                    # Push raced ahead of the subscribe() caller
+                    # registering its queue — park it.
+                    self._orphan_pushes.setdefault(sub_id, []) \
+                        .append(frame)
+                    return
+            subscription.frames.put(frame)
+            if frame.get("type") == "gap":
+                subscription._close()
+        # id-less error frames (connection-level) surface via _shutdown
+        # when the server closes; anything else is ignorable noise.
+
+    def _shutdown(self, reason: str) -> None:
+        with self._state_lock:
+            if self._close_reason is None:
+                self._close_reason = reason
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+            subscriptions = list(self._subscriptions.values())
+        for waiter in waiters:
+            waiter.event.set()      # frame stays None -> ConnectionClosed
+        for subscription in subscriptions:
+            subscription._close()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- requests ----------------------------------------------------------------------
+
+    def request(self, op: str, **params) -> dict:
+        """One request/reply round trip; returns the reply's ``result``
+        or raises :class:`ServerError` / :class:`ConnectionClosed`."""
+        with self._state_lock:
+            if self._close_reason is not None:
+                raise ConnectionClosed(self._close_reason)
+            self._next_id += 1
+            request_id = self._next_id
+            waiter = _Waiter()
+            self._waiters[request_id] = waiter
+        frame = {"id": request_id, "op": op}
+        frame.update(params)
+        data = encode_frame(frame, self.max_frame)
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except OSError as exc:
+            with self._state_lock:
+                self._waiters.pop(request_id, None)
+            raise ConnectionClosed(f"send failed: {exc}") from exc
+        if not waiter.event.wait(self.timeout):
+            with self._state_lock:
+                self._waiters.pop(request_id, None)
+            raise TimeoutError(
+                f"no reply to {op!r} within {self.timeout}s")
+        if waiter.frame is None:
+            raise ConnectionClosed(self._close_reason
+                                   or "connection closed")
+        if waiter.frame.get("type") == "error":
+            raise ServerError(waiter.frame.get("code", "unknown"),
+                              waiter.frame.get("message", ""),
+                              waiter.frame)
+        return waiter.frame.get("result", {})
+
+    # -- convenience wrappers over the op catalogue ------------------------------------
+
+    def load(self, name: str, xml: str) -> dict:
+        return self.request("load", name=name, xml=xml)
+
+    def documents(self) -> list:
+        return self.request("documents")["documents"]
+
+    def create_view(self, name: str, query: str,
+                    policy="immediate") -> dict:
+        return self.request("create_view", name=name, query=query,
+                            policy=policy)
+
+    def drop_view(self, name: str) -> dict:
+        return self.request("drop_view", name=name)
+
+    def views(self) -> list:
+        return self.request("views")["views"]
+
+    def read(self, view: str) -> dict:
+        """``{"xml": ..., "sequence": ...}`` — the flushed view."""
+        return self.request("read", view=view)
+
+    def query(self, xquery: str) -> str:
+        return self.request("query", xquery=xquery)["xml"]
+
+    def execute(self, statement: str) -> dict:
+        return self.request("execute", statement=statement)
+
+    def update(self, statements: list) -> dict:
+        """Submit a list of XQuery-update strings as one transactional
+        batch; the reply carries the server's ``applied_index``."""
+        return self.request("update", statements=list(statements))
+
+    def subscribe(self, view: str, *, mode: str = "coalesce",
+                  limit: Optional[int] = None) -> ClientSubscription:
+        params = {"view": view, "mode": mode}
+        if limit is not None:
+            params["limit"] = limit
+        result = self.request("subscribe", **params)
+        sub_id = result["subscription"]
+        subscription = ClientSubscription(self, sub_id, view,
+                                          result["sequence"])
+        with self._state_lock:
+            self._subscriptions[sub_id] = subscription
+            parked = self._orphan_pushes.pop(sub_id, [])
+        for frame in parked:
+            subscription.frames.put(frame)
+        return subscription
+
+    def explain(self, view: str) -> str:
+        return self.request("explain", view=view)["text"]
+
+    def metrics(self) -> dict:
+        return self.request("metrics")["metrics"]
+
+    def checkpoint(self) -> int:
+        return self.request("checkpoint")["lsn"]
+
+    def ping(self) -> None:
+        self.request("ping")
+
+    def close(self) -> None:
+        """Say goodbye (best effort) and tear the connection down."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.request("bye")
+        except (ConnectionClosed, ServerError, TimeoutError, OSError):
+            pass
+        self._shutdown("closed by client")
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

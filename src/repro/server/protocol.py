@@ -1,0 +1,183 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every message on a client connection — request, reply, error, push — is
+one *frame*: a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding one object.  Frames never nest
+and never span; a reader that knows the prefix can skip messages it
+does not understand.  The full message catalogue lives in
+``docs/WIRE_PROTOCOL.md``; the shapes in brief:
+
+* **request** (client → server): ``{"id": n, "op": "...", ...params}``.
+  ``id`` is a client-chosen integer echoed on the reply; ids must be
+  unique among the client's in-flight requests.
+* **reply** (server → client): ``{"id": n, "type": "reply",
+  "result": {...}}``.
+* **error** (server → client): ``{"id": n, "type": "error", "code":
+  "...", "message": "...", ...detail}`` — ``id`` is ``null`` for
+  connection-level failures that answer no particular request.
+* **push** (server → client, unsolicited): ``{"type": "delta", ...}``
+  frames carry one view refresh to a subscription; ``{"type": "gap",
+  ...}`` announces dropped refreshes before the server disconnects a
+  subscriber that chose the strict backpressure policy.
+
+The module is dependency-free in both directions (the asyncio server
+and the blocking client share it), and the delta payload inside a push
+frame is exactly the JSON-ready record list captured by the Apply phase
+(:mod:`repro.apply.deep_union`) — no re-serialization on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+__all__ = ["FrameDecoder", "MAX_FRAME", "PROTOCOL_VERSION",
+           "ProtocolError", "delta_frame", "encode_frame", "error_frame",
+           "gap_frame", "reply_frame"]
+
+#: protocol revision announced by ``hello`` and checked by clients
+PROTOCOL_VERSION = 1
+
+#: default ceiling for one frame's JSON body (64 MiB); both sides
+#: refuse larger frames instead of buffering unboundedly
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame (either direction)."""
+
+
+def encode_frame(message: dict, max_frame: int = MAX_FRAME) -> bytes:
+    """One message as its wire bytes (header + JSON body)."""
+    body = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_frame}-byte "
+            f"limit")
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed bytes, collect decoded messages.
+
+    Carries partial frames across ``feed`` calls, so it works unchanged
+    over stream sockets, asyncio transports and byte-at-a-time tests.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return every now-complete message in order."""
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{self.max_frame}-byte limit")
+            end = HEADER_SIZE + length
+            if len(self._buffer) < end:
+                return messages
+            body = bytes(self._buffer[HEADER_SIZE:end])
+            del self._buffer[:end]
+            try:
+                message = json.loads(body)
+            except ValueError as exc:
+                raise ProtocolError(f"frame body is not JSON: {exc}") \
+                    from exc
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"frame body must be a JSON object, got "
+                    f"{type(message).__name__}")
+            messages.append(message)
+
+
+# -- message constructors ----------------------------------------------------------------
+
+
+def reply_frame(request_id, result: dict) -> dict:
+    return {"id": request_id, "type": "reply", "result": result}
+
+
+def error_frame(request_id, code: str, message: str, **detail) -> dict:
+    frame = {"id": request_id, "type": "error", "code": code,
+             "message": message}
+    frame.update(detail)
+    return frame
+
+
+def delta_frame(subscription_id: int, event) -> dict:
+    """A push frame for one :class:`~repro.multiview.RefreshEvent`.
+
+    ``mutations`` is the Apply phase's captured record list (or ``null``
+    when the refresh recomputed the extent / capture yielded nothing to
+    replay); ``reset`` tells the subscriber its mirror is stale and must
+    be rebuilt by re-reading the view.  ``coalesced`` (added in place by
+    the server's backpressure path, never by this constructor) marks a
+    frame standing for the range ``from_sequence..sequence``.
+    """
+    mutations = event.mutations
+    reset = event.reason == "recompute" or mutations is None
+    return {"type": "delta",
+            "subscription": subscription_id,
+            "view": event.view,
+            "sequence": event.sequence,
+            "reason": event.reason,
+            "trees": event.trees,
+            "delta_tuples": event.delta_tuples,
+            "reset": reset,
+            "mutations": None if reset else list(mutations)}
+
+
+def gap_frame(subscription_id: int, view: str, after_sequence: int,
+              sequence: int, dropped: int) -> dict:
+    """The strict policy's parting frame: refreshes
+    ``after_sequence+1 .. sequence`` were dropped; the connection closes
+    after this frame."""
+    return {"type": "gap",
+            "subscription": subscription_id,
+            "view": view,
+            "after_sequence": after_sequence,
+            "sequence": sequence,
+            "dropped": dropped}
+
+
+def validate_request(frame: dict) -> tuple[int, str]:
+    """Check the request envelope; returns ``(id, op)`` or raises."""
+    request_id = frame.get("id")
+    if not isinstance(request_id, int):
+        raise ProtocolError("request is missing an integer 'id'")
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request is missing a string 'op'")
+    return request_id, op
+
+
+_MISSING = object()
+
+
+def param(frame: dict, name: str, kind, default=_MISSING):
+    """One typed request parameter; raises :class:`ProtocolError` naming
+    the offending parameter when absent (and no default) or mistyped."""
+    value = frame.get(name, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ProtocolError(f"request needs a {name!r} parameter")
+        return default
+    if kind is int and isinstance(value, bool):
+        raise ProtocolError(f"parameter {name!r} must be an int")
+    if not isinstance(value, kind):
+        expected = (kind.__name__ if isinstance(kind, type)
+                    else "/".join(k.__name__ for k in kind))
+        raise ProtocolError(f"parameter {name!r} must be {expected}")
+    return value

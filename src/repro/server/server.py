@@ -1,0 +1,680 @@
+"""The asyncio ``ViewServer``: many sessions, one single-writer database.
+
+Concurrency model — everything interesting happens on one event-loop
+thread:
+
+* Every client connection is a :class:`_Session` with a reader task
+  (decode frames, dispatch requests) and a writer task (drain the
+  session's outbound queue to the socket).
+* Every database-touching operation — mutations *and* reads — is a job
+  submitted to the **apply loop**, a single task consuming an
+  :class:`asyncio.Queue`.  Jobs run one at a time on the loop thread,
+  so the engine only ever sees serial access: updates from concurrent
+  sessions interleave at batch granularity, and a read observes a full
+  snapshot (never a half-applied batch).  Mutating jobs stamp a
+  monotone ``applied_index`` returned on the reply, which is the total
+  order clients can replay against an oracle.
+* View subscriptions are plain :meth:`Database.subscribe` callbacks
+  (``deliver_mutations=True``).  They fire synchronously inside the
+  apply job that flushed the view, on the loop thread, and enqueue one
+  push frame per refresh onto each subscriber's session queue — so
+  enqueue order equals refresh order equals wire order.
+
+Backpressure: each subscriber carries a bound on frames queued but not
+yet written.  A slow consumer (socket full, client not reading) makes
+the writer task block in ``drain()`` while refreshes keep arriving;
+when a subscriber's ``in_flight`` count hits its limit the server
+applies the policy the client chose at subscribe time:
+
+* ``"coalesce"`` (default) — fold the new refresh into the newest
+  still-queued delta frame *in place*: the frame becomes a
+  ``coalesced`` reset covering ``from_sequence..sequence`` and the
+  client re-reads the view.  No frame is dropped silently; memory per
+  subscriber stays bounded.
+* ``"disconnect"`` — push one ``gap`` frame naming the dropped range,
+  then close the connection.  For mirrors that must never miss a
+  delta and prefer death to staleness.
+
+Shutdown is graceful: stop accepting, close sessions, drain the apply
+loop, cut a final checkpoint when the database is durable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Optional
+
+from ..api import Database
+from ..updates.errors import UpdateError
+from .protocol import MAX_FRAME, PROTOCOL_VERSION, FrameDecoder, \
+    ProtocolError, delta_frame, encode_frame, error_frame, gap_frame, \
+    param, reply_frame, validate_request
+
+__all__ = ["ServerHandle", "ViewServer", "start_in_thread"]
+
+#: default per-subscriber bound on queued-but-unwritten push frames
+DEFAULT_SUBSCRIBER_LIMIT = 64
+
+_BACKPRESSURE_MODES = ("coalesce", "disconnect")
+
+
+class _Subscriber:
+    """One ``subscribe`` registration on one session."""
+
+    __slots__ = ("id", "view", "mode", "limit", "in_flight", "newest",
+                 "enqueued_sequence", "dropped", "subscription")
+
+    def __init__(self, sub_id: int, view: str, mode: str, limit: int,
+                 baseline_sequence: int):
+        self.id = sub_id
+        self.view = view
+        self.mode = mode
+        self.limit = limit
+        self.in_flight = 0          # frames queued, not yet written
+        self.newest = None          # newest still-queued delta frame dict
+        self.enqueued_sequence = baseline_sequence
+        self.dropped = False
+        self.subscription = None    # the Database.subscribe handle
+
+
+class _Session:
+    """One client connection: reader task, writer task, outbound queue."""
+
+    def __init__(self, server: "ViewServer", reader, writer,
+                 session_id: int):
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.id = session_id
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.subscribers: dict[int, _Subscriber] = {}
+        self.closing = False
+        self._tasks: list[asyncio.Task] = []
+
+    def start(self) -> None:
+        self._tasks = [asyncio.ensure_future(self._read_loop()),
+                       asyncio.ensure_future(self._write_loop())]
+
+    # -- outbound ----------------------------------------------------------------------
+
+    def send(self, frame: dict,
+             subscriber: Optional[_Subscriber] = None) -> None:
+        """Enqueue one frame (loop thread only; writer task drains)."""
+        if self.closing:
+            return
+        if subscriber is not None:
+            subscriber.in_flight += 1
+        self.queue.put_nowait((subscriber, frame, time.perf_counter()))
+        self.server.metrics.gauge(
+            "server_queue_depth",
+            "Outbound frames queued across live sessions").inc()
+
+    def deliver(self, subscriber: _Subscriber, event) -> None:
+        """One refresh event for one subscriber — the backpressure seam.
+
+        Runs synchronously inside the apply job that flushed the view.
+        """
+        if subscriber.dropped or self.closing:
+            return
+        metrics = self.server.metrics
+        if subscriber.in_flight >= subscriber.limit:
+            if subscriber.mode == "coalesce" and subscriber.newest is not None:
+                # Fold into the newest still-queued frame in place.  The
+                # writer JSON-encodes at dequeue time on this same loop
+                # thread, so the mutation is race-free.
+                newest = subscriber.newest
+                newest.setdefault("from_sequence", newest["sequence"])
+                newest["coalesced"] = True
+                newest["sequence"] = event.sequence
+                newest["reason"] = event.reason
+                newest["trees"] += event.trees
+                newest["delta_tuples"] += event.delta_tuples
+                newest["reset"] = True
+                newest["mutations"] = None
+                subscriber.enqueued_sequence = event.sequence
+                metrics.counter(
+                    "server_pushes_coalesced",
+                    "Refreshes folded into a queued frame under "
+                    "backpressure").inc()
+                return
+            # Strict policy (or nothing queued to fold into): announce
+            # the gap and cut the connection once the queue drains.
+            subscriber.dropped = True
+            if subscriber.subscription is not None:
+                subscriber.subscription.cancel()
+            after = subscriber.enqueued_sequence
+            self.send(gap_frame(subscriber.id, subscriber.view, after,
+                                event.sequence, event.sequence - after))
+            metrics.counter(
+                "server_subscribers_dropped",
+                "Subscribers disconnected by the strict backpressure "
+                "policy").inc()
+            return
+        frame = delta_frame(subscriber.id, event)
+        subscriber.newest = frame
+        subscriber.enqueued_sequence = event.sequence
+        self.send(frame, subscriber)
+
+    async def _write_loop(self) -> None:
+        metrics = self.server.metrics
+        try:
+            while True:
+                item = await self.queue.get()
+                if item is None:
+                    break
+                subscriber, frame, enqueued = item
+                if subscriber is not None:
+                    subscriber.in_flight -= 1
+                    if frame is subscriber.newest:
+                        subscriber.newest = None
+                data = encode_frame(frame, self.server.max_frame)
+                self.writer.write(data)
+                await self.writer.drain()
+                metrics.gauge("server_queue_depth",
+                              "Outbound frames queued across live "
+                              "sessions").inc(-1)
+                metrics.counter("server_frames_out",
+                                "Frames written to clients").inc()
+                if subscriber is not None:
+                    metrics.histogram(
+                        "server_push_lag_seconds",
+                        "Refresh-to-socket latency of push frames"
+                    ).observe(time.perf_counter() - enqueued)
+                if frame.get("type") == "gap":
+                    break   # strict policy: the gap frame is the last
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            await self.close()
+
+    # -- inbound -----------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder(self.server.max_frame)
+        metrics = self.server.metrics
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    self.send(error_frame(None, "protocol", str(exc)))
+                    break
+                for frame in frames:
+                    metrics.counter("server_frames_in",
+                                    "Frames read from clients").inc()
+                    if not await self._handle(frame):
+                        return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            await self.close()
+
+    async def _handle(self, frame: dict) -> bool:
+        """Dispatch one request; returns False when the session ends."""
+        try:
+            request_id, op = validate_request(frame)
+        except ProtocolError as exc:
+            self.send(error_frame(None, "protocol", str(exc)))
+            return False
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            self.send(error_frame(request_id, "bad_request",
+                                  f"unknown op {op!r}"))
+            return True
+        try:
+            result = await handler(frame)
+        except ProtocolError as exc:
+            self.send(error_frame(request_id, "bad_request", str(exc)))
+        except UpdateError as exc:
+            self.send(error_frame(request_id, "update", str(exc),
+                                  applied=exc.applied))
+        except KeyError as exc:
+            self.send(error_frame(request_id, "not_found",
+                                  str(exc.args[0]) if exc.args
+                                  else str(exc)))
+        except (ValueError, RuntimeError) as exc:
+            self.send(error_frame(request_id, "bad_request", str(exc)))
+        except Exception as exc:   # noqa: BLE001 — sessions must survive
+            self.send(error_frame(request_id, "internal",
+                                  f"{type(exc).__name__}: {exc}"))
+        else:
+            self.send(reply_frame(request_id, result))
+            if op == "bye":
+                self.queue.put_nowait(None)   # close after the reply
+                return False
+        return True
+
+    # -- request handlers --------------------------------------------------------------
+
+    async def _op_hello(self, frame: dict) -> dict:
+        db = self.server.db
+        views = await self.server.run(db.views)
+        return {"protocol": PROTOCOL_VERSION, "server": "repro-view-server",
+                "session": self.id, "views": views, "durable": db.durable}
+
+    async def _op_ping(self, frame: dict) -> dict:
+        return {}
+
+    async def _op_bye(self, frame: dict) -> dict:
+        return {}
+
+    async def _op_load(self, frame: dict) -> dict:
+        name = param(frame, "name", str)
+        xml = param(frame, "xml", str)
+
+        def job():
+            self.server.db.load(name, xml)
+            return self.server.bump_applied()
+        return {"applied_index": await self.server.run(job),
+                "documents": self.server.db.documents()}
+
+    async def _op_documents(self, frame: dict) -> dict:
+        return {"documents":
+                await self.server.run(self.server.db.documents)}
+
+    async def _op_create_view(self, frame: dict) -> dict:
+        name = param(frame, "name", str)
+        query = param(frame, "query", str)
+        policy = param(frame, "policy", (str, int), "immediate")
+
+        def job():
+            self.server.db.create_view(name, query, policy)
+            return self.server.bump_applied()
+        applied = await self.server.run(job)
+        return {"view": name, "applied_index": applied}
+
+    async def _op_drop_view(self, frame: dict) -> dict:
+        name = param(frame, "name", str)
+
+        def job():
+            self.server.db.drop_view(name)
+            return self.server.bump_applied()
+        return {"applied_index": await self.server.run(job)}
+
+    async def _op_views(self, frame: dict) -> dict:
+        db = self.server.db
+
+        def job():
+            return [{"name": name,
+                     "policy": db.view(name).policy.kind,
+                     "pending": db.view(name).pending_trees(),
+                     "sequence": db.registry.view(name).refresh_sequence}
+                    for name in db.views()]
+        return {"views": await self.server.run(job)}
+
+    async def _op_read(self, frame: dict) -> dict:
+        name = param(frame, "view", str)
+        db = self.server.db
+
+        def job():
+            xml = db.read(name)
+            return xml, db.registry.view(name).refresh_sequence
+        xml, sequence = await self.server.run(job)
+        return {"view": name, "xml": xml, "sequence": sequence}
+
+    async def _op_query(self, frame: dict) -> dict:
+        xquery = param(frame, "xquery", str)
+        return {"xml": await self.server.run(
+            lambda: self.server.db.query(xquery))}
+
+    async def _op_execute(self, frame: dict) -> dict:
+        statement = param(frame, "statement", str)
+
+        def job():
+            self.server.db.execute(statement)
+            return self.server.bump_applied()
+        return {"applied_index": await self.server.run(job)}
+
+    async def _op_update(self, frame: dict) -> dict:
+        statements = param(frame, "statements", list)
+        if not all(isinstance(s, str) for s in statements):
+            raise ProtocolError(
+                "parameter 'statements' must be a list of strings")
+
+        def job():
+            with self.server.db.batch():
+                for statement in statements:
+                    self.server.db.execute(statement)
+            return self.server.bump_applied()
+        return {"applied_index": await self.server.run(job),
+                "statements": len(statements)}
+
+    async def _op_subscribe(self, frame: dict) -> dict:
+        view = param(frame, "view", str)
+        mode = param(frame, "mode", str, "coalesce")
+        limit = param(frame, "limit", int, DEFAULT_SUBSCRIBER_LIMIT)
+        if mode not in _BACKPRESSURE_MODES:
+            raise ProtocolError(
+                f"parameter 'mode' must be one of {_BACKPRESSURE_MODES}")
+        if limit < 1:
+            raise ProtocolError("parameter 'limit' must be >= 1")
+        sub_id = self.server.next_subscription_id()
+        db = self.server.db
+
+        def job():
+            baseline = db.registry.view(view).refresh_sequence
+            subscriber = _Subscriber(sub_id, view, mode, limit, baseline)
+            subscriber.subscription = db.subscribe(
+                view, lambda event: self.deliver(subscriber, event),
+                deliver_mutations=True)
+            return subscriber, baseline
+        subscriber, baseline = await self.server.run(job)
+        self.subscribers[sub_id] = subscriber
+        return {"subscription": sub_id, "view": view, "mode": mode,
+                "limit": limit, "sequence": baseline}
+
+    async def _op_unsubscribe(self, frame: dict) -> dict:
+        sub_id = param(frame, "subscription", int)
+        subscriber = self.subscribers.pop(sub_id, None)
+        if subscriber is None:
+            raise KeyError(f"no subscription {sub_id} on this session")
+        if subscriber.subscription is not None:
+            await self.server.run(subscriber.subscription.cancel)
+        return {"subscription": sub_id}
+
+    async def _op_explain(self, frame: dict) -> dict:
+        view = param(frame, "view", str)
+        return {"view": view, "text": await self.server.run(
+            lambda: self.server.db.explain(view))}
+
+    async def _op_metrics(self, frame: dict) -> dict:
+        return {"metrics": await self.server.run(
+            self.server.db.metrics)}
+
+    async def _op_checkpoint(self, frame: dict) -> dict:
+        return {"lsn": await self.server.run(
+            self.server.db.checkpoint)}
+
+    # -- teardown ----------------------------------------------------------------------
+
+    async def close(self) -> None:
+        if self.closing:
+            return
+        self.closing = True
+        for subscriber in self.subscribers.values():
+            subscriber.dropped = True
+            if subscriber.subscription is not None:
+                subscriber.subscription.cancel()
+        self.subscribers.clear()
+        depth = self.queue.qsize()
+        if depth:
+            self.server.metrics.gauge(
+                "server_queue_depth",
+                "Outbound frames queued across live sessions").inc(-depth)
+        current = asyncio.current_task()
+        for task in self._tasks:
+            if task is not current:
+                task.cancel()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self.server._forget(self)
+
+
+class ViewServer:
+    """The network serving layer over one :class:`~repro.api.Database`.
+
+    ``await server.start()`` binds the sockets; ``await server.stop()``
+    shuts down gracefully.  ``port``/``http_port`` of 0 pick free ports
+    (read the resolved values off the attributes after ``start``).
+    """
+
+    def __init__(self, db: Optional[Database] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 http_port: Optional[int] = None, own_db: bool = False,
+                 max_frame: int = MAX_FRAME):
+        if db is None:
+            db = Database()
+            own_db = True
+        self.db = db
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.own_db = own_db
+        self.max_frame = max_frame
+        self.applied_index = 0
+        self.sessions: set[_Session] = set()
+        self._session_ids = 0
+        self._subscription_ids = 0
+        self._apply_queue: Optional[asyncio.Queue] = None
+        self._apply_task: Optional[asyncio.Task] = None
+        self._tcp_server = None
+        self._http_server = None
+        self._stopped = False
+
+    @property
+    def metrics(self):
+        return self.db.registry.metrics
+
+    # -- the single-writer apply loop --------------------------------------------------
+
+    async def run(self, job):
+        """Run ``job()`` serialized through the apply loop; await its
+        result.  Every database touch — read or write — goes through
+        here, which is the whole consistency story."""
+        loop = asyncio.get_event_loop()
+        future = loop.create_future()
+        self._apply_queue.put_nowait((job, future))
+        return await future
+
+    def bump_applied(self) -> int:
+        """The mutation ticket (call from inside an apply job)."""
+        self.applied_index += 1
+        return self.applied_index
+
+    async def _apply_loop(self) -> None:
+        while True:
+            job, future = await self._apply_queue.get()
+            if job is None:
+                break
+            try:
+                result = job()
+            except Exception as exc:   # noqa: BLE001 — surfaced per-job
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def start(self) -> "ViewServer":
+        self._register_metric_families()
+        self._apply_queue = asyncio.Queue()
+        self._apply_task = asyncio.ensure_future(self._apply_loop())
+        self._tcp_server = await asyncio.start_server(
+            self._on_connection, self.host, self.port)
+        self.port = self._tcp_server.sockets[0].getsockname()[1]
+        if self.http_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._on_http, self.host, self.http_port)
+            self.http_port = \
+                self._http_server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close sessions, drain the
+        apply loop, checkpoint durable state."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for listener in (self._tcp_server, self._http_server):
+            if listener is not None:
+                listener.close()
+                await listener.wait_closed()
+        for session in list(self.sessions):
+            await session.close()
+        if self._apply_task is not None:
+            self._apply_queue.put_nowait((None, None))
+            await self._apply_task
+        if self.own_db:
+            self.db.close()     # durable sessions checkpoint on close
+        elif self.db.durable:
+            self.db.checkpoint()
+
+    def _on_connection(self, reader, writer) -> None:
+        self._session_ids += 1
+        session = _Session(self, reader, writer, self._session_ids)
+        self.sessions.add(session)
+        self.metrics.counter("server_sessions",
+                             "Client sessions accepted").inc()
+        self.metrics.gauge("server_sessions_live",
+                           "Currently connected client sessions").inc()
+        session.start()
+
+    def _forget(self, session: _Session) -> None:
+        if session in self.sessions:
+            self.sessions.discard(session)
+            self.metrics.gauge("server_sessions_live",
+                               "Currently connected client sessions"
+                               ).inc(-1)
+
+    def next_subscription_id(self) -> int:
+        self._subscription_ids += 1
+        return self._subscription_ids
+
+    def _register_metric_families(self) -> None:
+        """Touch every server family so a fresh scrape shows them at
+        zero instead of omitting them."""
+        metrics = self.metrics
+        metrics.counter("server_sessions", "Client sessions accepted")
+        metrics.gauge("server_sessions_live",
+                      "Currently connected client sessions")
+        metrics.counter("server_frames_in", "Frames read from clients")
+        metrics.counter("server_frames_out", "Frames written to clients")
+        metrics.gauge("server_queue_depth",
+                      "Outbound frames queued across live sessions")
+        metrics.histogram("server_push_lag_seconds",
+                          "Refresh-to-socket latency of push frames")
+        metrics.counter("server_pushes_coalesced",
+                        "Refreshes folded into a queued frame under "
+                        "backpressure")
+        metrics.counter("server_subscribers_dropped",
+                        "Subscribers disconnected by the strict "
+                        "backpressure policy")
+
+    # -- the HTTP sidecar (Prometheus scrape + health) ---------------------------------
+
+    async def _on_http(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:     # drain headers; we only route on the path
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if path.startswith("/metrics"):
+                body = await self.run(self.db.render_prometheus)
+                status, ctype = "200 OK", \
+                    "text/plain; version=0.0.4; charset=utf-8"
+            elif path.startswith("/healthz"):
+                body, status, ctype = "ok\n", "200 OK", "text/plain"
+            else:
+                body, status, ctype = "not found\n", "404 Not Found", \
+                    "text/plain"
+            payload = body.encode("utf-8")
+            writer.write((f"HTTP/1.1 {status}\r\n"
+                          f"Content-Type: {ctype}\r\n"
+                          f"Content-Length: {len(payload)}\r\n"
+                          f"Connection: close\r\n\r\n").encode("ascii"))
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# -- running in a background thread (tests, benchmarks, examples) ----------------------
+
+
+class ServerHandle:
+    """A started server on its own event-loop thread.
+
+    ``host``/``port``/``http_port`` are the bound addresses;
+    ``stop()`` shuts the server down and joins the thread.
+    """
+
+    def __init__(self, server: ViewServer, loop, thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def http_port(self) -> Optional[int]:
+        return self.server.http_port
+
+    @property
+    def db(self) -> Database:
+        return self.server.db
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop).result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+def start_in_thread(db: Optional[Database] = None, **kwargs
+                    ) -> ServerHandle:
+    """Start a :class:`ViewServer` on a fresh event loop in a daemon
+    thread and block until its sockets are bound."""
+    started = threading.Event()
+    holder: dict = {}
+
+    def main():
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = ViewServer(db, **kwargs)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:   # noqa: BLE001 — re-raised below
+            holder["error"] = exc
+            started.set()
+            loop.close()
+            return
+        holder["loop"] = loop
+        holder["server"] = server
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=main, daemon=True,
+                              name="repro-view-server")
+    thread.start()
+    if not started.wait(10.0):
+        raise RuntimeError("server thread failed to start in time")
+    if "error" in holder:
+        raise holder["error"]
+    return ServerHandle(holder["server"], holder["loop"], thread)

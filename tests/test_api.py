@@ -1,5 +1,7 @@
 """Tests for the unified ``Database`` session API (repro.api)."""
 
+import json
+
 import pytest
 
 from repro import StorageManager, UpdateError, UpdateRequest, ViewRegistry, \
@@ -305,6 +307,76 @@ class TestSubscriptions:
         assert events == []          # queued, not yet refreshed
         view.read()
         assert [event.reason for event in events] == ["propagate"]
+
+    def test_raising_subscriber_is_isolated(self):
+        # Pinned: one faulty subscriber must neither abort the flush nor
+        # starve the other subscribers (the server's fan-out relies on
+        # this), and the failure is counted, not swallowed silently.
+        db = fresh_db()
+        view = db.create_view("titles", TITLES_QUERY)
+        events = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        db.subscribe("titles", bad)
+        db.subscribe("titles", events.append)
+        db.update("bib.xml").at("/bib/book[1]").delete()
+        assert [event.reason for event in events] == ["propagate"]
+        assert view.read() == view.recompute()
+        snapshot = db.metrics()
+        assert snapshot["subscriber_errors"]["values"][""] == 1
+
+    def test_mutation_payload_on_propagate(self):
+        db = fresh_db()
+        db.create_view("titles", TITLES_QUERY)
+        events = []
+        db.subscribe("titles", events.append, deliver_mutations=True)
+        db.update("bib.xml").at("/bib/book[1]").delete()
+        (event,) = events
+        assert event.mutations is not None
+        (record,) = event.mutations
+        assert record["op"] == "remove"
+        assert record["path"][0] == ["r", "*c"]
+        # the records are JSON-ready as promised to the wire protocol
+        json.dumps(event.mutations)
+
+    def test_mutation_payload_insert_carries_key_and_xml(self):
+        db = fresh_db()
+        db.create_view("titles", TITLES_QUERY)
+        events = []
+        db.subscribe("titles", events.append, deliver_mutations=True)
+        db.update("bib.xml").at("/bib/book[2]") \
+            .insert(NEW_BOOK_FRAGMENT, position="after")
+        records = events[-1].mutations
+        inserts = [r for r in records if r["op"] == "insert"]
+        assert inserts, records
+        record = inserts[0]
+        assert record["parent"] == [["r", "*c"]]
+        assert record["key"][0] == "title"
+        assert "Advanced Programming" in record["xml"]
+
+    def test_mutations_none_without_opt_in(self):
+        db = fresh_db()
+        db.create_view("titles", TITLES_QUERY)
+        events = []
+        db.subscribe("titles", events.append)    # capture stays off
+        db.update("bib.xml").at("/bib/book[1]").delete()
+        assert events[0].mutations is None
+
+    def test_mutations_none_on_recompute(self):
+        class AlwaysRecompute(CostModel):
+            def should_recompute(self, trees):
+                return True
+
+        db = fresh_db()
+        db.create_view("titles", TITLES_QUERY,
+                       cost_model=AlwaysRecompute())
+        events = []
+        db.subscribe("titles", events.append, deliver_mutations=True)
+        db.update("bib.xml").at("/bib/book[1]").delete()
+        assert events[-1].reason == "recompute"
+        assert events[-1].mutations is None      # subscribers re-read
 
     def test_cancel_is_idempotent(self):
         db = fresh_db()

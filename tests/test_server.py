@@ -1,0 +1,536 @@
+"""The network serving layer: framing, sessions, pushes, backpressure,
+and the multi-client differential stress test against the single-session
+oracle.
+
+Wire-level tests run a real :class:`ViewServer` on a background event
+loop (``start_in_thread``) and talk to it over real sockets; nothing is
+mocked below the protocol layer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import types
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Database
+from repro.multiview import CostModel
+from repro.server import ConnectionClosed, ReproClient, ServerError, \
+    start_in_thread
+from repro.server.protocol import HEADER_SIZE, MAX_FRAME, FrameDecoder, \
+    ProtocolError, delta_frame, encode_frame, gap_frame, param, \
+    validate_request
+from repro.server.server import _Session, _Subscriber
+from repro.workloads.bib import BIB_XML, NEW_BOOK_FRAGMENT, PRICES_XML, \
+    YEAR_GROUP_QUERY
+
+TITLES_QUERY = ('<r>{for $b in doc("bib.xml")/bib/book '
+                'return $b/title}</r>')
+
+ROWS_XML = "<data><row><name>seed</name><v>0</v></row></data>"
+ROWS_QUERY = '<r>{for $x in doc("data.xml")/data/row return $x}</r>'
+
+
+def insert_row(name: str, extra: str = "") -> str:
+    return ('for $d in document("data.xml")/data update $d '
+            f'insert <row><name>{name}</name><v>0</v>{extra}</row> '
+            'into $d')
+
+
+def delete_row(name: str) -> str:
+    return ('for $r in document("data.xml")/data/row '
+            f'where $r/name = "{name}" update $r delete $r')
+
+
+def replace_row_value(name: str, value: str) -> str:
+    return ('for $r in document("data.xml")/data/row '
+            f'where $r/name = "{name}" update $r '
+            f'replace $r/v with "{value}"')
+
+
+class NeverRecompute(CostModel):
+    """Pin maintenance to propagation so pushes carry mutation payloads
+    (the tiny test views would otherwise calibrate into recompute)."""
+
+    def should_recompute(self, trees):
+        return False
+
+
+def rows_server(**kwargs):
+    """A served database pre-loaded with the rows document and view."""
+    db = Database()
+    db.load("data.xml", ROWS_XML)
+    db.create_view("rows", ROWS_QUERY, cost_model=NeverRecompute())
+    return start_in_thread(db, own_db=True, **kwargs)
+
+
+# -- the protocol layer (no sockets) -----------------------------------------------------
+
+
+class TestFraming:
+    def test_round_trip(self):
+        decoder = FrameDecoder()
+        messages = [{"id": 1, "op": "ping"}, {"type": "reply", "id": 1,
+                                              "result": {"x": "é"}}]
+        data = b"".join(encode_frame(m) for m in messages)
+        assert decoder.feed(data) == messages
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        out = []
+        for byte in encode_frame({"id": 7, "op": "ping"}):
+            out.extend(decoder.feed(bytes([byte])))
+        assert out == [{"id": 7, "op": "ping"}]
+
+    def test_oversized_frame_refused_both_ways(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"x": "a" * 100}, max_frame=50)
+        decoder = FrameDecoder(max_frame=50)
+        with pytest.raises(ProtocolError):
+            decoder.feed((100).to_bytes(HEADER_SIZE, "big"))
+
+    def test_non_json_and_non_object_bodies_refused(self):
+        for body in (b"not json", b"[1,2]"):
+            decoder = FrameDecoder()
+            data = len(body).to_bytes(HEADER_SIZE, "big") + body
+            with pytest.raises(ProtocolError):
+                decoder.feed(data)
+
+    def test_validate_request(self):
+        assert validate_request({"id": 3, "op": "ping"}) == (3, "ping")
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "ping"})
+        with pytest.raises(ProtocolError):
+            validate_request({"id": 3})
+
+    def test_param_typing(self):
+        frame = {"n": 5, "s": "x", "flag": True}
+        assert param(frame, "n", int) == 5
+        assert param(frame, "missing", str, "d") == "d"
+        with pytest.raises(ProtocolError):
+            param(frame, "missing", str)
+        with pytest.raises(ProtocolError):
+            param(frame, "s", int)
+        with pytest.raises(ProtocolError):
+            param(frame, "flag", int)       # bool is not an int here
+
+    def test_delta_frame_reset_semantics(self):
+        event = types.SimpleNamespace(
+            view="v", reason="propagate", trees=1, delta_tuples=2,
+            sequence=4, mutations=[{"op": "remove", "path": []}])
+        frame = delta_frame(9, event)
+        assert frame["type"] == "delta" and not frame["reset"]
+        assert frame["mutations"] == event.mutations
+        event.reason = "recompute"
+        assert delta_frame(9, event)["reset"] is True
+        event.reason, event.mutations = "propagate", None
+        frame = delta_frame(9, event)
+        assert frame["reset"] is True and frame["mutations"] is None
+
+
+def _event(sequence: int, **overrides):
+    fields = {"view": "rows", "reason": "propagate", "trees": 1,
+              "delta_tuples": 1, "sequence": sequence,
+              "mutations": [{"op": "insert", "seq": sequence}]}
+    fields.update(overrides)
+    return types.SimpleNamespace(**fields)
+
+
+def _offline_session():
+    """A :class:`_Session` whose tasks never run — deliver/send only."""
+    server = types.SimpleNamespace(db=Database(), max_frame=MAX_FRAME)
+    server.metrics = server.db.registry.metrics
+    return _Session(server, None, None, 1)
+
+
+class TestBackpressureUnit:
+    def test_coalesce_folds_into_newest_queued_frame(self):
+        session = _offline_session()
+        sub = _Subscriber(1, "rows", "coalesce", limit=1,
+                          baseline_sequence=0)
+        for sequence in (1, 2, 3):
+            session.deliver(sub, _event(sequence))
+        assert session.queue.qsize() == 1      # one frame stands for all
+        frame = sub.newest
+        assert frame["coalesced"] and frame["reset"]
+        assert frame["from_sequence"] == 1 and frame["sequence"] == 3
+        assert frame["mutations"] is None
+        assert frame["trees"] == 3
+        metrics = session.server.metrics
+        assert metrics.counter("server_pushes_coalesced").value == 2
+
+    def test_disconnect_emits_gap_and_drops_subscriber(self):
+        session = _offline_session()
+        sub = _Subscriber(1, "rows", "disconnect", limit=2,
+                          baseline_sequence=0)
+        for sequence in (1, 2, 3, 4):
+            session.deliver(sub, _event(sequence))
+        assert sub.dropped
+        frames = [session.queue.get_nowait()[1] for _ in range(3)]
+        assert session.queue.empty()           # event 4 went nowhere
+        assert [f["type"] for f in frames] == ["delta", "delta", "gap"]
+        gap = frames[-1]
+        assert gap["after_sequence"] == 2 and gap["sequence"] == 3
+        assert gap["dropped"] == 1
+        metrics = session.server.metrics
+        assert metrics.counter("server_subscribers_dropped").value == 1
+
+    def test_gap_frame_shape(self):
+        frame = gap_frame(5, "rows", 10, 14, 4)
+        assert frame == {"type": "gap", "subscription": 5, "view": "rows",
+                         "after_sequence": 10, "sequence": 14,
+                         "dropped": 4}
+
+
+# -- a raw wire client (tests that need to stop reading) ---------------------------------
+
+
+class RawClient:
+    """A frame-level client with no reader thread: the test decides
+    exactly when bytes are read — which is how backpressure is
+    provoked deterministically."""
+
+    def __init__(self, host: str, port: int,
+                 rcvbuf: int | None = None):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        if rcvbuf is not None:
+            # A fixed, tiny receive buffer disables autotuning, so the
+            # server's writes back up quickly once we stop reading.
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                 rcvbuf)
+        self.sock.connect((host, port))
+        self.decoder = FrameDecoder()
+        self.pending: list[dict] = []
+        self.next_id = 0
+        self.eof = False
+
+    def recv_frame(self, timeout: float = 30.0):
+        """The next frame, or None at EOF."""
+        if self.pending:
+            return self.pending.pop(0)
+        self.sock.settimeout(timeout)
+        while not self.pending:
+            if self.eof:
+                return None
+            data = self.sock.recv(65536)
+            if not data:
+                self.eof = True
+                return None
+            self.pending.extend(self.decoder.feed(data))
+        return self.pending.pop(0)
+
+    def request(self, op: str, **params) -> dict:
+        self.next_id += 1
+        frame = {"id": self.next_id, "op": op}
+        frame.update(params)
+        self.sock.sendall(encode_frame(frame))
+        pushes = []
+        while True:
+            got = self.recv_frame()
+            assert got is not None, "connection closed awaiting reply"
+            if got.get("id") == self.next_id:
+                self.pending = pushes + self.pending
+                assert got["type"] == "reply", got
+                return got["result"]
+            pushes.append(got)
+
+    def close(self):
+        self.sock.close()
+
+
+# -- end to end over real sockets --------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_full_round_trip(self):
+        with start_in_thread(http_port=0) as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                assert client.server_info["protocol"] == 1
+                client.load("bib.xml", BIB_XML)
+                client.load("prices.xml", PRICES_XML)
+                assert sorted(client.documents()) == ["bib.xml",
+                                                      "prices.xml"]
+                client.create_view("by_year", YEAR_GROUP_QUERY)
+                views = client.views()
+                assert views[0]["name"] == "by_year"
+                assert views[0]["policy"] == "immediate"
+                result = client.read("by_year")
+                assert result["xml"].startswith("<result>")
+                # ad-hoc query sees the same state
+                assert client.query(YEAR_GROUP_QUERY) == result["xml"]
+                assert "yGroup" in client.explain("by_year")
+                snapshot = client.metrics()
+                assert "view_flushes" in snapshot
+                client.ping()
+
+    def test_push_deltas_are_gap_free_and_carry_mutations(self):
+        with rows_server() as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                subscription = client.subscribe("rows")
+                assert subscription.last_sequence == 0
+                for index in range(5):
+                    client.update([insert_row(f"r{index}")])
+                frames = [subscription.frames.get(timeout=10)
+                          for _ in range(5)]
+                assert [f["sequence"] for f in frames] == [1, 2, 3, 4, 5]
+                for frame in frames:
+                    assert frame["type"] == "delta"
+                    assert not frame["reset"]
+                    (record,) = frame["mutations"]
+                    assert record["op"] == "insert"
+                    assert record["parent"] == [["r", "*c"]]
+                    assert "<name>r" in record["xml"]
+                    assert isinstance(record["key"], list)
+                # the pushed stream mirrors what a read now sees
+                assert client.read("rows")["sequence"] == 5
+
+    def test_recompute_refresh_pushes_reset_frame(self):
+        class AlwaysRecompute(CostModel):
+            def should_recompute(self, trees):
+                return True
+
+        db = Database()
+        db.load("data.xml", ROWS_XML)
+        db.create_view("rows", ROWS_QUERY,
+                       cost_model=AlwaysRecompute())
+        with start_in_thread(db, own_db=True) as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                subscription = client.subscribe("rows")
+                client.update([insert_row("x")])
+                frame = subscription.get(timeout=10)
+                assert frame["reason"] == "recompute"
+                assert frame["reset"] is True
+                assert frame["mutations"] is None
+                # the reset contract: re-read instead of replaying
+                assert "<name>x</name>" in client.read("rows")["xml"]
+
+    def test_error_frames_are_typed(self):
+        with rows_server() as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                with pytest.raises(ServerError) as err:
+                    client.request("no_such_op")
+                assert err.value.code == "bad_request"
+                with pytest.raises(ServerError) as err:
+                    client.read("nope")
+                assert err.value.code == "not_found"
+                with pytest.raises(ServerError) as err:
+                    client.update(["delete everything"])
+                assert err.value.code == "update"
+                with pytest.raises(ServerError) as err:
+                    client.request("subscribe", view="rows", mode="maybe")
+                assert err.value.code == "bad_request"
+                with pytest.raises(ServerError) as err:
+                    client.checkpoint()        # not a durable database
+                assert err.value.code == "bad_request"
+                # the session survives every one of those
+                client.ping()
+
+    def test_updates_from_concurrent_sessions_serialize(self):
+        with rows_server() as handle:
+            with ReproClient(handle.host, handle.port) as one, \
+                    ReproClient(handle.host, handle.port) as two:
+                indices = []
+                for turn in range(4):
+                    indices.append(
+                        one.update([insert_row(f"a{turn}")])
+                        ["applied_index"])
+                    indices.append(
+                        two.update([insert_row(f"b{turn}")])
+                        ["applied_index"])
+                assert indices == sorted(indices)
+                assert len(set(indices)) == len(indices)
+                xml = one.read("rows")["xml"]
+                assert xml == two.read("rows")["xml"]
+                assert xml == one.query(ROWS_QUERY)
+
+    def test_unsubscribe_stops_pushes(self):
+        with rows_server() as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                subscription = client.subscribe("rows")
+                client.update([insert_row("before")])
+                assert subscription.frames.get(timeout=10)[
+                    "sequence"] == 1
+                subscription.cancel()
+                client.update([insert_row("after")])
+                client.ping()                  # round trip past the flush
+                with pytest.raises(ConnectionClosed):
+                    subscription.get(timeout=1)
+
+    def test_abrupt_disconnect_leaves_server_healthy(self):
+        with rows_server() as handle:
+            victim = socket.create_connection((handle.host, handle.port))
+            victim.sendall(b"\x00\x00\x00\x04junk")
+            victim.close()
+            with ReproClient(handle.host, handle.port) as client:
+                client.update([insert_row("alive")])
+                assert "<name>alive</name>" in \
+                    client.read("rows")["xml"]
+
+    def test_metrics_http_endpoint(self):
+        with rows_server(http_port=0) as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                client.update([insert_row("m")])
+                base = f"http://{handle.host}:{handle.http_port}"
+                text = urllib.request.urlopen(
+                    f"{base}/metrics", timeout=10).read().decode()
+                for family in ("repro_server_sessions",
+                               "repro_server_frames_in",
+                               "repro_server_frames_out",
+                               "repro_server_queue_depth",
+                               "repro_server_push_lag_seconds",
+                               "repro_view_flushes"):
+                    assert f"# TYPE {family}" in text, family
+                assert urllib.request.urlopen(
+                    f"{base}/healthz", timeout=10).read() == b"ok\n"
+                with pytest.raises(urllib.error.HTTPError):
+                    urllib.request.urlopen(f"{base}/elsewhere",
+                                           timeout=10)
+
+    def test_graceful_shutdown_checkpoints_durable_state(self, tmp_path):
+        db = Database(durable_path=tmp_path)
+        db.load("data.xml", ROWS_XML)
+        db.create_view("rows", ROWS_QUERY)
+        with start_in_thread(db, own_db=True) as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                client.update([insert_row("durable-row")])
+        # the handle's stop() closed the durable database with a final
+        # checkpoint; a fresh session over the directory recovers it
+        with Database(durable_path=tmp_path) as reopened:
+            assert reopened.views() == ["rows"]
+            assert "<name>durable-row</name>" in reopened.read("rows")
+            assert reopened.read("rows") == \
+                reopened.view("rows").recompute()
+
+
+# -- backpressure over the wire ----------------------------------------------------------
+
+
+BIG_TEXT = "A" * (8 * 1024 * 1024)     # one frame far beyond any buffer
+
+
+class TestBackpressureWire:
+    def _provoke(self, handle, mode):
+        """Subscribe with limit=1 without reading, push one huge delta
+        (blocking the session's writer mid-frame) and several small
+        ones behind it; then drain and return every received frame."""
+        raw = RawClient(handle.host, handle.port, rcvbuf=16384)
+        try:
+            raw.request("hello")
+            result = raw.request("subscribe", view="rows", mode=mode,
+                                 limit=1)
+            assert result["sequence"] == 0
+            with ReproClient(handle.host, handle.port) as writer:
+                writer.update([insert_row("big", f"<big>{BIG_TEXT}"
+                                                 "</big>")])
+                for index in range(5):
+                    writer.update([insert_row(f"small{index}")])
+                final = writer.read("rows")["sequence"]
+            frames = []
+            while True:
+                frame = raw.recv_frame(timeout=60)
+                if frame is None:
+                    break
+                frames.append(frame)
+                if frame["type"] == "gap" or \
+                        frame.get("sequence") == final:
+                    break
+            return frames, final
+        finally:
+            raw.close()
+
+    def test_coalesce_covers_every_sequence(self):
+        with rows_server() as handle:
+            frames, final = self._provoke(handle, "coalesce")
+        assert final == 6
+        covered = []
+        for frame in frames:
+            assert frame["type"] == "delta"
+            start = frame.get("from_sequence", frame["sequence"])
+            covered.extend(range(start, frame["sequence"] + 1))
+            if frame.get("coalesced"):
+                assert frame["reset"] and frame["mutations"] is None
+        assert covered == list(range(1, final + 1))
+        assert any(frame.get("coalesced") for frame in frames)
+
+    def test_disconnect_sends_gap_then_closes(self):
+        with rows_server() as handle:
+            frames, final = self._provoke(handle, "disconnect")
+            assert frames and frames[-1]["type"] == "gap"
+            deltas, gap = frames[:-1], frames[-1]
+            assert [f["type"] for f in deltas] == \
+                ["delta"] * len(deltas)
+            sequences = [f["sequence"] for f in deltas]
+            assert sequences == list(range(1, len(deltas) + 1))
+            assert gap["after_sequence"] == sequences[-1]
+            assert gap["sequence"] > gap["after_sequence"]
+            assert gap["dropped"] == \
+                gap["sequence"] - gap["after_sequence"]
+
+
+# -- the multi-client stress test against the oracle -------------------------------------
+
+
+class TestConcurrentStress:
+    THREADS = 4
+    BATCHES = 6
+
+    def _drive(self, host, port, thread_id, ledger, errors):
+        try:
+            with ReproClient(host, port) as client:
+                for turn in range(self.BATCHES):
+                    statements = [
+                        insert_row(f"t{thread_id}b{turn}")]
+                    if turn >= 1:
+                        statements.append(replace_row_value(
+                            f"t{thread_id}b{turn - 1}", str(turn)))
+                    if turn >= 2:
+                        statements.append(delete_row(
+                            f"t{thread_id}b{turn - 2}"))
+                    reply = client.update(statements)
+                    ledger.append((reply["applied_index"], statements))
+        except Exception as exc:   # noqa: BLE001 — surfaced by the test
+            errors.append(exc)
+
+    def test_interleaved_batches_match_single_session_oracle(self):
+        ledger: list = []
+        errors: list = []
+        with rows_server() as handle:
+            watcher = ReproClient(handle.host, handle.port)
+            subscription = watcher.subscribe("rows")
+            threads = [threading.Thread(
+                target=self._drive,
+                args=(handle.host, handle.port, t, ledger, errors))
+                for t in range(self.THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+            served = watcher.read("rows")
+            # 1) the served extent matches full recomputation
+            assert served["xml"] == watcher.query(ROWS_QUERY)
+            # 2) the watcher saw every refresh, gap-free
+            sequences = []
+            while not sequences or sequences[-1] < served["sequence"]:
+                frame = subscription.get(timeout=30)
+                assert frame["type"] == "delta"
+                sequences.append(frame["sequence"])
+            assert sequences == list(range(1, served["sequence"] + 1))
+            watcher.close()
+        # 3) a single-session oracle replaying the server's serialized
+        #    order lands on the identical extent
+        assert len(ledger) == self.THREADS * self.BATCHES
+        indices = [index for index, _ in ledger]
+        assert len(set(indices)) == len(indices)
+        with Database() as oracle:
+            oracle.load("data.xml", ROWS_XML)
+            oracle.create_view("rows", ROWS_QUERY)
+            for _, statements in sorted(ledger):
+                with oracle.batch():
+                    for statement in statements:
+                        oracle.execute(statement)
+            assert oracle.read("rows") == served["xml"]
