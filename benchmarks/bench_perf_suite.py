@@ -891,6 +891,116 @@ def server_fanout_gate(series: list[dict]) -> dict:
             "ok": delivered}
 
 
+RECONNECT_ROUNDS = 5
+RECONNECT_BATCH = 4
+#: resume-latency gate: median drop -> caught-up time per round.  The
+#: client's reconnect backoff starts at 20ms, so a healthy resume lands
+#: in tens of milliseconds; the bound only exists to catch regressions
+#: into retry storms or replay stalls, not to benchmark the host.
+RECONNECT_RESUME_TARGET = 2.0
+
+
+def measure_reconnect_resume(rounds: int = RECONNECT_ROUNDS,
+                             batch: int = RECONNECT_BATCH) -> list[dict]:
+    """Serving resilience: severed subscriber, backlog replay, retried
+    mutation — timed over ``rounds`` forced disconnects.
+
+    One resilient client (``reconnect=True``) holds a push subscription
+    while a separate writer session mutates the view.  Each round: the
+    writer streams ``batch`` live updates (drained), the client's TCP
+    connection is severed (``drop_connection``), the writer issues
+    ``batch`` more updates the subscriber *misses*, and the client
+    itself retries one tokened mutation through the reconnect.  The
+    measured unit is drop -> fully caught up (reconnect handshake,
+    ``from_sequence`` backlog replay, and live delivery of the retried
+    mutation's own push).  Delivery is checked exactly-once: every
+    sequence number covered exactly once (replayed frames expand their
+    explicit ``from_sequence`` range), and every acked mutation holds a
+    distinct ``applied_index``.
+    """
+    db = Database()
+    db.load("data.xml", FANOUT_DOC)
+    db.create_view("rows", FANOUT_QUERY, cost_model=_NeverRecompute())
+    handle = start_in_thread(db, own_db=True)
+    covered: list[int] = []
+    acked: list[int] = []
+    latencies: list[float] = []
+
+    def drain_until(subscription, upto: int) -> None:
+        while not covered or max(covered) < upto:
+            frame = subscription.get(timeout=30)
+            start = frame.get("from_sequence", frame["sequence"])
+            covered.extend(range(start, frame["sequence"] + 1))
+
+    try:
+        client = ReproClient(handle.host, handle.port, reconnect=True,
+                             timeout=10.0, max_retries=20, backoff=0.02,
+                             backoff_cap=0.25, retry_window=30.0,
+                             client_id="bench-resume")
+        subscription = client.subscribe("rows")
+        sequence = 0
+        with ReproClient(handle.host, handle.port) as writer:
+            for round_index in range(rounds):
+                for index in range(batch):
+                    reply = writer.update([
+                        'for $d in document("data.xml")/data update $d '
+                        f'insert <row><name>live{round_index}.{index}'
+                        '</name></row> into $d'])
+                    acked.append(reply["applied_index"])
+                    sequence += 1
+                drain_until(subscription, sequence)
+                started = time.perf_counter()
+                client.drop_connection()
+                for index in range(batch):
+                    reply = writer.update([
+                        'for $d in document("data.xml")/data update $d '
+                        f'insert <row><name>miss{round_index}.{index}'
+                        '</name></row> into $d'])
+                    acked.append(reply["applied_index"])
+                    sequence += 1
+                # a tokened mutation retried through the reconnect
+                reply = client.update([
+                    'for $d in document("data.xml")/data update $d '
+                    f'insert <row><name>retry{round_index}</name></row> '
+                    'into $d'])
+                acked.append(reply["applied_index"])
+                sequence += 1
+                drain_until(subscription, sequence)
+                latencies.append(time.perf_counter() - started)
+        reconnects = client.reconnects
+        client.close()
+    finally:
+        handle.stop()
+    duplicates = len(covered) - len(set(covered))
+    return [{"rounds": rounds, "batch": batch,
+             "resume_median_seconds": statistics.median(latencies),
+             "resume_max_seconds": max(latencies),
+             "reconnects": reconnects,
+             "duplicates": duplicates,
+             "coverage_ok": sorted(set(covered))
+             == list(range(1, sequence + 1)),
+             "acked_unique_ok": len(set(acked)) == len(acked)}]
+
+
+def reconnect_resume_gate(series: list[dict]) -> dict:
+    """CI gate: exactly-once delivery across every forced disconnect
+    (zero duplicates, full explicit coverage, distinct mutation
+    tickets) and a resume latency clear of retry-storm territory."""
+    entry = series[0]
+    delivery = (entry["duplicates"] == 0 and entry["coverage_ok"]
+                and entry["acked_unique_ok"])
+    ok = delivery and (entry["resume_median_seconds"]
+                       < RECONNECT_RESUME_TARGET)
+    return {"rounds": entry["rounds"],
+            "resume_median_seconds": entry["resume_median_seconds"],
+            "resume_max_seconds": entry["resume_max_seconds"],
+            "target_seconds": RECONNECT_RESUME_TARGET,
+            "reconnects": entry["reconnects"],
+            "duplicates": entry["duplicates"],
+            "delivery_ok": delivery,
+            "ok": ok}
+
+
 def run_suite(scale_list, repeat: int = 3,
               fanout_levels=None) -> dict:
     # The facade and instrumentation comparisons run first: their paired
@@ -910,6 +1020,7 @@ def run_suite(scale_list, repeat: int = 3,
         NAV_CHILD_PATHS, [], scale_list, repeat)
     selectivity, ok_sel = measure_selectivity(scale_list[-1], repeat)
     fanout_series = measure_server_fanout(fanout_levels or FANOUT_LEVELS)
+    reconnect_series = measure_reconnect_resume()
     scenarios = [
         {"name": "navigation_descendant",
          "style": "fig 9.2 regime: descendant-heavy navigation vs doc size",
@@ -950,6 +1061,10 @@ def run_suite(scale_list, repeat: int = 3,
          "style": "serving layer: one writer, N push subscribers over "
                   "real sockets",
          "series": fanout_series},
+        {"name": "reconnect_resume",
+         "style": "serving resilience: forced disconnects, backlog "
+                  "replay, idempotent retried mutations",
+         "series": reconnect_series},
     ]
     headline = nav_desc[-1]
     max_overhead = max(entry["overhead"] for entry in api_series)
@@ -959,6 +1074,7 @@ def run_suite(scale_list, repeat: int = 3,
     modify_gate = modify_heavy_gate(modify_series)
     restore_gate = cold_vs_restore_gate(restore_series)
     fanout_gate = server_fanout_gate(fanout_series)
+    reconnect_gate = reconnect_resume_gate(reconnect_series)
     return {
         "suite": "perf_suite",
         "description": "indexed StructuralIndex fast paths vs walk-based "
@@ -971,7 +1087,8 @@ def run_suite(scale_list, repeat: int = 3,
                            and join_gate["consistency_ok"]
                            and modify_gate["consistency_ok"]
                            and restore_gate["consistency_ok"]
-                           and fanout_gate["delivered_ok"]),
+                           and fanout_gate["delivered_ok"]
+                           and reconnect_gate["delivery_ok"]),
         "scenarios": scenarios,
         "headline": {"scenario": "navigation_descendant",
                      "persons": headline["persons"],
@@ -989,6 +1106,7 @@ def run_suite(scale_list, repeat: int = 3,
         "modify_heavy": modify_gate,
         "cold_start_vs_restore": restore_gate,
         "server_fanout": fanout_gate,
+        "reconnect_resume": reconnect_gate,
         "observability": {
             "instrumentation_enabled": True,
             "target": OBS_OVERHEAD_TARGET,
@@ -1080,6 +1198,21 @@ def print_suite(result: dict) -> None:
                 ["subscribers", "updates/s", "frames/s", "lag (ms)",
                  "delivery"], rows)
             continue
+        if scenario["name"] == "reconnect_resume":
+            for entry in scenario["series"]:
+                rows.append([entry["rounds"],
+                             ms(entry["resume_median_seconds"]),
+                             ms(entry["resume_max_seconds"]),
+                             entry["reconnects"],
+                             "ok" if (entry["duplicates"] == 0
+                                      and entry["coverage_ok"]
+                                      and entry["acked_unique_ok"])
+                             else "BROKEN"])
+            print_table(
+                f"Perf suite: {scenario['name']} — {scenario['style']}",
+                ["drops", "resume med (ms)", "resume max (ms)",
+                 "reconnects", "exactly-once"], rows)
+            continue
         for entry in scenario["series"]:
             label = entry.get("tag") or (
                 f"{entry['persons']} {entry['query']}"
@@ -1130,6 +1263,12 @@ def print_suite(result: dict) -> None:
           f"{fanout['updates_per_second']:.1f} updates/s, "
           f"{fanout['frames_per_second']:.0f} pushed frames/s — "
           f"{'ok' if fanout['ok'] else 'DELIVERY INCOMPLETE'}")
+    resume = result["reconnect_resume"]
+    print(f"reconnect_resume: {resume['rounds']} forced disconnects, "
+          f"median resume {ms(resume['resume_median_seconds'])} ms "
+          f"(target < {ms(resume['target_seconds'])} ms), "
+          f"{resume['duplicates']} duplicate deliveries — "
+          f"{'ok' if resume['ok'] else 'DUPLICATES OR SLOW RESUME'}")
 
 
 def main(argv=None) -> dict:
@@ -1199,7 +1338,8 @@ def test_suite_emits_valid_json(tmp_path):
     assert {s["name"] for s in loaded["scenarios"]} >= {
         "navigation_descendant", "selectivity", "view_maintenance_insert",
         "join_maintenance", "modify_heavy", "cold_start_vs_restore",
-        "api_overhead", "observability_overhead", "server_fanout"}
+        "api_overhead", "observability_overhead", "server_fanout",
+        "reconnect_resume"}
     for scenario in loaded["scenarios"]:
         assert scenario["series"], scenario["name"]
     assert "max_overhead" in loaded["api_overhead"]
@@ -1208,6 +1348,8 @@ def test_suite_emits_valid_json(tmp_path):
     assert loaded["observability"]["instrumentation_enabled"] is True
     assert loaded["server_fanout"]["ok"] is True
     assert loaded["server_fanout"]["max_subscribers"] >= 1
+    assert loaded["reconnect_resume"]["ok"] is True
+    assert loaded["reconnect_resume"]["duplicates"] == 0
     assert "_metrics_snapshot" not in loaded
     # the CI artifact: a live engine metrics snapshot from the suite run
     metrics = json.loads(metrics_path.read_text())
@@ -1274,6 +1416,18 @@ def test_server_fanout_delivers_gap_free():
     gate = server_fanout_gate(series)
     assert gate["ok"] is True
     assert gate["max_subscribers"] == 3
+
+
+def test_reconnect_resume_exactly_once():
+    series = measure_reconnect_resume(rounds=2, batch=2)
+    entry = series[0]
+    assert entry["duplicates"] == 0, entry
+    assert entry["coverage_ok"] is True, entry
+    assert entry["acked_unique_ok"] is True, entry
+    assert entry["reconnects"] >= 2
+    gate = reconnect_resume_gate(series)
+    assert gate["delivery_ok"] is True
+    assert gate["ok"] is True, gate
 
 
 def test_api_batch_matches_direct_stream():

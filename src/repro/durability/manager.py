@@ -23,6 +23,7 @@ are truncated away, never fatal.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass
@@ -95,6 +96,18 @@ class DurabilityManager:
         self.closed = False
         self.last_recovery: RecoveryReport | None = None
         self._records_since_checkpoint = 0
+        # The serving layer's at-most-once seam (see repro.server):
+        # `stamp(meta)` rides an opaque meta dict on every WAL record
+        # appended inside the block (atomically with the batch, so a
+        # crash either persists the mutation WITH its idempotency token
+        # or neither), `server_state_provider` lets the server fold its
+        # dedup ledger into checkpoints, and recovery surfaces both on
+        # `recovered_server_state` / `recovered_batch_meta`.
+        self.server_state_provider = None
+        self.recovered_server_state = None
+        self.recovered_batch_meta: list[dict] = []
+        self._last_server_state = None
+        self._pending_meta: dict | None = None
         # cumulative durability activity, mirrored into the metrics
         # registry by the sync hook (same pattern as router/index stats)
         self._records_replayed = 0
@@ -177,8 +190,28 @@ class DurabilityManager:
     def _append(self, payload: dict) -> None:
         if self.closed:
             raise RuntimeError("durability manager is closed")
+        if self._pending_meta is not None:
+            payload = {**payload, "m": self._pending_meta}
         self.wal.append(payload)
         self._records_since_checkpoint += 1
+
+    @contextlib.contextmanager
+    def stamp(self, meta: dict):
+        """Attach ``meta`` to every WAL record appended in this block.
+
+        The meta rides inside the record itself, so it is durable
+        exactly when the logged mutation is — the atomicity the serving
+        layer's retry dedup ledger needs: an acknowledged-but-retried
+        request can be answered from the recovered ledger instead of
+        double-applying, and a crash before the record means neither
+        the mutation nor its token survived.
+        """
+        previous = self._pending_meta
+        self._pending_meta = meta
+        try:
+            yield
+        finally:
+            self._pending_meta = previous
 
     # -- checkpointing -----------------------------------------------------------------
 
@@ -207,6 +240,24 @@ class DurabilityManager:
         # operator-state entries clean enough to checkpoint).
         registry.flush()
         state = capture_state(registry)
+        if self.server_state_provider is not None:
+            # The serving layer's durable sidecar state (applied_index
+            # high-water mark + retry dedup ledger) checkpoints with the
+            # registry so WAL truncation cannot orphan it.
+            state["server"] = self._last_server_state = \
+                self.server_state_provider()
+        else:
+            # A provider-less checkpoint (Database.checkpoint()/close()
+            # on a durable db whose server has stopped or never started
+            # this run) must not orphan the sidecar either: carry the
+            # last known blob forward, and keep any still-unclaimed
+            # WAL-tail batch meta alive under a manager-owned key —
+            # this checkpoint is about to truncate the records it rode
+            # in on.
+            if self._last_server_state is not None:
+                state["server"] = self._last_server_state
+            if self.recovered_batch_meta:
+                state["server_meta"] = list(self.recovered_batch_meta)
         lsn = self.wal.last_lsn
         self.checkpoints.write(lsn, state)
         self.wal.start_segment(lsn + 1)
@@ -224,11 +275,17 @@ class DurabilityManager:
         and position the WAL for appending.  Call :meth:`bind` after."""
         report = RecoveryReport()
         started = time.perf_counter()
+        self.recovered_server_state = None
+        self.recovered_batch_meta = []
         with registry.tracer.span("recovery", path=self.path) as span:
             loaded = self.checkpoints.load_latest()
             base_lsn = 0
             if loaded is not None:
                 base_lsn, state, generation = loaded
+                self.recovered_server_state = state.pop("server", None)
+                self._last_server_state = self.recovered_server_state
+                self.recovered_batch_meta.extend(
+                    state.pop("server_meta", ()))
                 restore_state(registry, state)
                 report.checkpoint_lsn = base_lsn
                 report.checkpoint_generation = generation
@@ -284,6 +341,11 @@ class DurabilityManager:
                 return False
         else:
             raise ValueError(f"unknown WAL record type {kind!r}")
+        # Surface the serving layer's stamped meta only for records
+        # that (re)applied — a re-failed batch was never acknowledged,
+        # so its token must not answer a retry with a phantom success.
+        if "m" in payload:
+            self.recovered_batch_meta.append(payload["m"])
         return True
 
     # -- lifecycle ---------------------------------------------------------------------

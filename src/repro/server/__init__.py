@@ -17,6 +17,17 @@ served system (ROADMAP item 1):
   are matched to replies by message id, pushes land on per-subscription
   queues).
 
+The serving layer is resilient end to end (protocol version 2):
+reconnecting clients (``ReproClient(..., reconnect=True)``) retry
+mutations safely under idempotency tokens the server deduplicates (the
+ledger survives durable restarts inside WAL records and checkpoints),
+subscriptions resume across disconnects via ``from_sequence`` backlog
+replay or explicit reset frames, and the server protects itself with
+per-request deadlines, idle-session reaping and max-sessions/
+max-inflight admission control that sheds with typed ``overloaded``
+errors.  ``tests/netfaults.py`` holds the ChaosProxy network
+fault-injection harness that proves all of it.
+
 ``python -m repro.server`` starts a standalone server (see
 :mod:`repro.server.__main__` for the flags).
 """
@@ -24,8 +35,9 @@ served system (ROADMAP item 1):
 from .client import ClientSubscription, ConnectionClosed, ReproClient, \
     ServerError
 from .protocol import ProtocolError
-from .server import ServerHandle, ViewServer, start_in_thread
+from .server import DeadlineExceeded, Overloaded, ServerHandle, \
+    ViewServer, start_in_thread
 
-__all__ = ["ClientSubscription", "ConnectionClosed", "ProtocolError",
-           "ReproClient", "ServerError", "ServerHandle", "ViewServer",
-           "start_in_thread"]
+__all__ = ["ClientSubscription", "ConnectionClosed", "DeadlineExceeded",
+           "Overloaded", "ProtocolError", "ReproClient", "ServerError",
+           "ServerHandle", "ViewServer", "start_in_thread"]

@@ -53,6 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--policy", default="immediate",
                         help="maintenance policy for --view views "
                              "(immediate, deferred, or an integer K)")
+    parser.add_argument("--max-sessions", type=int, default=4096,
+                        help="admission control: concurrent sessions "
+                             "before new connections are shed")
+    parser.add_argument("--max-inflight", type=int, default=1024,
+                        help="admission control: queued apply-loop jobs "
+                             "before requests are shed as overloaded")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="server-side deadline per request in "
+                             "seconds (0 disables)")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="reap sessions idle longer than this many "
+                             "seconds (subscribers are exempt)")
+    parser.add_argument("--backlog", type=int, default=256,
+                        help="per-view delta backlog for subscription "
+                             "resume after reconnect")
     return parser
 
 
@@ -67,7 +82,12 @@ async def serve(args) -> None:
         if name not in db.views():
             db.create_view(name, xquery, policy)
     server = ViewServer(db, host=args.host, port=args.port,
-                        http_port=args.http_port, own_db=True)
+                        http_port=args.http_port, own_db=True,
+                        max_sessions=args.max_sessions,
+                        max_inflight=args.max_inflight,
+                        request_timeout=args.request_timeout or None,
+                        idle_timeout=args.idle_timeout,
+                        backlog=args.backlog)
     await server.start()
     print(f"repro view server on {server.host}:{server.port}"
           + (f" (http {server.http_port})" if server.http_port else ""),

@@ -9,16 +9,26 @@ does not understand.  The full message catalogue lives in
 
 * **request** (client → server): ``{"id": n, "op": "...", ...params}``.
   ``id`` is a client-chosen integer echoed on the reply; ids must be
-  unique among the client's in-flight requests.
+  unique among the client's in-flight requests.  Mutating requests may
+  additionally carry an **idempotency token** — ``"client"`` (a string
+  the client picked for its lifetime) plus ``"seq"`` (a per-client
+  monotone integer) — letting the server deduplicate retries; resends
+  mark themselves with ``"retry": k``.
 * **reply** (server → client): ``{"id": n, "type": "reply",
-  "result": {...}}``.
+  "result": {...}}``.  A reply replayed from the server's dedup ledger
+  carries ``"deduped": true`` inside ``result``.
 * **error** (server → client): ``{"id": n, "type": "error", "code":
   "...", "message": "...", ...detail}`` — ``id`` is ``null`` for
   connection-level failures that answer no particular request.
+  ``overloaded`` errors carry ``retry_after`` (seconds); ``bad_frame``
+  answers a malformed frame and is the connection's last frame.
 * **push** (server → client, unsolicited): ``{"type": "delta", ...}``
   frames carry one view refresh to a subscription; ``{"type": "gap",
   ...}`` announces dropped refreshes before the server disconnects a
-  subscriber that chose the strict backpressure policy.
+  subscriber that chose the strict backpressure policy.  A delta with
+  ``"resumed": true`` answers a ``subscribe(from_sequence=...)``
+  resume — either a backlog replay or an explicit reset covering the
+  missed range (never a silent gap).
 
 The module is dependency-free in both directions (the asyncio server
 and the blocking client share it), and the delta payload inside a push
@@ -33,11 +43,15 @@ import struct
 from typing import Optional
 
 __all__ = ["FrameDecoder", "MAX_FRAME", "PROTOCOL_VERSION",
-           "ProtocolError", "delta_frame", "encode_frame", "error_frame",
-           "gap_frame", "reply_frame"]
+           "ProtocolError", "dedup_token", "delta_frame", "encode_frame",
+           "error_frame", "gap_frame", "reply_frame", "resume_reset_frame"]
 
-#: protocol revision announced by ``hello`` and checked by clients
-PROTOCOL_VERSION = 1
+#: protocol revision announced by ``hello`` and checked by clients.
+#: Version 2 (backward compatible with 1) adds idempotency tokens on
+#: mutating requests, ``subscribe(from_sequence=...)`` resume,
+#: ``deadline_ms`` deadlines and the ``overloaded``/``bad_frame``/
+#: ``deadline`` error codes.
+PROTOCOL_VERSION = 2
 
 #: default ceiling for one frame's JSON body (64 MiB); both sides
 #: refuse larger frames instead of buffering unboundedly
@@ -150,6 +164,42 @@ def gap_frame(subscription_id: int, view: str, after_sequence: int,
             "after_sequence": after_sequence,
             "sequence": sequence,
             "dropped": dropped}
+
+
+def resume_reset_frame(subscription_id: int, view: str,
+                       from_sequence: int, sequence: int) -> dict:
+    """The resume fallback: the backlog no longer reaches back to the
+    subscriber's ``from_sequence``, so one explicit reset frame stands
+    for the whole missed range and the client re-reads the view.  Never
+    a silent gap: the frame names exactly what it covers."""
+    return {"type": "delta",
+            "subscription": subscription_id,
+            "view": view,
+            "sequence": sequence,
+            "reason": "resume",
+            "trees": 0,
+            "delta_tuples": 0,
+            "reset": True,
+            "coalesced": True,
+            "resumed": True,
+            "from_sequence": min(from_sequence, sequence),
+            "mutations": None}
+
+
+def dedup_token(frame: dict) -> Optional[tuple]:
+    """The request's idempotency token ``(client, seq)``, or ``None``
+    when the client sent none; raises on a half-present or mistyped
+    token (silently ignoring one would break at-most-once)."""
+    client = frame.get("client")
+    seq = frame.get("seq")
+    if client is None and seq is None:
+        return None
+    if not isinstance(client, str) or isinstance(seq, bool) \
+            or not isinstance(seq, int):
+        raise ProtocolError(
+            "an idempotency token needs a string 'client' and an "
+            "integer 'seq'")
+    return (client, seq)
 
 
 def validate_request(frame: dict) -> tuple[int, str]:

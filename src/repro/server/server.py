@@ -35,6 +35,25 @@ applies the policy the client chose at subscribe time:
   then close the connection.  For mirrors that must never miss a
   delta and prefer death to staleness.
 
+Resilience (the serving half of the durability story):
+
+* **Idempotent retries** — mutating requests may carry a
+  ``(client, seq)`` token; the server keeps a bounded per-client dedup
+  ledger of replies and answers a retried token from the ledger (with
+  its *original* ``applied_index``) instead of double-applying.  On a
+  durable database the token is stamped into the same WAL record as
+  the batch (``DurabilityManager.stamp``) and the ledger rides in
+  checkpoints, so dedup survives a ``kill -9`` restart.
+* **Subscription resume** — ``subscribe(from_sequence=...)`` replays
+  missed refreshes from a bounded per-view delta backlog the server
+  captures independently of any subscriber, or falls back to one
+  explicit reset frame naming the missed range.  Never a silent gap.
+* **Protection** — per-request deadlines enforced at the apply loop's
+  dequeue point (an expired job is skipped, never half-run), idle
+  sessions reaped, and ``max_sessions``/``max_inflight`` admission
+  control that sheds with a typed ``overloaded`` + ``retry_after``
+  error instead of queuing unboundedly.
+
 Shutdown is graceful: stop accepting, close sessions, drain the apply
 loop, cut a final checkpoint when the database is durable.
 """
@@ -42,22 +61,69 @@ loop, cut a final checkpoint when the database is durable.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..api import Database
 from ..updates.errors import UpdateError
 from .protocol import MAX_FRAME, PROTOCOL_VERSION, FrameDecoder, \
-    ProtocolError, delta_frame, encode_frame, error_frame, gap_frame, \
-    param, reply_frame, validate_request
+    ProtocolError, dedup_token, delta_frame, encode_frame, error_frame, \
+    gap_frame, param, reply_frame, resume_reset_frame, validate_request
 
-__all__ = ["ServerHandle", "ViewServer", "start_in_thread"]
+__all__ = ["DeadlineExceeded", "Overloaded", "ServerHandle", "ViewServer",
+           "start_in_thread"]
 
 #: default per-subscriber bound on queued-but-unwritten push frames
 DEFAULT_SUBSCRIBER_LIMIT = 64
 
+#: default per-view resume backlog (refreshes replayable after reconnect)
+DEFAULT_BACKLOG = 256
+
+#: dedup ledger bounds: replies remembered per client / clients tracked
+LEDGER_PER_CLIENT = 128
+LEDGER_CLIENTS = 4096
+
 _BACKPRESSURE_MODES = ("coalesce", "disconnect")
+
+
+class Overloaded(Exception):
+    """Admission control shed this request; retry after ``retry_after``."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(f"server overloaded; retry after "
+                         f"{retry_after:.2f}s")
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline expired while it was queued; it was
+    **not** executed (safe to retry)."""
+
+
+@dataclass
+class _CachedError:
+    """A remembered error reply (ledger value for a failed mutation).
+
+    Lives at module level so it pickles into durable checkpoints along
+    with the rest of the dedup ledger.
+    """
+
+    code: str
+    message: str
+    detail: dict = field(default_factory=dict)
+
+
+class _ReplayedError(Exception):
+    """Internal: a retried token whose first attempt failed — carry the
+    remembered error so the dispatcher re-sends it verbatim."""
+
+    def __init__(self, cached: _CachedError):
+        super().__init__(cached.message)
+        self.cached = cached
 
 
 class _Subscriber:
@@ -91,6 +157,9 @@ class _Session:
         self.queue: asyncio.Queue = asyncio.Queue()
         self.subscribers: dict[int, _Subscriber] = {}
         self.closing = False
+        self.last_active = time.monotonic()
+        self.client_id: Optional[str] = None
+        self._deadline_ts: Optional[float] = None
         self._tasks: list[asyncio.Task] = []
 
     def start(self) -> None:
@@ -184,8 +253,10 @@ class _Session:
                     ).observe(time.perf_counter() - enqueued)
                 if frame.get("type") == "gap":
                     break   # strict policy: the gap frame is the last
-        except (ConnectionError, asyncio.CancelledError):
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
+        except ProtocolError:
+            pass    # an unencodable outbound frame still closes cleanly
         finally:
             await self.close()
 
@@ -194,40 +265,71 @@ class _Session:
     async def _read_loop(self) -> None:
         decoder = FrameDecoder(self.server.max_frame)
         metrics = self.server.metrics
-        try:
+        drain = False           # True: final frames are queued; let the
+        try:                    # writer flush them, then tear down
             while True:
                 data = await self.reader.read(65536)
                 if not data:
                     break
+                self.last_active = time.monotonic()
                 try:
                     frames = decoder.feed(data)
                 except ProtocolError as exc:
-                    self.send(error_frame(None, "protocol", str(exc)))
-                    break
+                    # Garbage on the wire (bad length prefix, non-JSON
+                    # body, oversized frame): one typed error, then a
+                    # clean disconnect — never an unhandled task error.
+                    metrics.counter(
+                        "server_bad_frames",
+                        "Malformed frames answered with bad_frame").inc()
+                    self.send(error_frame(None, "bad_frame", str(exc)))
+                    drain = True
+                    return
                 for frame in frames:
                     metrics.counter("server_frames_in",
                                     "Frames read from clients").inc()
                     if not await self._handle(frame):
+                        drain = True    # _handle queued the last frames
                         return
-        except (ConnectionError, asyncio.CancelledError):
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
+        except Exception as exc:   # noqa: BLE001 — sessions must survive
+            self.send(error_frame(None, "internal",
+                                  f"{type(exc).__name__}: {exc}"))
+            drain = True
         finally:
-            await self.close()
+            if drain and not self.closing:
+                self.queue.put_nowait(None)   # writer drains, then closes
+            else:
+                await self.close()
 
     async def _handle(self, frame: dict) -> bool:
-        """Dispatch one request; returns False when the session ends."""
+        """Dispatch one request; returns False when the session ends
+        (the close sentinel is already queued behind the final reply)."""
         try:
             request_id, op = validate_request(frame)
         except ProtocolError as exc:
-            self.send(error_frame(None, "protocol", str(exc)))
+            self.server.metrics.counter(
+                "server_bad_frames",
+                "Malformed frames answered with bad_frame").inc()
+            self.send(error_frame(None, "bad_frame", str(exc)))
             return False
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             self.send(error_frame(request_id, "bad_request",
                                   f"unknown op {op!r}"))
             return True
+        self._deadline_ts = self.server.deadline_for(frame)
         try:
             result = await handler(frame)
+        except _ReplayedError as exc:
+            cached = exc.cached
+            self.send(error_frame(request_id, cached.code, cached.message,
+                                  deduped=True, **cached.detail))
+        except Overloaded as exc:
+            self.send(error_frame(request_id, "overloaded", str(exc),
+                                  retry_after=exc.retry_after))
+        except DeadlineExceeded as exc:
+            self.send(error_frame(request_id, "deadline", str(exc)))
         except ProtocolError as exc:
             self.send(error_frame(request_id, "bad_request", str(exc)))
         except UpdateError as exc:
@@ -247,15 +349,102 @@ class _Session:
             if op == "bye":
                 self.queue.put_nowait(None)   # close after the reply
                 return False
+        finally:
+            self._deadline_ts = None
         return True
+
+    # -- apply-loop access (deadline + idempotency seams) --------------------------------
+
+    async def run(self, job):
+        """Submit ``job`` to the apply loop under this request's
+        deadline."""
+        return await self.server.run(job, deadline_ts=self._deadline_ts)
+
+    async def _mutate(self, frame: dict, job) -> dict:
+        """Run a mutating ``job`` with at-most-once semantics.
+
+        Tokenless requests run directly (legacy behaviour).  A tokened
+        request first consults the server's dedup ledger — a hit replays
+        the remembered reply (marked ``deduped``, with its *original*
+        ``applied_index``) without touching the database.  A miss runs
+        the job with the token stamped into the same WAL record as the
+        mutation, then remembers the reply (or the error) under the
+        token.  Shed/expired requests were never executed, so they leave
+        no ledger entry and stay safely retryable.
+        """
+        server = self.server
+        token = dedup_token(frame)
+        if token is None:
+            return await self.run(job)
+        if frame.get("retry"):
+            server.metrics.counter(
+                "server_requests_retried",
+                "Mutating requests that arrived marked as retries").inc()
+        cached = server.ledger_get(token)
+        if cached is not None:
+            server.metrics.counter(
+                "server_requests_deduped",
+                "Retried requests answered from the dedup ledger").inc()
+            if isinstance(cached, _CachedError):
+                raise _ReplayedError(cached)
+            return {**cached, "deduped": True}
+
+        def stamped():
+            # Predict the mutation's ticket *inside* the apply job —
+            # jobs are serialized, so applied_index cannot move between
+            # here and the handler's single bump_applied() call.
+            meta = {"c": token[0], "s": token[1],
+                    "a": server.applied_index + 1}
+            manager = server.db.durability
+            if manager is not None:
+                with manager.stamp(meta):
+                    return job()
+            return job()
+
+        try:
+            result = await self.run(stamped)
+        except (Overloaded, DeadlineExceeded):
+            raise               # never executed — must stay retryable
+        except UpdateError as exc:
+            server.ledger_put(token, _CachedError(
+                "update", str(exc), {"applied": exc.applied}))
+            raise
+        except KeyError as exc:
+            server.ledger_put(token, _CachedError(
+                "not_found",
+                str(exc.args[0]) if exc.args else str(exc)))
+            raise
+        except (ProtocolError, ValueError, RuntimeError) as exc:
+            server.ledger_put(token, _CachedError("bad_request", str(exc)))
+            raise
+        except Exception as exc:   # noqa: BLE001 — remembered verbatim
+            server.ledger_put(token, _CachedError(
+                "internal", f"{type(exc).__name__}: {exc}"))
+            raise
+        server.ledger_put(token, result)
+        return result
 
     # -- request handlers --------------------------------------------------------------
 
     async def _op_hello(self, frame: dict) -> dict:
-        db = self.server.db
-        views = await self.server.run(db.views)
+        client = param(frame, "client", str, "")
+        resume = param(frame, "resume", bool, False)
+        if client:
+            self.client_id = client
+        if resume:
+            self.server.metrics.counter(
+                "server_reconnects",
+                "Sessions re-established by reconnecting clients").inc()
+        server = self.server
+        db = server.db
+        views = await self.run(db.views)
         return {"protocol": PROTOCOL_VERSION, "server": "repro-view-server",
-                "session": self.id, "views": views, "durable": db.durable}
+                "session": self.id, "views": views, "durable": db.durable,
+                "applied_index": server.applied_index,
+                "limits": {"max_sessions": server.max_sessions,
+                           "max_inflight": server.max_inflight,
+                           "request_timeout": server.request_timeout,
+                           "backlog": server.backlog}}
 
     async def _op_ping(self, frame: dict) -> dict:
         return {}
@@ -269,13 +458,13 @@ class _Session:
 
         def job():
             self.server.db.load(name, xml)
-            return self.server.bump_applied()
-        return {"applied_index": await self.server.run(job),
-                "documents": self.server.db.documents()}
+            return {"applied_index": self.server.bump_applied(),
+                    "documents": self.server.db.documents()}
+        return await self._mutate(frame, job)
 
     async def _op_documents(self, frame: dict) -> dict:
         return {"documents":
-                await self.server.run(self.server.db.documents)}
+                await self.run(self.server.db.documents)}
 
     async def _op_create_view(self, frame: dict) -> dict:
         name = param(frame, "name", str)
@@ -284,17 +473,18 @@ class _Session:
 
         def job():
             self.server.db.create_view(name, query, policy)
-            return self.server.bump_applied()
-        applied = await self.server.run(job)
-        return {"view": name, "applied_index": applied}
+            return {"view": name,
+                    "applied_index": self.server.bump_applied()}
+        return await self._mutate(frame, job)
 
     async def _op_drop_view(self, frame: dict) -> dict:
         name = param(frame, "name", str)
 
         def job():
+            self.server._drop_backlog(name)
             self.server.db.drop_view(name)
-            return self.server.bump_applied()
-        return {"applied_index": await self.server.run(job)}
+            return {"applied_index": self.server.bump_applied()}
+        return await self._mutate(frame, job)
 
     async def _op_views(self, frame: dict) -> dict:
         db = self.server.db
@@ -305,7 +495,7 @@ class _Session:
                      "pending": db.view(name).pending_trees(),
                      "sequence": db.registry.view(name).refresh_sequence}
                     for name in db.views()]
-        return {"views": await self.server.run(job)}
+        return {"views": await self.run(job)}
 
     async def _op_read(self, frame: dict) -> dict:
         name = param(frame, "view", str)
@@ -314,12 +504,12 @@ class _Session:
         def job():
             xml = db.read(name)
             return xml, db.registry.view(name).refresh_sequence
-        xml, sequence = await self.server.run(job)
+        xml, sequence = await self.run(job)
         return {"view": name, "xml": xml, "sequence": sequence}
 
     async def _op_query(self, frame: dict) -> dict:
         xquery = param(frame, "xquery", str)
-        return {"xml": await self.server.run(
+        return {"xml": await self.run(
             lambda: self.server.db.query(xquery))}
 
     async def _op_execute(self, frame: dict) -> dict:
@@ -327,8 +517,8 @@ class _Session:
 
         def job():
             self.server.db.execute(statement)
-            return self.server.bump_applied()
-        return {"applied_index": await self.server.run(job)}
+            return {"applied_index": self.server.bump_applied()}
+        return await self._mutate(frame, job)
 
     async def _op_update(self, frame: dict) -> dict:
         statements = param(frame, "statements", list)
@@ -340,14 +530,15 @@ class _Session:
             with self.server.db.batch():
                 for statement in statements:
                     self.server.db.execute(statement)
-            return self.server.bump_applied()
-        return {"applied_index": await self.server.run(job),
-                "statements": len(statements)}
+            return {"applied_index": self.server.bump_applied(),
+                    "statements": len(statements)}
+        return await self._mutate(frame, job)
 
     async def _op_subscribe(self, frame: dict) -> dict:
         view = param(frame, "view", str)
         mode = param(frame, "mode", str, "coalesce")
         limit = param(frame, "limit", int, DEFAULT_SUBSCRIBER_LIMIT)
+        from_sequence = param(frame, "from_sequence", int, -1)
         if mode not in _BACKPRESSURE_MODES:
             raise ProtocolError(
                 f"parameter 'mode' must be one of {_BACKPRESSURE_MODES}")
@@ -355,18 +546,53 @@ class _Session:
             raise ProtocolError("parameter 'limit' must be >= 1")
         sub_id = self.server.next_subscription_id()
         db = self.server.db
+        server = self.server
 
         def job():
+            server._ensure_backlog(view)
             baseline = db.registry.view(view).refresh_sequence
             subscriber = _Subscriber(sub_id, view, mode, limit, baseline)
+            resumed = None
+            replay = []
+            if from_sequence >= 0 and from_sequence != baseline:
+                # The resume seam: replay the missed refreshes from the
+                # per-view backlog, or one explicit reset frame covering
+                # the whole range — never a silent gap.  A from_sequence
+                # *ahead* of the view (the server restarted without
+                # durable state, regressing sequences) is a reset too.
+                frames = None
+                if from_sequence < baseline:
+                    frames = server.backlog_frames(view, from_sequence,
+                                                   baseline)
+                if frames is not None and len(frames) <= limit:
+                    resumed = "replay"
+                    replay = [dict(f, subscription=sub_id, resumed=True)
+                              for f in frames]
+                else:
+                    resumed = "reset"
+                    replay = [resume_reset_frame(
+                        sub_id, view, from_sequence + 1, baseline)]
+            elif from_sequence >= 0:
+                resumed = "current"     # nothing was missed
+            for push in replay:
+                # Enqueued inside the apply job, before the subscription
+                # registers — so replayed frames always precede live
+                # pushes on the wire, in sequence order.
+                subscriber.newest = push
+                subscriber.enqueued_sequence = push["sequence"]
+                self.send(push, subscriber)
             subscriber.subscription = db.subscribe(
                 view, lambda event: self.deliver(subscriber, event),
                 deliver_mutations=True)
-            return subscriber, baseline
-        subscriber, baseline = await self.server.run(job)
+            return subscriber, baseline, resumed, len(replay)
+        subscriber, baseline, resumed, replayed = await self.run(job)
         self.subscribers[sub_id] = subscriber
-        return {"subscription": sub_id, "view": view, "mode": mode,
-                "limit": limit, "sequence": baseline}
+        result = {"subscription": sub_id, "view": view, "mode": mode,
+                  "limit": limit, "sequence": baseline}
+        if resumed is not None:
+            result["resumed"] = resumed
+            result["replayed"] = replayed
+        return result
 
     async def _op_unsubscribe(self, frame: dict) -> dict:
         sub_id = param(frame, "subscription", int)
@@ -374,20 +600,20 @@ class _Session:
         if subscriber is None:
             raise KeyError(f"no subscription {sub_id} on this session")
         if subscriber.subscription is not None:
-            await self.server.run(subscriber.subscription.cancel)
+            await self.run(subscriber.subscription.cancel)
         return {"subscription": sub_id}
 
     async def _op_explain(self, frame: dict) -> dict:
         view = param(frame, "view", str)
-        return {"view": view, "text": await self.server.run(
+        return {"view": view, "text": await self.run(
             lambda: self.server.db.explain(view))}
 
     async def _op_metrics(self, frame: dict) -> dict:
-        return {"metrics": await self.server.run(
+        return {"metrics": await self.run(
             self.server.db.metrics)}
 
     async def _op_checkpoint(self, frame: dict) -> dict:
-        return {"lsn": await self.server.run(
+        return {"lsn": await self.run(
             self.server.db.checkpoint)}
 
     # -- teardown ----------------------------------------------------------------------
@@ -429,7 +655,12 @@ class ViewServer:
     def __init__(self, db: Optional[Database] = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  http_port: Optional[int] = None, own_db: bool = False,
-                 max_frame: int = MAX_FRAME):
+                 max_frame: int = MAX_FRAME, max_sessions: int = 4096,
+                 max_inflight: int = 1024,
+                 request_timeout: Optional[float] = 30.0,
+                 idle_timeout: Optional[float] = None,
+                 backlog: int = DEFAULT_BACKLOG,
+                 retry_after: float = 0.1):
         if db is None:
             db = Database()
             own_db = True
@@ -439,12 +670,22 @@ class ViewServer:
         self.http_port = http_port
         self.own_db = own_db
         self.max_frame = max_frame
+        self.max_sessions = max(1, max_sessions)
+        self.max_inflight = max(1, max_inflight)
+        self.request_timeout = request_timeout
+        self.idle_timeout = idle_timeout
+        self.backlog = max(1, backlog)
+        self.retry_after = retry_after
         self.applied_index = 0
         self.sessions: set[_Session] = set()
         self._session_ids = 0
         self._subscription_ids = 0
+        self._ledger: "OrderedDict[str, OrderedDict[int, object]]" = \
+            OrderedDict()
+        self._backlogs: dict[str, tuple[deque, object]] = {}
         self._apply_queue: Optional[asyncio.Queue] = None
         self._apply_task: Optional[asyncio.Task] = None
+        self._reap_task: Optional[asyncio.Task] = None
         self._tcp_server = None
         self._http_server = None
         self._stopped = False
@@ -455,13 +696,21 @@ class ViewServer:
 
     # -- the single-writer apply loop --------------------------------------------------
 
-    async def run(self, job):
+    async def run(self, job, *, deadline_ts: Optional[float] = None):
         """Run ``job()`` serialized through the apply loop; await its
         result.  Every database touch — read or write — goes through
-        here, which is the whole consistency story."""
+        here, which is the whole consistency story.  Raises
+        :class:`Overloaded` (without enqueuing) when the apply queue is
+        already ``max_inflight`` deep, and :class:`DeadlineExceeded`
+        (without executing) when ``deadline_ts`` passes first."""
+        if self._apply_queue.qsize() >= self.max_inflight:
+            self.metrics.counter(
+                "server_shed_total",
+                "Requests/connections shed by admission control").inc()
+            raise Overloaded(self.retry_after)
         loop = asyncio.get_event_loop()
         future = loop.create_future()
-        self._apply_queue.put_nowait((job, future))
+        self._apply_queue.put_nowait((job, future, deadline_ts))
         return await future
 
     def bump_applied(self) -> int:
@@ -469,11 +718,37 @@ class ViewServer:
         self.applied_index += 1
         return self.applied_index
 
+    def deadline_for(self, frame: dict) -> Optional[float]:
+        """The absolute deadline for one request: the client's
+        ``deadline_ms`` capped by the server's ``request_timeout``."""
+        timeout = self.request_timeout
+        deadline_ms = frame.get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)) \
+                and not isinstance(deadline_ms, bool) and deadline_ms > 0:
+            client_timeout = deadline_ms / 1000.0
+            timeout = client_timeout if timeout is None \
+                else min(timeout, client_timeout)
+        if timeout is None:
+            return None
+        return time.monotonic() + timeout
+
     async def _apply_loop(self) -> None:
         while True:
-            job, future = await self._apply_queue.get()
+            job, future, deadline_ts = await self._apply_queue.get()
             if job is None:
                 break
+            if deadline_ts is not None \
+                    and time.monotonic() > deadline_ts:
+                # Expired while queued: the job is skipped, never
+                # half-run, so the client can retry it safely.
+                self.metrics.counter(
+                    "server_deadline_expired",
+                    "Requests expired in the apply queue").inc()
+                if not future.cancelled():
+                    future.set_exception(DeadlineExceeded(
+                        "deadline expired before the request ran "
+                        "(not executed; safe to retry)"))
+                continue
             try:
                 result = job()
             except Exception as exc:   # noqa: BLE001 — surfaced per-job
@@ -482,13 +757,136 @@ class ViewServer:
             else:
                 if not future.cancelled():
                     future.set_result(result)
+            # Queue.get returns without yielding while the queue is
+            # non-empty; without this a deep backlog would starve the
+            # loop's IO (no reads, no replies, no shedding) until
+            # it fully drained.
+            await asyncio.sleep(0)
+
+    # -- the dedup ledger (idempotent retries) ------------------------------------------
+
+    def ledger_get(self, token: tuple):
+        """The remembered reply for ``(client, seq)``, or None."""
+        client, seq = token
+        per_client = self._ledger.get(client)
+        if per_client is None:
+            return None
+        self._ledger.move_to_end(client)
+        return per_client.get(seq)
+
+    def ledger_put(self, token: tuple, reply) -> None:
+        """Remember one reply, evicting LRU entries past the bounds."""
+        client, seq = token
+        per_client = self._ledger.get(client)
+        if per_client is None:
+            per_client = self._ledger[client] = OrderedDict()
+        else:
+            self._ledger.move_to_end(client)
+        per_client[seq] = reply
+        while len(per_client) > LEDGER_PER_CLIENT:
+            per_client.popitem(last=False)
+        while len(self._ledger) > LEDGER_CLIENTS:
+            self._ledger.popitem(last=False)
+
+    def _server_state(self) -> dict:
+        """The serving state that rides inside durable checkpoints."""
+        return {"applied_index": self.applied_index,
+                "ledger": [(client, list(per.items()))
+                           for client, per in self._ledger.items()]}
+
+    def _adopt_durable_state(self) -> None:
+        """Rebuild applied_index + dedup ledger after durable recovery,
+        and register so future checkpoints carry them."""
+        manager = self.db.durability
+        if manager is None:
+            return
+        state = manager.recovered_server_state
+        if state:
+            self.applied_index = state.get("applied_index", 0)
+            for client, entries in state.get("ledger", ()):
+                for seq, reply in entries:
+                    self.ledger_put((client, seq), reply)
+        report = manager.last_recovery
+        if report is not None:
+            # Every successfully replayed WAL record was one mutation
+            # ticket in the pre-crash order.
+            replayed_ok = report.wal_records_replayed \
+                - report.replay_errors
+            self.applied_index += replayed_ok
+        for meta in manager.recovered_batch_meta:
+            # A WAL-tail mutation carried its token in the same record;
+            # remember a minimal reply so a post-restart retry dedups
+            # instead of double-applying.  The full original reply is
+            # gone, but the ticket — the part replays must agree on —
+            # survives.
+            self.applied_index = max(self.applied_index, meta["a"])
+            self.ledger_put((meta["c"], meta["s"]),
+                            {"applied_index": meta["a"],
+                             "recovered": True})
+        manager.server_state_provider = self._server_state
+
+    # -- per-view delta backlogs (subscription resume) -----------------------------------
+
+    def _ensure_backlog(self, view: str) -> None:
+        """Capture refreshes for ``view`` into a bounded deque of frame
+        templates, independent of any subscriber (apply-job context)."""
+        if view in self._backlogs:
+            return
+        frames: deque = deque(maxlen=self.backlog)
+        handle = self.db.subscribe(
+            view, lambda event: frames.append(delta_frame(0, event)),
+            deliver_mutations=True)
+        self._backlogs[view] = (frames, handle)
+
+    def _drop_backlog(self, view: str) -> None:
+        entry = self._backlogs.pop(view, None)
+        if entry is not None:
+            entry[1].cancel()
+
+    def backlog_frames(self, view: str, from_sequence: int,
+                       upto: int) -> Optional[list[dict]]:
+        """The backlog frames covering ``from_sequence+1 .. upto``
+        contiguously, or None when the backlog no longer reaches back
+        that far (the caller falls back to an explicit reset)."""
+        entry = self._backlogs.get(view)
+        if entry is None:
+            return None
+        frames = [f for f in entry[0]
+                  if from_sequence < f["sequence"] <= upto]
+        if [f["sequence"] for f in frames] != \
+                list(range(from_sequence + 1, upto + 1)):
+            return None
+        return frames
+
+    # -- idle-session reaping -------------------------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        interval = min(1.0, self.idle_timeout / 2)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for session in list(self.sessions):
+                if session.closing or session.subscribers:
+                    continue    # subscribers legitimately sit idle
+                if now - session.last_active > self.idle_timeout:
+                    self.metrics.counter(
+                        "server_sessions_reaped",
+                        "Idle sessions disconnected by the reaper").inc()
+                    session.send(error_frame(
+                        None, "idle",
+                        f"session idle longer than "
+                        f"{self.idle_timeout:g}s"))
+                    session.queue.put_nowait(None)   # drain, then close
 
     # -- lifecycle ---------------------------------------------------------------------
 
     async def start(self) -> "ViewServer":
         self._register_metric_families()
+        self._adopt_durable_state()
         self._apply_queue = asyncio.Queue()
         self._apply_task = asyncio.ensure_future(self._apply_loop())
+        if self.idle_timeout is not None:
+            self._reap_task = asyncio.ensure_future(self._reap_loop())
         self._tcp_server = await asyncio.start_server(
             self._on_connection, self.host, self.port)
         self.port = self._tcp_server.sockets[0].getsockname()[1]
@@ -509,17 +907,46 @@ class ViewServer:
             if listener is not None:
                 listener.close()
                 await listener.wait_closed()
+        if self._reap_task is not None:
+            self._reap_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reap_task
         for session in list(self.sessions):
             await session.close()
+        for view in list(self._backlogs):
+            self._drop_backlog(view)
         if self._apply_task is not None:
-            self._apply_queue.put_nowait((None, None))
+            self._apply_queue.put_nowait((None, None, None))
             await self._apply_task
         if self.own_db:
             self.db.close()     # durable sessions checkpoint on close
-        elif self.db.durable:
-            self.db.checkpoint()
+        else:
+            if self.db.durable:
+                self.db.checkpoint()
+            manager = self.db.durability
+            if manager is not None \
+                    and manager.server_state_provider == self._server_state:
+                manager.server_state_provider = None
 
     def _on_connection(self, reader, writer) -> None:
+        if len(self.sessions) >= self.max_sessions:
+            # Admission control: shed at the door with a typed error
+            # naming how long to back off, instead of queuing work we
+            # cannot serve.
+            self.metrics.counter(
+                "server_shed_total",
+                "Requests/connections shed by admission control").inc()
+            try:
+                writer.write(encode_frame(
+                    error_frame(None, "overloaded",
+                                f"session limit {self.max_sessions} "
+                                f"reached",
+                                retry_after=self.retry_after),
+                    self.max_frame))
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return
         self._session_ids += 1
         session = _Session(self, reader, writer, self._session_ids)
         self.sessions.add(session)
@@ -559,6 +986,22 @@ class ViewServer:
         metrics.counter("server_subscribers_dropped",
                         "Subscribers disconnected by the strict "
                         "backpressure policy")
+        metrics.counter("server_requests_retried",
+                        "Mutating requests that arrived marked as "
+                        "retries")
+        metrics.counter("server_requests_deduped",
+                        "Retried requests answered from the dedup "
+                        "ledger")
+        metrics.counter("server_sessions_reaped",
+                        "Idle sessions disconnected by the reaper")
+        metrics.counter("server_shed_total",
+                        "Requests/connections shed by admission control")
+        metrics.counter("server_reconnects",
+                        "Sessions re-established by reconnecting clients")
+        metrics.counter("server_deadline_expired",
+                        "Requests expired in the apply queue")
+        metrics.counter("server_bad_frames",
+                        "Malformed frames answered with bad_frame")
 
     # -- the HTTP sidecar (Prometheus scrape + health) ---------------------------------
 

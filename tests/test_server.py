@@ -19,8 +19,8 @@ import pytest
 
 from repro.api import Database
 from repro.multiview import CostModel
-from repro.server import ConnectionClosed, ReproClient, ServerError, \
-    start_in_thread
+from repro.server import ClientSubscription, ConnectionClosed, \
+    ReproClient, ServerError, start_in_thread
 from repro.server.protocol import HEADER_SIZE, MAX_FRAME, FrameDecoder, \
     ProtocolError, delta_frame, encode_frame, gap_frame, param, \
     validate_request
@@ -249,7 +249,7 @@ class TestEndToEnd:
     def test_full_round_trip(self):
         with start_in_thread(http_port=0) as handle:
             with ReproClient(handle.host, handle.port) as client:
-                assert client.server_info["protocol"] == 1
+                assert client.server_info["protocol"] == 2
                 client.load("bib.xml", BIB_XML)
                 client.load("prices.xml", PRICES_XML)
                 assert sorted(client.documents()) == ["bib.xml",
@@ -534,3 +534,96 @@ class TestConcurrentStress:
                     for statement in statements:
                         oracle.execute(statement)
             assert oracle.read("rows") == served["xml"]
+
+
+# -- ClientSubscription lifecycle edges ---------------------------------------------------
+
+
+class TestSubscriptionLifecycle:
+    def test_get_keeps_raising_after_client_close(self):
+        """Closing the client ends the stream for every consumer —
+        ``get`` raises (repeatedly, from any thread), never hangs."""
+        with rows_server() as handle:
+            client = ReproClient(handle.host, handle.port)
+            subscription = client.subscribe("rows")
+            client.close()
+            for _ in range(3):
+                with pytest.raises(ConnectionClosed):
+                    subscription.get(timeout=5)
+
+    def test_concurrent_getters_all_unblock_on_close(self):
+        import time
+        with rows_server() as handle:
+            client = ReproClient(handle.host, handle.port)
+            subscription = client.subscribe("rows")
+            failures: list = []
+
+            def getter():
+                try:
+                    with pytest.raises(ConnectionClosed):
+                        subscription.get(timeout=15)
+                except Exception as exc:   # noqa: BLE001
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=getter)
+                       for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.1)     # everyone parked in frames.get
+            client.close()
+            for thread in threads:
+                thread.join(timeout=15)
+                assert not thread.is_alive(), "getter stuck after close"
+            assert not failures, failures
+
+    def test_cancel_races_inflight_pushes_idempotently(self):
+        import time
+        with rows_server() as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                subscription = client.subscribe("rows")
+                with ReproClient(handle.host,
+                                 handle.port) as writer:
+                    stop = threading.Event()
+
+                    def mutate():
+                        index = 0
+                        while not stop.is_set():
+                            writer.update([insert_row(f"r{index}")])
+                            index += 1
+
+                    thread = threading.Thread(target=mutate)
+                    thread.start()
+                    try:
+                        time.sleep(0.05)    # pushes are in flight
+                        subscription.cancel()
+                        subscription.cancel()   # idempotent
+                    finally:
+                        stop.set()
+                        thread.join(timeout=10)
+                assert subscription.closed
+                assert subscription.id not in client._subscriptions
+                # buffered frames drain, then iteration terminates
+                remaining = list(subscription)
+                assert all(f["type"] == "delta" for f in remaining)
+                # further gets raise instead of hanging
+                with pytest.raises(ConnectionClosed):
+                    subscription.get(timeout=1)
+                # the connection itself is unaffected
+                client.ping()
+
+    def test_iteration_ends_after_gap_then_disconnect(self):
+        """The strict policy's parting sequence at the consumer level:
+        buffered deltas, then the gap frame, then clean termination."""
+        subscription = ClientSubscription(types.SimpleNamespace(),
+                                          7, "rows", 0)
+        subscription.frames.put({"type": "delta", "subscription": 7,
+                                 "view": "rows", "sequence": 1,
+                                 "reset": False, "mutations": []})
+        subscription.frames.put(gap_frame(7, "rows", 1, 5, dropped=4))
+        subscription._close()
+        frames = list(subscription)
+        assert [f["type"] for f in frames] == ["delta", "gap"]
+        assert frames[1]["dropped"] == 4
+        assert subscription.last_sequence == 5
+        with pytest.raises(ConnectionClosed):
+            subscription.get(timeout=1)
