@@ -10,6 +10,10 @@ contract end to end:
   families and ``/healthz``;
 * SIGTERM shuts the server down gracefully (exit code 0).
 
+The whole scripted workload runs twice — once with ``--compiled``
+(delta-plan VM, the default) and once with ``--no-compiled`` (tree
+interpreter) — so both execution engines boot and serve end to end.
+
 Run:  PYTHONPATH=src python benchmarks/server_smoke.py
 
 Exits non-zero (assertion) on any violation; CI runs this as the
@@ -39,9 +43,10 @@ def insert_row(i: int) -> str:
             f'insert <row><name>r{i}</name><v>{i}</v></row> into $d')
 
 
-def main() -> int:
+def run_scenario(mode_flag: str) -> int:
+    print(f"--- booting server {mode_flag} ---")
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.server",
+        [sys.executable, "-m", "repro.server", mode_flag,
          "--port", "0", "--http-port", "0"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONPATH": "src"})
@@ -83,9 +88,13 @@ def main() -> int:
         scrape = urllib.request.urlopen(
             f"http://{host}:{http_port}/metrics", timeout=10
         ).read().decode()
-        for family in ("repro_server_sessions", "repro_server_frames_out",
-                       "repro_server_push_lag_seconds",
-                       "repro_view_flushes"):
+        families = ["repro_server_sessions", "repro_server_frames_out",
+                    "repro_server_push_lag_seconds", "repro_view_flushes"]
+        if mode_flag == "--compiled":
+            families += ["repro_plan_compile_seconds",
+                         "repro_plan_cache_hits",
+                         "repro_vm_instructions_executed"]
+        for family in families:
             assert family in scrape, f"{family} missing from /metrics"
         health = urllib.request.urlopen(
             f"http://{host}:{http_port}/healthz", timeout=10
@@ -103,6 +112,14 @@ def main() -> int:
         if process.poll() is None:
             process.kill()
             process.wait(timeout=10)
+
+
+def main() -> int:
+    for mode_flag in ("--compiled", "--no-compiled"):
+        code = run_scenario(mode_flag)
+        if code:
+            return code
+    return 0
 
 
 if __name__ == "__main__":

@@ -4,13 +4,17 @@ XML arrives as stream units (here: person records appended to a feed); a
 standing grouped query maintains its result by fusing each unit's
 incrementally-computed fragments into the partial result via semantic
 identifiers — exactly the view-maintenance machinery, driven by arrival.
+Everything runs through the :class:`repro.api.Database` session API: the
+feed is an ordinary document, each stream unit is a path-addressed
+insert, and a count-based sliding window is nothing but a retraction
+batch evicting the oldest units.  The standing query executes on the
+compiled delta-plan VM; the EXPLAIN listing at the end shows the
+instruction program each unit ran through.
 
 Run:  python examples/stream_fusion.py
 """
 
-from repro import (MaterializedXQueryView, StorageManager, UpdateRequest,
-                   XmlDocument)
-from repro.workloads import xmark
+from repro.api import Database
 
 STANDING_QUERY = """<by-city>{
 for $c in distinct-values(doc("feed.xml")/feed/person/address/city)
@@ -21,6 +25,9 @@ return <city name="{$c}">{
  return <member>{$p/name}</member>
 }</city>}</by-city>"""
 
+#: the count-based sliding window: keep this many newest stream units
+WINDOW = 4
+
 
 def person_unit(index: int, city: str) -> str:
     return (f'<person id="s{index}"><name>Streamed {index}</name>'
@@ -30,37 +37,53 @@ def person_unit(index: int, city: str) -> str:
 
 
 def main() -> None:
-    storage = StorageManager()
-    # The stream starts empty: an empty feed document.
-    storage.register(XmlDocument.from_string("feed.xml", "<feed/>"))
-    view = MaterializedXQueryView(storage, STANDING_QUERY)
-    view.materialize()
-    print("standing query armed over an empty feed:", view.to_xml() or "()")
+    with Database() as db:
+        # The stream starts empty: an empty feed document.
+        db.load("feed.xml", "<feed/>")
+        view = db.create_view("by-city", STANDING_QUERY)
+        print("standing query armed over an empty feed:",
+              view.read() or "()")
+        db.subscribe("by-city", lambda event: print(
+            f"  [refresh {event.sequence}: {event.reason}, "
+            f"{event.delta_tuples} Δ tuples in "
+            f"{event.duration_seconds * 1000:.2f} ms]"))
 
-    cities = ["Lima", "Oslo", "Lima", "Tokyo", "Oslo", "Lima"]
-    feed_root = storage.root_key("feed.xml")
-    for index, city in enumerate(cities):
-        # One stream unit arrives: append it to the feed and fuse.
-        report = view.apply_updates([UpdateRequest.insert(
-            "feed.xml", feed_root, person_unit(index, city), "into")])
-        groups = view.to_xml().count("<city ")
-        members = view.to_xml().count("<member>")
-        print(f"unit {index} ({city:5s}) fused in "
-              f"{report.total_seconds * 1000:6.2f} ms -> "
-              f"{groups} groups / {members} members")
-        assert view.to_xml() == view.recompute_xml(), "fusion diverged"
+        cities = ["Lima", "Oslo", "Lima", "Tokyo", "Oslo", "Lima"]
+        arrived = 0
+        for index, city in enumerate(cities):
+            # One stream unit arrives: append it to the feed and fuse.
+            db.update("feed.xml").at("/feed") \
+                .insert(person_unit(index, city), position="into")
+            arrived += 1
+            if arrived > WINDOW:
+                # Window slides: evicting the oldest unit is an ordinary
+                # retraction — the engine retracts its derivations.
+                db.update("feed.xml").at("/feed/person[1]").delete()
+                arrived -= 1
+            groups = view.read().count("<city ")
+            members = view.read().count("<member>")
+            print(f"unit {index} ({city:5s}) fused -> "
+                  f"{groups} groups / {members} members "
+                  f"(window holds {arrived})")
+            assert view.read() == view.recompute(), "fusion diverged"
 
-    print("\nfinal result:")
-    print(view.to_xml())
+        print("\nresult over the window:")
+        print(view.read())
 
-    # Late correction: unit 3 turns out to be in Lima, not Tokyo.
-    persons = storage.children(feed_root, "person")
-    address = storage.children(persons[3], "address")[0]
-    city = storage.children(address, "city")[0]
-    view.apply_updates([UpdateRequest.modify("feed.xml", city, "Lima")])
-    assert view.to_xml() == view.recompute_xml()
-    assert "Tokyo" not in view.to_xml()
-    print("\nlate correction re-routed the member; Tokyo group retracted.")
+        # Late correction: unit 3 turns out to be in Lima, not Tokyo.
+        # The unit already slid into position 2 of the window.
+        db.update("feed.xml").at('/feed/person[@id="s3"]/address/city') \
+            .replace_with("Lima")
+        assert view.read() == view.recompute()
+        assert "Tokyo" not in view.read()
+        print("\nlate correction re-routed the member; "
+              "Tokyo group retracted.")
+
+        # The program every unit executed: the compiled delta plan.
+        listing = db.explain("by-city")
+        delta_plan = listing[listing.index("compiled plan [delta]"):]
+        print("\n" + "\n".join(delta_plan.splitlines()[:6]))
+        print("  ...")
 
 
 if __name__ == "__main__":

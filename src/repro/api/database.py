@@ -65,6 +65,11 @@ class Database:
     ``Database(storage=...)`` wraps an existing one (the registry
     listener is detached again on :meth:`close`).
 
+    ``Database(compiled=False)`` runs views on the per-tuple tree
+    interpreter instead of the default compiled delta-plan VM (see
+    :mod:`repro.plan`) — same semantics, used as the differential
+    oracle and for bisecting engine regressions.
+
     ``Database(durable_path=dir)`` opens a **durable** session: update
     batches are write-ahead logged before they mutate anything, the
     engine state (documents, structural index, view extents, operator
@@ -79,6 +84,7 @@ class Database:
 
     def __init__(self, storage: Optional[StorageManager] = None, *,
                  indexed: bool = True, operator_state: bool = True,
+                 compiled: bool = True,
                  durable_path=None, fsync: str = "batch",
                  checkpoint_every: int = 256, durability_fs=None,
                  modify_decomposition=_REMOVED):
@@ -92,7 +98,8 @@ class Database:
         self.storage = (storage if storage is not None
                         else StorageManager(indexed=indexed))
         self.registry = ViewRegistry(
-            self.storage, operator_state=operator_state)
+            self.storage, operator_state=operator_state,
+            compiled=compiled)
         self._batch: Optional["Batch"] = None
         self._subscriptions: set = set()
         self._view_queries: dict[str, str] = {}

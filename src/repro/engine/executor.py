@@ -31,17 +31,24 @@ class Engine:
 
     def run(self, plan: XatOperator, mode: str = FULL,
             delta: Optional[DeltaSpec] = None,
-            profiler: Optional[Profiler] = None, store=None) -> XatTable:
+            profiler: Optional[Profiler] = None, store=None,
+            vm=None) -> XatTable:
         """Execute a prepared plan and return the root operator's table.
 
         ``store`` (an :class:`~repro.engine.opstate.OperatorStateStore`)
         plugs persistent cross-run operator state into the execution
         context; delta runs then serve FULL/ANTI side evaluation from it.
+        ``vm`` (a :class:`~repro.plan.PlanVM`) routes execution through
+        the compiled linear plan instead of the tree interpreter; the
+        interpreter remains the lazy fallback for anything the schedule
+        does not cover.
         """
         if plan.schema is None:
             raise RuntimeError("plan not prepared; call plan.prepare()")
         ctx = ExecutionContext(self.storage, mode=mode, delta=delta,
                                profiler=profiler, store=store)
+        if vm is not None:
+            return vm.run(plan, ctx)
         return ctx.evaluate(plan)
 
     # -- result materialization -----------------------------------------------------
@@ -54,11 +61,11 @@ class Engine:
 
     def result_forest(self, plan: XatOperator, mode: str = FULL,
                       delta: Optional[DeltaSpec] = None,
-                      profiler: Optional[Profiler] = None, store=None
-                      ) -> list[ExtentNode]:
+                      profiler: Optional[Profiler] = None, store=None,
+                      vm=None) -> list[ExtentNode]:
         """Execute and de-reference the exposed column into extent trees."""
         table = self.run(plan, mode=mode, delta=delta, profiler=profiler,
-                         store=store)
+                         store=store, vm=vm)
         column = self.exposed_column(plan)
         prof = profiler if profiler is not None else Profiler()
         forest: list[ExtentNode] = []
@@ -77,7 +84,7 @@ class Engine:
 
     def propagate(self, plan: XatOperator, extent: Optional[ExtentNode],
                   spec: DeltaSpec, *, profiler: Optional[Profiler] = None,
-                  report=None, before_fuse=None, store=None
+                  report=None, before_fuse=None, store=None, vm=None
                   ) -> tuple[ExtentNode, FusionReport]:
         """One V-P-A delta pass: execute ``plan`` in delta mode for ``spec``
         and fuse the resulting delta forest into ``extent``.
@@ -91,8 +98,13 @@ class Engine:
         per-phase timings.
         """
         started = time.perf_counter()
+        if vm is not None:
+            # Root-classification memo: one compiled pass touches the
+            # same few keys thousands of times across operators.
+            from ..plan.vm import FastDeltaSpec
+            spec = FastDeltaSpec.wrap(spec)
         forest = self.result_forest(plan, mode=DELTA, delta=spec,
-                                    profiler=profiler, store=store)
+                                    profiler=profiler, store=store, vm=vm)
         if store is not None:
             # Patch (or, for deletes, stage) the batch's stale operator
             # state while the update subtrees are still readable — before
@@ -110,14 +122,14 @@ class Engine:
         return extent, fusion_report
 
     def materialize(self, plan: XatOperator,
-                    profiler: Optional[Profiler] = None
+                    profiler: Optional[Profiler] = None, vm=None
                     ) -> tuple[ExtentNode, FusionReport]:
         """Initial view materialization: execute and fuse into an extent.
 
         The returned extent is always the synthetic forest wrapper; views
         with a single top-level constructor have a one-child forest.
         """
-        forest = self.result_forest(plan, profiler=profiler)
+        forest = self.result_forest(plan, profiler=profiler, vm=vm)
         return fuse_forest(None, forest)
 
     @staticmethod

@@ -503,6 +503,19 @@ class CachedEntry:
             # to derive a delta.  Recompute lazily on next use.
             self.invalidate()
             return
+        for _kind, stale_key in self.stale:
+            if (stale_key == key or stale_key.is_ancestor_of(key)
+                    or key.is_ancestor_of(stale_key)):
+                # A second mutation on the same subtree: the stale list
+                # cannot tell whether the events belong to one batch or
+                # to two (a batch may be absorbed by a recompute-flush
+                # or routed to no view, so no reconcile separates
+                # windows).  A later spec with coinciding roots would
+                # pass stale_covered_by yet its delta only describes
+                # the newer change — patch silently loses the older
+                # one.  Indistinguishable means unpatchable: recompute.
+                self.invalidate()
+                return
         self.stale.append((kind, key))
 
 

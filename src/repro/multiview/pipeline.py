@@ -208,7 +208,8 @@ class ViewPipeline:
 
     def __init__(self, engine: Engine, plan: XatOperator,
                  sapt: Optional[Sapt] = None, validate_updates: bool = True,
-                 state_store=_OWN_STORE, modify_decomposition=_REMOVED):
+                 state_store=_OWN_STORE, compiled: bool = True,
+                 plan_cache=None, modify_decomposition=_REMOVED):
         if modify_decomposition is not _REMOVED:
             raise TypeError(
                 "modify_decomposition was removed: the legacy "
@@ -225,12 +226,27 @@ class ViewPipeline:
         self.extent: Optional[ExtentNode] = None
         self.materialized = False
         self._closed = False
+        # Compiled execution: lower the plan to the linear IR and run it
+        # on the batch VM (``compiled=False`` keeps the tree interpreter
+        # as the execution engine — the differential oracle setting).
+        # ``plan_cache`` shares compiled subplans across views (the
+        # registry passes its own); a standalone pipeline owns one.
+        if compiled:
+            from ..plan import PlanCache, PlanVM
+            self.vm = PlanVM(plan_cache if plan_cache is not None
+                             else PlanCache())
+        else:
+            self.vm = None
         if state_store is _OWN_STORE:
             self.state_store = OperatorStateStore(self.storage)
             self._owns_store = True
         else:
             self.state_store = state_store
             self._owns_store = False
+
+    @property
+    def compiled(self) -> bool:
+        return self.vm is not None
 
     def close(self) -> None:
         """Detach pipeline-owned resources from storage (idempotent —
@@ -243,12 +259,14 @@ class ViewPipeline:
 
     def materialize(self, profiler: Optional[Profiler] = None) -> None:
         self.extent, _report = self.engine.materialize(self.plan,
-                                                       profiler=profiler)
+                                                       profiler=profiler,
+                                                       vm=self.vm)
         self.materialized = True
 
     def recompute(self) -> None:
         """Replace the extent by full recomputation over current sources."""
-        self.extent, _report = self.engine.materialize(self.plan)
+        self.extent, _report = self.engine.materialize(self.plan,
+                                                       vm=self.vm)
 
     def to_xml(self) -> str:
         return Engine.serialize_extent(self.extent)
@@ -278,7 +296,8 @@ class ViewPipeline:
             apply_before = report.apply_seconds
         self.extent, _fusion = self.engine.propagate(
             self.plan, self.extent, spec_for_run(run), profiler=profiler,
-            report=report, before_fuse=before_fuse, store=store)
+            report=report, before_fuse=before_fuse, store=store,
+            vm=self.vm)
         if store is not None:
             hits, misses, patches, _inv = store.stats.snapshot()
             report.state_hits += hits - before[0]

@@ -216,6 +216,7 @@ class ViewRegistry:
 
     def __init__(self, storage: StorageManager,
                  operator_state: bool = True,
+                 compiled: bool = True,
                  modify_decomposition=_REMOVED):
         if modify_decomposition is not _REMOVED:
             raise TypeError(
@@ -229,6 +230,14 @@ class ViewRegistry:
         self.router = SharedValidationRouter()
         self.state_store = (OperatorStateStore(storage)
                             if operator_state else None)
+        # One shared plan cache: structurally-equal subplans across
+        # views compile once (mirroring the shared operator-state store).
+        self.compiled = compiled
+        if compiled:
+            from ..plan import PlanCache
+            self.plan_cache = PlanCache()
+        else:
+            self.plan_cache = None
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.metrics.add_sync_hook(self._sync_metrics)
@@ -275,6 +284,32 @@ class ViewRegistry:
             metrics.gauge("index_interned_keys",
                           "Live keys interned by the structural index"
                           ).set(stats["interned_keys"])
+        if self.plan_cache is not None:
+            plan_stats = self.plan_cache.stats()
+            metrics.histogram(
+                "plan_compile_seconds",
+                "Wall-clock cost of lowering XAT trees to the plan IR"
+                ).set_total(plan_stats["compiles"],
+                            plan_stats["compile_seconds"])
+            metrics.counter("plan_cache_hits",
+                            "Prepared subplans served from the shared "
+                            "plan cache (cross-view structural sharing)"
+                            ).set(plan_stats["hits"])
+            metrics.counter("plan_cache_misses",
+                            "Subplan structures lowered fresh"
+                            ).set(plan_stats["misses"])
+            metrics.counter("vm_instructions_executed",
+                            "Batch-VM instructions executed (kernel, "
+                            "fallback and short-circuit)"
+                            ).set(plan_stats["instructions_executed"])
+            metrics.counter("vm_kernel_runs",
+                            "Instructions served by specialized "
+                            "columnar kernels"
+                            ).set(plan_stats["kernel_runs"])
+            metrics.counter("vm_fallback_runs",
+                            "Instructions served by the interpreter "
+                            "fallback"
+                            ).set(plan_stats["fallback_runs"])
         if self.state_store is not None:
             for key, value in self.state_store.stats.as_dict().items():
                 metrics.counter(
@@ -326,7 +361,7 @@ class ViewRegistry:
             stats=view.stats, report=view.report, store=self.state_store,
             extent_size=view.pipeline.extent_size(),
             pending_trees=view.pending_trees(),
-            query_text=view.query_text)
+            query_text=view.query_text, plan_cache=self.plan_cache)
 
     def add_trace_sink(self, sink) -> None:
         """Attach a :class:`repro.obs.TraceSink`; spans flow only while
@@ -420,7 +455,9 @@ class ViewRegistry:
                 else query)
         view = RegisteredView(name,
                               ViewPipeline(self.engine, plan,
-                                           state_store=self.state_store),
+                                           state_store=self.state_store,
+                                           compiled=self.compiled,
+                                           plan_cache=self.plan_cache),
                               MaintenancePolicy.parse(policy),
                               cost_model if cost_model is not None
                               else CostModel())

@@ -72,8 +72,14 @@ def _walk(op, store, prefix: str, last: bool, lines: list,
 
 def render_explain(name: str, plan, *, policy=None, cost=None, stats=None,
                    report=None, store=None, extent_size=None,
-                   pending_trees: int = 0, query_text: str = "") -> str:
-    """The annotated plan tree of one maintained view as display text."""
+                   pending_trees: int = 0, query_text: str = "",
+                   plan_cache=None) -> str:
+    """The annotated plan tree of one maintained view as display text.
+
+    ``plan_cache`` (a :class:`repro.plan.PlanCache`) adds the compiled
+    instruction listings — one program per compiled execution mode, each
+    line carrying the live in/out/Δ row counters and kernel-vs-fallback
+    serve counts — below the operator tree."""
     lines = [f"view {name!r}"]
     if policy is not None:
         lines[0] += f"  policy={getattr(policy, 'kind', policy)}"
@@ -106,4 +112,7 @@ def render_explain(name: str, plan, *, policy=None, cost=None, stats=None,
             + f" bias={cost.bias}")
     lines.append("plan:")
     _walk(plan, store, "", True, lines, True)
+    if plan_cache is not None:
+        for compiled in plan_cache.plans_for(plan):
+            lines.append(compiled.listing())
     return "\n".join(lines)

@@ -120,6 +120,14 @@ class Histogram:
         if slot < self.capacity:
             self.samples[slot] = value
 
+    def set_total(self, count: int, total: float) -> None:
+        """Mirror an externally accumulated (count, sum) pair (sync
+        hooks) — reservoir quantiles stay whatever direct ``observe``
+        calls produced."""
+        if STATE.enabled:
+            self.count = count
+            self.sum = total
+
     def quantile(self, q: float) -> Optional[float]:
         """Reservoir quantile by linear interpolation; None when empty."""
         if not self.samples:

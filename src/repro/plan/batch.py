@@ -1,0 +1,163 @@
+"""Columnar tuple batches and zero-copy composite row accessors.
+
+A :class:`TupleBatch` stores one operator output as parallel arrays —
+one list per column of cell values plus flat ``counts`` / ``refresh`` /
+``touched`` / ``era`` arrays — instead of a list of per-tuple dicts.
+Kernels iterate positionally over the arrays; a dict materializes only
+at the boundary to an interpreter-backed consumer (:meth:`to_table`).
+
+Join outputs avoid even that: a :class:`CompositeAccessor` maps each
+output column to ``(side, source column)`` so a matched ``(left row,
+right row)`` pair *is* the output row — no merged dict per match.
+:meth:`CompositeAccessor.emit` materializes an :class:`XatTuple` only
+for the pairs that survive the join's residual predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xat.table import TableSchema, XatTable, XatTuple
+
+__all__ = ["CompositeAccessor", "TupleBatch", "merge_signed_counts"]
+
+
+class TupleBatch:
+    """One table as parallel column arrays.
+
+    ``columns`` maps column name -> list of cell values (each a
+    ``CellValue``: None, an Item or a list of Items).  All per-tuple
+    annotations live in flat arrays of the same length.
+    """
+
+    __slots__ = ("schema", "columns", "counts", "refresh", "touched",
+                 "eras", "length")
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.columns: dict[str, list] = {c: [] for c in schema.columns}
+        self.counts: list[int] = []
+        self.refresh: list[bool] = []
+        self.touched: list[bool] = []
+        self.eras: list[Optional[str]] = []
+        self.length = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def append_row(self, cells: dict, count: int = 1,
+                   refresh: bool = False, touched: bool = False,
+                   era: Optional[str] = None) -> None:
+        for name, column in self.columns.items():
+            column.append(cells.get(name))
+        self.counts.append(count)
+        self.refresh.append(refresh)
+        self.touched.append(touched)
+        self.eras.append(era)
+        self.length += 1
+
+    # -- interpreter boundary ----------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: XatTable) -> "TupleBatch":
+        batch = cls(table.schema)
+        columns = batch.columns
+        for tup in table.tuples:
+            cells = tup.cells
+            for name, column in columns.items():
+                column.append(cells.get(name))
+            batch.counts.append(tup.count)
+            batch.refresh.append(tup.refresh)
+            batch.touched.append(tup.touched)
+            batch.eras.append(tup.era)
+        batch.length = len(table.tuples)
+        return batch
+
+    def to_table(self) -> XatTable:
+        table = XatTable(self.schema)
+        names = list(self.columns)
+        column_lists = [self.columns[name] for name in names]
+        append = table.tuples.append
+        for i in range(self.length):
+            cells = {}
+            for name, column in zip(names, column_lists):
+                value = column[i]
+                if value is not None:
+                    cells[name] = value
+            append(XatTuple(cells, self.counts[i], self.refresh[i],
+                            self.touched[i], self.eras[i]))
+        return table
+
+    def row(self, i: int) -> XatTuple:
+        """Materialize one row as an :class:`XatTuple` (boundary only)."""
+        cells = {name: column[i] for name, column in self.columns.items()
+                 if column[i] is not None}
+        return XatTuple(cells, self.counts[i], self.refresh[i],
+                        self.touched[i], self.eras[i])
+
+
+class CompositeAccessor:
+    """Zero-copy column map for a join output.
+
+    Maps each output column to its source side (0 = left, 1 = right);
+    columns present on both sides resolve to the right side, matching
+    :meth:`XatTuple.merged`'s ``dict.update`` overwrite order.
+    """
+
+    __slots__ = ("schema", "side_of")
+
+    def __init__(self, left_schema: TableSchema,
+                 right_schema: TableSchema,
+                 out_schema: TableSchema):
+        self.schema = out_schema
+        left = set(left_schema.columns)
+        right = set(right_schema.columns)
+        self.side_of: dict[str, int] = {}
+        for column in out_schema.columns:
+            if column in right:
+                self.side_of[column] = 1
+            elif column in left:
+                self.side_of[column] = 0
+
+    def cell(self, column: str, left_row: XatTuple,
+             right_row: XatTuple):
+        side = self.side_of.get(column)
+        if side is None:
+            return None
+        return (right_row if side else left_row).cells.get(column)
+
+    def emit(self, left_row: XatTuple, right_row: XatTuple) -> XatTuple:
+        """Materialize one surviving match as a merged tuple.
+
+        Semantics mirror :meth:`XatTuple.merged`: counts multiply,
+        refresh/touched or-combine, the left era wins when both are set.
+        """
+        cells = {}
+        lcells = left_row.cells
+        rcells = right_row.cells
+        for column, side in self.side_of.items():
+            value = (rcells if side else lcells).get(column)
+            if value is not None:
+                cells[column] = value
+        return XatTuple(cells, left_row.count * right_row.count,
+                        left_row.refresh or right_row.refresh,
+                        left_row.touched or right_row.touched,
+                        left_row.era or right_row.era)
+
+
+def merge_signed_counts(entries) -> dict:
+    """Net count-signed ``(key, count)`` entries, dropping zeros.
+
+    The count-state patch primitive: a retract/assert stream over the
+    same key nets to its final count, order-free (the Z-set discipline
+    of the count annotations).  Returns ``{key: net_count}`` with no
+    zero entries.
+    """
+    netted: dict = {}
+    for key, count in entries:
+        total = netted.get(key, 0) + count
+        if total:
+            netted[key] = total
+        elif key in netted:
+            del netted[key]
+    return netted

@@ -1,0 +1,164 @@
+"""Lowering XAT trees to linear plans, and the cross-view plan cache.
+
+Lowering is a postorder walk of the ``(operator, mode)`` DAG: every node
+gets one register and one instruction; inputs are scheduled before
+consumers, so the emitted list executes straight-line.  A join's FULL/
+ANTI side evaluation is *not* scheduled under Δ — with an operator-state
+store attached the side is a stored hash index probe, and without one
+the interpreter's lazy memo resolves it on first touch — which keeps
+the instruction stream exactly the work the delta pass performs.
+
+Compile-time statics (source-document sets, navigation step tables,
+join key columns) live on :class:`PreparedOp` records keyed by the
+operator's *structural signature* — the same signatures
+:mod:`repro.engine.opstate` shares cached tables under — so
+structurally-equal subplans across views compile once and share their
+prepared metadata.  The :class:`PlanCache` owns those records plus the
+per-root plan memo, and keeps the plain-int counters the obs registry
+mirrors (``plan_compile_seconds``, ``plan_cache_hits/misses``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..engine.opstate import subplan_signature
+from ..xat.base import DELTA, FULL, XatOperator
+from ..xat.construction import Map
+from .ir import CompiledPlan, Instruction, opcode_for
+from .kernels import kernel_for, prepare_statics
+
+__all__ = ["PlanCache", "PreparedOp", "lower"]
+
+
+class PreparedOp:
+    """Compile-time statics of one operator structure (signature-keyed).
+
+    ``source_documents`` backs the VM's per-instruction empty-Δ
+    short-circuit without re-walking the subtree every batch.
+    ``statics`` is the kernel-specific table (navigation steps, equi-key
+    columns, …) filled by :func:`repro.plan.kernels.prepare_statics`.
+    """
+
+    __slots__ = ("signature", "source_documents", "statics")
+
+    def __init__(self, signature, source_documents: frozenset, statics):
+        self.signature = signature
+        self.source_documents = source_documents
+        self.statics = statics
+
+
+class PlanCache:
+    """Compiled-plan and prepared-metadata cache shared across views.
+
+    One instance per :class:`~repro.multiview.ViewRegistry` (or per
+    standalone pipeline): plans memoize per root operator and mode;
+    prepared metadata memoizes per structural signature, so a subplan
+    prefix two views share compiles once.  All counters are plain ints
+    (mirrored into the metrics registry by a sync hook, never
+    incremented through it).
+    """
+
+    def __init__(self):
+        self._plans: dict[tuple[int, str], CompiledPlan] = {}
+        self._prepared: dict[tuple, PreparedOp] = {}
+        # -- counters (mirrored by obs sync hooks) --
+        self.compiles = 0
+        self.compile_seconds = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.instructions_executed = 0
+        self.kernel_runs = 0
+        self.fallback_runs = 0
+
+    # -- prepared metadata -------------------------------------------------------------
+
+    def prepared_for(self, op: XatOperator) -> PreparedOp:
+        signature = subplan_signature(op)
+        prepared = self._prepared.get(signature)
+        if prepared is not None:
+            self.hits += 1
+            return prepared
+        self.misses += 1
+        prepared = PreparedOp(signature,
+                              frozenset(op.source_documents()),
+                              prepare_statics(op))
+        self._prepared[signature] = prepared
+        return prepared
+
+    # -- plans -------------------------------------------------------------------------
+
+    def plan(self, root: XatOperator, mode: str) -> CompiledPlan:
+        key = (id(root), mode)
+        cached = self._plans.get(key)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        shared_before = self.hits
+        compiled = lower(root, mode, cache=self)
+        compiled.compile_seconds = time.perf_counter() - started
+        compiled.shared_prefix_instructions = self.hits - shared_before
+        self.compiles += 1
+        self.compile_seconds += compiled.compile_seconds
+        self._plans[key] = compiled
+        return compiled
+
+    def plans_for(self, root: XatOperator) -> list[CompiledPlan]:
+        """The compiled plans of one root, FULL before Δ (for EXPLAIN)."""
+        return [plan for mode in (FULL, DELTA)
+                if (plan := self._plans.get((id(root), mode))) is not None]
+
+    def invalidate(self, root: Optional[XatOperator] = None) -> None:
+        """Drop compiled plans (all, or one root's) — prepared metadata
+        is structural and stays."""
+        if root is None:
+            self._plans.clear()
+            return
+        for mode in (FULL, DELTA):
+            self._plans.pop((id(root), mode), None)
+
+    def stats(self) -> dict:
+        return {"compiles": self.compiles,
+                "compile_seconds": self.compile_seconds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "instructions_executed": self.instructions_executed,
+                "kernel_runs": self.kernel_runs,
+                "fallback_runs": self.fallback_runs}
+
+
+def lower(root: XatOperator, mode: str,
+          cache: Optional[PlanCache] = None) -> CompiledPlan:
+    """Lower ``root`` (and its whole tree) for one execution mode.
+
+    Returns a :class:`CompiledPlan` whose instructions are in dependency
+    order.  ``cache`` supplies (and is populated with) shared prepared
+    metadata; a private cache is used when none is given.
+    """
+    if root.schema is None:
+        raise RuntimeError("plan not prepared; call plan.prepare()")
+    owned_cache = cache if cache is not None else PlanCache()
+    instructions: list[Instruction] = []
+    reg_of: dict[tuple[int, str], int] = {}
+
+    def visit(op: XatOperator, op_mode: str) -> int:
+        key = (id(op), op_mode)
+        reg = reg_of.get(key)
+        if reg is not None:
+            return reg
+        # A Map's RHS is correlated: it evaluates per binding inside the
+        # operator and must never be scheduled (or memoized) standalone.
+        inputs = op.inputs[:1] if isinstance(op, Map) else op.inputs
+        srcs = tuple(visit(child, op_mode) for child in inputs)
+        reg = len(instructions)
+        reg_of[key] = reg
+        prepared = owned_cache.prepared_for(op)
+        instructions.append(Instruction(
+            opcode_for(op, op_mode), reg, srcs, op, op_mode,
+            kernel=kernel_for(op, op_mode), prepared=prepared))
+        return reg
+
+    root_reg = visit(root, mode)
+    return CompiledPlan(instructions, len(instructions), root_reg, mode,
+                        subplan_signature(root))

@@ -1,0 +1,157 @@
+"""The linear delta-plan IR.
+
+A compiled plan is a topologically ordered list of instructions over a
+flat register file.  Each instruction computes one ``(operator, mode)``
+node of the algebra DAG and writes its table into its destination
+register; operands name the registers holding the already-computed
+inputs.  The same operator appearing under several modes (a join's Δ
+pass next to its FULL side) occupies distinct registers — the register
+file *is* the per-run memo, laid out ahead of time.
+
+Opcodes name the operator family plus the execution mode so a listing
+reads like a program (``NAV_UNNEST.d r3 <- r2``).  Per-instruction
+counters (executions, rows in/out, Δ rows, kernel vs fallback runs)
+accumulate on the instruction and feed ``EXPLAIN``'s listing section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..xat.base import DELTA
+
+#: operator class name -> opcode mnemonic
+_OPCODES = {
+    "Source": "SOURCE",
+    "NavigateUnnest": "NAV_UNNEST",
+    "NavigateCollection": "NAV_COLLECT",
+    "Select": "SELECT",
+    "Rename": "RENAME",
+    "Join": "JOIN",
+    "LeftOuterJoin": "LOJOIN",
+    "CartesianProduct": "PRODUCT",
+    "Distinct": "DISTINCT",
+    "OrderBy": "ORDER_BY",
+    "GroupBy": "GROUP_BY",
+    "Aggregate": "AGGREGATE",
+    "TupleFunction": "FUNCTION",
+    "Combine": "COMBINE",
+    "Tagger": "TAGGER",
+    "XmlUnion": "UNION",
+    "XmlUnique": "UNIQUE",
+    "Merge": "MERGE",
+    "VariableBinding": "BIND",
+    "Map": "MAP",
+    "Expose": "EXPOSE",
+    "Pattern": "PATTERN",
+}
+
+#: mode -> mnemonic suffix ("full" stays bare; Δ and anti are marked)
+_MODE_SUFFIX = {"full": "", "delta": ".d", "anti": ".a"}
+
+
+def opcode_for(op, mode: str) -> str:
+    """The instruction mnemonic for one ``(operator, mode)`` node."""
+    base = _OPCODES.get(type(op).__name__, "EVAL")
+    return base + _MODE_SUFFIX.get(mode, "." + mode)
+
+
+class Instruction:
+    """One step of a compiled plan: ``dest <- opcode(srcs)``.
+
+    ``xop`` is the XAT operator instance the instruction realizes and
+    ``mode`` the execution mode it runs under.  ``kernel`` is the
+    specialized columnar implementation bound at lowering time (``None``
+    means the generic interpreter-backed implementation).  ``prepared``
+    carries compile-time static metadata (navigation step tables, join
+    key columns, source-document sets) shared across structurally-equal
+    subplans.
+    """
+
+    __slots__ = ("opcode", "dest", "srcs", "xop", "mode", "kernel",
+                 "prepared", "executed", "kernel_runs", "fallback_runs",
+                 "shortcircuits", "rows_in", "rows_out", "delta_rows")
+
+    def __init__(self, opcode: str, dest: int, srcs: tuple, xop, mode: str,
+                 kernel: Optional[Callable] = None, prepared=None):
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = srcs
+        self.xop = xop
+        self.mode = mode
+        self.kernel = kernel
+        self.prepared = prepared
+        # -- live counters (rendered by the EXPLAIN listing) --
+        self.executed = 0
+        self.kernel_runs = 0
+        self.fallback_runs = 0
+        self.shortcircuits = 0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.delta_rows = 0
+
+    def record(self, rows_in: int, rows_out: int, *, kernel: bool,
+               shortcircuit: bool = False) -> None:
+        self.executed += 1
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+        if self.mode == DELTA:
+            self.delta_rows += rows_out
+        if shortcircuit:
+            self.shortcircuits += 1
+        elif kernel:
+            self.kernel_runs += 1
+        else:
+            self.fallback_runs += 1
+
+    def render(self) -> str:
+        srcs = ", ".join(f"r{s}" for s in self.srcs) or "-"
+        text = (f"r{self.dest:<3} <- {self.opcode:<13} {srcs:<12}"
+                f" runs={self.executed}"
+                f" in={self.rows_in} out={self.rows_out}")
+        if self.mode == DELTA:
+            text += f" Δ={self.delta_rows}"
+        if self.kernel is not None:
+            text += (f" kernel={self.kernel_runs}"
+                     f"/fallback={self.fallback_runs}")
+        if self.shortcircuits:
+            text += f" skip={self.shortcircuits}"
+        return text
+
+
+class CompiledPlan:
+    """A lowered plan: instructions in dependency order plus metadata.
+
+    ``signature`` is the root operator's structural signature (shared
+    with :mod:`repro.engine.opstate`), which keys the plan cache and the
+    cross-view sharing of compile artifacts.  ``root`` is the register
+    holding the final result.
+    """
+
+    __slots__ = ("instructions", "nregs", "root", "mode", "signature",
+                 "compile_seconds", "shared_prefix_instructions")
+
+    def __init__(self, instructions: list, nregs: int, root: int,
+                 mode: str, signature, compile_seconds: float = 0.0,
+                 shared_prefix_instructions: int = 0):
+        self.instructions = instructions
+        self.nregs = nregs
+        self.root = root
+        self.mode = mode
+        self.signature = signature
+        self.compile_seconds = compile_seconds
+        self.shared_prefix_instructions = shared_prefix_instructions
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """The rendered instruction listing (one line per instruction)."""
+        head = (f"compiled plan [{self.mode}]"
+                f" {len(self.instructions)} instructions,"
+                f" {self.nregs} registers, root=r{self.root}")
+        if self.shared_prefix_instructions:
+            head += (f", shared-prefix="
+                     f"{self.shared_prefix_instructions}")
+        return "\n".join([head] + ["  " + instr.render()
+                                   for instr in self.instructions])

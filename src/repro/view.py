@@ -51,6 +51,7 @@ class MaterializedXQueryView:
                  query: Union[str, XatOperator],
                  validate_updates: bool = True,
                  operator_state: bool = True,
+                 compiled: bool = True,
                  modify_decomposition=_REMOVED):
         if modify_decomposition is not _REMOVED:
             raise TypeError(
@@ -69,7 +70,8 @@ class MaterializedXQueryView:
             plan = query
         extra = {} if operator_state else {"state_store": None}
         self._pipeline = ViewPipeline(
-            self.engine, plan, validate_updates=validate_updates, **extra)
+            self.engine, plan, validate_updates=validate_updates,
+            compiled=compiled, **extra)
 
     # -- pipeline state (kept as attributes for API compatibility) -----------------------
 
@@ -106,6 +108,12 @@ class MaterializedXQueryView:
         """The pipeline's persistent operator-state store (None when
         disabled via ``operator_state=False``)."""
         return self._pipeline.state_store
+
+    @property
+    def compiled(self) -> bool:
+        """Whether execution runs through the compiled plan VM (the
+        default) or the tree interpreter (``compiled=False``)."""
+        return self._pipeline.compiled
 
     def close(self) -> None:
         """Detach view-owned storage listeners (idempotent).

@@ -241,8 +241,13 @@ class TestExplain:
                    for line in lines)
         assert any(line.startswith("cost model: recompute=")
                    for line in lines)
-        # the plan tree is annotated with live full/delta counters
-        plan_lines = lines[lines.index("plan:") + 1:]
+        # the plan tree is annotated with live full/delta counters; the
+        # compiled instruction listings follow the operator tree
+        tail = lines[lines.index("plan:") + 1:]
+        first_listing = next(i for i, line in enumerate(tail)
+                             if line.startswith("compiled plan ["))
+        plan_lines, listing_lines = tail[:first_listing], \
+            tail[first_listing:]
         assert len(plan_lines) > 3
         assert all("full: runs=" in line and "Δ: runs=" in line
                    for line in plan_lines)
@@ -251,6 +256,13 @@ class TestExplain:
         assert "runs=0" not in plan_lines[0].split("Δ:")[0]
         # the join+aggregate plan keeps persistent operator state
         assert any("state: served=" in line for line in plan_lines)
+        # one listing per compiled mode, instructions carrying counters
+        headers = [line for line in listing_lines
+                   if line.startswith("compiled plan [")]
+        assert [h.split("]")[0] for h in headers] == \
+            ["compiled plan [full", "compiled plan [delta"]
+        assert any(" <- " in line and "runs=" in line
+                   for line in listing_lines)
 
     def test_explain_unknown_view_raises(self):
         with Database() as db:
